@@ -1,0 +1,14 @@
+"""Shared benchmark helpers.
+
+Every benchmark runs its experiment exactly once (``pedantic`` with one
+round): the simulations are deterministic, so repetition only measures
+host noise, and some figures take minutes of simulated work.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

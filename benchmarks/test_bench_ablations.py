@@ -1,0 +1,77 @@
+"""Ablations of MAPLE's design choices (DESIGN.md inventory).
+
+Three mechanisms the paper's design leans on, each toggled in isolation:
+
+1. **Memory-level parallelism** — the engine's in-flight fetch budget is
+   the whole point of a *Parallel-Load* engine: capping it at 1 must
+   collapse decoupling back toward serialized-DRAM behaviour.
+2. **Packed 4-byte consumes** — the §5.1 mechanism behind Fig. 10's load
+   reduction: disabling packing must raise the core's load count.
+3. **Produce-buffer depth** — the Produce pipeline's acceptance buffer
+   decouples the ack (store retirement) from slot reservation; a deeper
+   buffer absorbs Access-side bursts.
+"""
+
+from conftest import run_once
+
+from repro.harness import run_workload
+from repro.params import FPGA_CONFIG
+
+
+def mlp_ablation():
+    results = {}
+    for inflight in (1, 4, 32):
+        cfg = FPGA_CONFIG.with_overrides(maple_max_inflight=inflight)
+        base = run_workload("spmv", "doall", threads=2, config=cfg)
+        dec = run_workload("spmv", "maple-decouple", threads=2, config=cfg)
+        results[inflight] = base.cycles / dec.cycles
+    return results
+
+
+def test_bench_ablation_mlp(benchmark):
+    speedups = run_once(benchmark, mlp_ablation)
+    print("\nMLP ablation (SPMV decoupling speedup vs maple_max_inflight):")
+    for inflight, speedup in speedups.items():
+        print(f"  in-flight {inflight:2d}: {speedup:.2f}x")
+    # A single outstanding fetch serializes DRAM: most of the win is gone.
+    assert speedups[32] / speedups[1] > 1.6
+    # Returns diminish once the DRAM channel saturates.
+    assert speedups[4] > speedups[1]
+    assert speedups[32] >= speedups[4] * 0.95
+
+
+def packing_ablation():
+    packed = run_workload("spmv", "lima", threads=1, lima_packed=True)
+    unpacked = run_workload("spmv", "lima", threads=1, lima_packed=False)
+    return packed, unpacked
+
+
+def test_bench_ablation_packed_consumes(benchmark):
+    packed, unpacked = run_once(benchmark, packing_ablation)
+    print(f"\npacked consumes:   {packed.cycles} cycles, "
+          f"{packed.total_loads()} loads")
+    print(f"unpacked consumes: {unpacked.cycles} cycles, "
+          f"{unpacked.total_loads()} loads")
+    # Packing halves the consume count -> visibly fewer load instructions.
+    assert packed.total_loads() < unpacked.total_loads()
+    assert packed.cycles <= unpacked.cycles * 1.02
+
+
+def produce_buffer_ablation():
+    results = {}
+    for depth in (1, 4, 16):
+        cfg = FPGA_CONFIG.with_overrides(produce_buffer_entries=depth)
+        dec = run_workload("sdhp", "maple-decouple", threads=2, config=cfg)
+        results[depth] = dec.cycles
+    return results
+
+
+def test_bench_ablation_produce_buffer(benchmark):
+    cycles = run_once(benchmark, produce_buffer_ablation)
+    print("\nproduce-buffer ablation (SDHP decoupling cycles):")
+    for depth, value in cycles.items():
+        print(f"  depth {depth:2d}: {value}")
+    # The buffer only matters under burst pressure; it must never hurt,
+    # and a reasonable depth is within a few percent of a deep one.
+    assert cycles[4] <= cycles[1] * 1.01
+    assert cycles[16] <= cycles[4] * 1.01

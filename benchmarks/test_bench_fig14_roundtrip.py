@@ -1,0 +1,22 @@
+"""Fig. 14: the core->MAPLE->core round-trip latency breakdown.
+
+Paper: ~25 cycles plus one cycle per hop — similar to an L2 access and
+an order of magnitude below DRAM.  The analytic segment budget must
+match a consume measured on the live model exactly.
+"""
+
+from conftest import run_once
+
+from repro.harness.figures import fig14
+from repro.params import FPGA_CONFIG
+
+
+def test_bench_fig14_roundtrip(benchmark):
+    result = run_once(benchmark, fig14)
+    print("\n" + result.render())
+
+    assert result.total == 25  # the paper's headline figure
+    assert result.measured == result.total  # model agrees with budget
+    # Similar to an L2 access, far below DRAM.
+    assert abs(result.total - FPGA_CONFIG.l2_latency) <= 10
+    assert result.total * 10 <= FPGA_CONFIG.dram_latency + 50

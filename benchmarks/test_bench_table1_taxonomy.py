@@ -1,0 +1,23 @@
+"""Table 1: the prior-work taxonomy.
+
+MAPLE must be the only technique satisfying all four adoption features,
+and the per-row feature pattern must match the paper's checkmarks.
+"""
+
+from conftest import run_once
+
+from repro.core.taxonomy import TABLE1, techniques_satisfying_all, render_table1
+
+
+def test_bench_table1_taxonomy(benchmark):
+    table = run_once(benchmark, render_table1)
+    print("\n" + table)
+
+    assert techniques_satisfying_all() == ["MAPLE"]
+    rows = {row.name: row for row in TABLE1}
+    # Spot-check the paper's pattern.
+    assert rows["DeSC/MTDCAE"].hw_sw_codesign and not rows["DeSC/MTDCAE"].unmodified_cores
+    assert rows["HW Prefetching"].unmodified_isa and not rows["HW Prefetching"].hw_sw_codesign
+    assert rows["Clairvoyance"].unmodified_cores and not rows["Clairvoyance"].simple_cores
+    assert rows["Prodigy"].hw_sw_codesign and not rows["Prodigy"].unmodified_cores
+    assert len(TABLE1) == 16

@@ -1,0 +1,21 @@
+"""Table 2: the FPGA SoC configuration, rendered from live parameters."""
+
+from conftest import run_once
+
+from repro.harness.tables import table2, table2_rows
+from repro.params import FPGA_CONFIG
+
+
+def test_bench_table2_config(benchmark):
+    text = run_once(benchmark, table2)
+    print("\n" + text)
+
+    rows = dict(table2_rows())
+    assert rows["MAPLE Instances / Scratchpad Size"] == "1 / 1KB"
+    assert rows["Core Count / Threads per core"] == "2 / 1"
+    assert "8KB 4-way / 2-cycle" in rows["L1D per core / Latency"]
+    assert "64KB 8-way / 30-cycle" in rows["L2-size (shared) / Latency"]
+    assert rows["DRAM Latency / Max in-flight"].startswith("300-cycle")
+    # The tapeout queue geometry (§5.3): 8 queues x 32 x 4B = 1KB.
+    assert rows["Queues / Entries / Entry size"] == "8 / 32 / 4B"
+    assert FPGA_CONFIG.queue_entries == 32

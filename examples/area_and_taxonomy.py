@@ -1,0 +1,34 @@
+"""Reproduce the paper's non-performance artifacts.
+
+- Table 1: the taxonomy of prior IMA-latency techniques against the four
+  adoption features (MAPLE is the only row with all four).
+- Tables 2/3: the SoC configurations, rendered from the live simulator
+  parameters.
+- §5.4: the 12 nm area model — one MAPLE instance vs the 8 Ariane cores
+  it can supply (paper: 1.1%).
+
+Run:  python examples/area_and_taxonomy.py
+"""
+
+from repro.harness import tables
+from repro.harness.figures import area_analysis
+
+
+def main() -> None:
+    print(tables.table1())
+    print()
+    print(tables.table2())
+    print()
+    print(tables.table3())
+    print()
+    report = area_analysis()
+    print("Area analysis (12 nm model, §5.4)")
+    print("---------------------------------")
+    for name, mm2 in report.rows():
+        print(f"  {name:35s} {mm2:8.4f} mm^2")
+    print(f"  MAPLE overhead vs served cores:     "
+          f"{report.overhead_fraction * 100:.2f}%  (paper: 1.1%)")
+
+
+if __name__ == "__main__":
+    main()

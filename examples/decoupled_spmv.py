@@ -1,0 +1,55 @@
+"""Decoupled SPMV through the compiler pipeline (§3.3, Fig. 5).
+
+Shows the whole §3 flow on the paper's best-case kernel:
+
+1. express SPMV in the loop-nest IR;
+2. run the DeSC-style slicing analysis (which load is the IMA, which is
+   terminal, is the kernel decouplable);
+3. lower to Access/Execute thread programs over a MAPLE queue;
+4. run both the 2-thread doall baseline and the decoupled version on
+   fresh SoCs, validate the numerics, and compare cycles.
+
+Run:  python examples/decoupled_spmv.py
+"""
+
+from repro.compiler import Technique, analyze, plan_for
+from repro.harness import run_workload
+from repro.kernels.spmv import build_spmv_kernel
+
+
+def describe_compilation() -> None:
+    kernel = build_spmv_kernel()
+    analysis = analyze(kernel)
+    print(f"kernel: {kernel.name}")
+    print(f"decouplable: {analysis.decouplable} ({analysis.reason})")
+    for info in analysis.loads.values():
+        chain = " [A[B[i]] chain]" if info.chain else ""
+        kind = "IMA" if info.depth else "regular"
+        role = "PRODUCE_PTR/CONSUME" if info.terminal else "replicated"
+        print(f"  load {info.stmt.array:8s} depth={info.depth} ({kind:7s}) "
+              f"-> {role}{chain}")
+    plan = plan_for(analysis, Technique.MAPLE_DECOUPLE)
+    print(f"slicing: {len(plan.access_stmts)} statements on Access, "
+          f"{len(plan.execute_stmts)} on Execute\n")
+
+
+def main() -> None:
+    describe_compilation()
+    baseline = run_workload("spmv", "doall", threads=2)
+    decoupled = run_workload("spmv", "maple-decouple", threads=2)
+    software = run_workload("spmv", "sw-decouple", threads=2)
+    print(f"doall (2 threads):        {baseline.cycles:>9} cycles")
+    print(f"MAPLE decoupling:         {decoupled.cycles:>9} cycles "
+          f"({baseline.cycles / decoupled.cycles:.2f}x)")
+    print(f"software decoupling:      {software.cycles:>9} cycles "
+          f"({baseline.cycles / software.cycles:.2f}x — slower than doall, "
+          "as in Fig. 8)")
+    stats = decoupled.soc.stats
+    print(f"\nMAPLE pointer fetches: {stats.get('maple0.produce_ptrs')}, "
+          f"mean queue occupancy: "
+          f"{stats.histogram('maple0.occupancy').mean:.1f} entries")
+    print("results validated against the numpy reference on every run")
+
+
+if __name__ == "__main__":
+    main()

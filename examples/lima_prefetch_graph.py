@@ -1,0 +1,41 @@
+"""LIMA prefetching on a graph workload (§3.2, Fig. 4).
+
+BFS's inner loop gathers ``dist[neighbors[j]]`` — a loop of indirect
+memory accesses.  One LIMA_RUN MMIO store per frontier vertex programs
+MAPLE to expand the whole loop in hardware: B fetched in 64-byte chunks,
+each index dereferenced, the data landing in a hardware queue the core
+consumes (packed, two 4-byte entries per load).
+
+Compares single-thread BFS with no prefetching, software prefetching
+(distance-4 insertion, with its instruction overhead), and LIMA.
+
+Run:  python examples/lima_prefetch_graph.py    (takes ~a minute)
+"""
+
+from repro.harness import run_workload
+
+
+def main() -> None:
+    scale = 1
+    base = run_workload("bfs", "doall", threads=1, scale=scale)
+    swpf = run_workload("bfs", "sw-prefetch", threads=1, scale=scale)
+    lima = run_workload("bfs", "lima", threads=1, scale=scale)
+
+    print(f"{'technique':16s} {'cycles':>12s} {'speedup':>8s} "
+          f"{'loads':>8s} {'avg load latency':>17s}")
+    for name, result in (("no-prefetch", base), ("sw-prefetch", swpf),
+                         ("maple-lima", lima)):
+        print(f"{name:16s} {result.cycles:>12} "
+              f"{base.cycles / result.cycles:>7.2f}x "
+              f"{result.total_loads():>8} "
+              f"{result.avg_load_latency():>15.1f}cy")
+
+    stats = lima.soc.stats
+    print(f"\nLIMA expansions: {stats.get('maple0.lima_ops')} "
+          f"(one MMIO store per frontier vertex), "
+          f"{stats.get('maple0.lima_elements')} elements fetched in hardware")
+    print("distances validated against the reference BFS on every run")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Extension (§7): software pipelining over MAPLE queues.
+
+The paper envisions MAPLE's queues being "reused and extended ... to do
+pipelining, where each program stage is executed in a different
+off-the-shelf core or accelerator."  This example builds exactly that: a
+three-stage pipeline over two hardware queues of one MAPLE instance —
+
+  core 0 (fetch)     : PRODUCE_PTR the gather addresses into queue 0
+                       (MAPLE performs the irregular loads),
+  core 1 (transform) : CONSUME queue 0, compute, PRODUCE into queue 1,
+  core 2 (reduce)    : CONSUME queue 1 and accumulate/store.
+
+No stage ever waits for DRAM directly — MAPLE's reserve/fill/pop
+discipline keeps all three cores' work overlapped, and the queues give
+back-pressure for free.
+
+Run:  python examples/pipeline_stages.py
+"""
+
+from repro.core.api import QueueHandle
+from repro.cpu import Alu, Store, Thread
+from repro.params import SoCConfig
+from repro.system import Soc
+
+
+def main() -> None:
+    soc = Soc(SoCConfig(num_cores=3))
+    aspace = soc.new_process()
+    api = soc.driver.attach(aspace)
+
+    n = 64
+    indices = [(13 * i) % (n * 8) for i in range(n)]
+    data = soc.array(aspace, [float(i) for i in range(n * 8)], name="data")
+    out = soc.array(aspace, n, name="out")
+
+    def fetch_stage():
+        q0 = yield from api.open(0)
+        for idx in indices:
+            yield from q0.produce_ptr(data.addr(idx))
+
+    def transform_stage():
+        q0 = QueueHandle(api, 0)
+        q1 = yield from api.open(1)
+        for _ in range(n):
+            value = yield from q0.consume()
+            yield Alu(3)  # the "compute" of this stage
+            yield from q1.produce(value * 2 + 1)
+
+    def reduce_stage():
+        q1 = QueueHandle(api, 1)
+        for i in range(n):
+            value = yield from q1.consume()
+            yield Store(out.addr(i), value)
+
+    elapsed = soc.run_threads([
+        (0, Thread(fetch_stage(), aspace, "fetch")),
+        (1, Thread(transform_stage(), aspace, "transform")),
+        (2, Thread(reduce_stage(), aspace, "reduce")),
+    ])
+
+    expected = [float(idx) * 2 + 1 for idx in indices]
+    assert out.to_list() == expected
+    serialized = n * (soc.config.dram_latency + 3)
+    print(f"3-stage pipeline over 2 MAPLE queues: {n} elements in "
+          f"{elapsed} cycles")
+    print(f"fully serialized execution would take >= {serialized} cycles "
+          f"-> {serialized / elapsed:.1f}x overlap")
+    print(f"queue 0 mean occupancy: "
+          f"{soc.stats.histogram('maple0.occupancy').mean:.1f} entries")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Thread scaling and MAPLE placement (§5.3, Figs. 13/15).
+
+Part 1 — scaling: 2/4/8 threads, every Access/Execute pair sharing ONE
+MAPLE instance, versus doall at the same thread count (Fig. 13: the
+speedup holds as threads scale).
+
+Part 2 — placement: the OS maps each thread to the *nearest* MAPLE
+instance in mesh hops; this sweeps the core<->MAPLE round trip and shows
+speedup shrinking as the engine moves away (Fig. 15).
+
+Run:  python examples/scaling_and_placement.py
+"""
+
+from repro.harness import run_workload
+from repro.harness.figures import roundtrip_config
+from repro.params import FPGA_CONFIG
+
+
+def scaling() -> None:
+    print("thread scaling (SPMV, one shared MAPLE):")
+    for threads in (2, 4, 8):
+        base = run_workload("spmv", "doall", threads=threads, scale=2)
+        dec = run_workload("spmv", "maple-decouple", threads=threads, scale=2)
+        pairs = threads // 2
+        print(f"  {threads} threads ({pairs} Access/Execute pair"
+              f"{'s' if pairs > 1 else ''}): "
+              f"{base.cycles / dec.cycles:.2f}x over doall")
+
+
+def placement() -> None:
+    print("\nround-trip latency sensitivity (SPMV decoupling):")
+    for target in (11, 25, 51, 101):
+        cfg = roundtrip_config(FPGA_CONFIG, target)
+        base = run_workload("spmv", "doall", threads=2, config=cfg)
+        dec = run_workload("spmv", "maple-decouple", threads=2, config=cfg)
+        print(f"  ~{target:3d}-cycle round trip: "
+              f"{base.cycles / dec.cycles:.2f}x over doall")
+
+
+if __name__ == "__main__":
+    scaling()
+    placement()

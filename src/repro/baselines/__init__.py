@@ -1,0 +1,20 @@
+"""Comparator techniques the paper evaluates MAPLE against.
+
+- :mod:`repro.baselines.swqueue` — software-only decoupling over a
+  shared-memory SPSC ring (the Fig. 8 baseline).  The Access thread pays
+  the IMA stalls itself and every transfer bounces cache lines between
+  the two cores.
+- :mod:`repro.baselines.desc` — DeSC [Ham et al.]: architecturally
+  visible low-latency queues, a Supply slice that performs *all* loads
+  (terminal ones hoisted into a non-blocking side structure) and receives
+  the Compute slice's stores.
+- :mod:`repro.baselines.droplet` — DROPLET [Basak et al.]: a memory-side
+  data-aware prefetcher that watches index-array lines fill the LLC,
+  dereferences them, and prefetches the data array into the LLC.
+"""
+
+from repro.baselines.desc import DescBackend
+from repro.baselines.droplet import DropletPrefetcher
+from repro.baselines.swqueue import SwQueueBackend, SwQueueRing
+
+__all__ = ["DescBackend", "DropletPrefetcher", "SwQueueBackend", "SwQueueRing"]

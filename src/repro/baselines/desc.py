@@ -1,0 +1,147 @@
+"""A behavioural model of DeSC (Ham, Aragón, Martonosi — MICRO'15).
+
+DeSC couples a Supply (Access) core and a Compute (Execute) core with
+architecturally visible queues.  The properties the paper compares
+against (§5.2):
+
+- queue operations are cheap (a couple of cycles), far below MAPLE's
+  ~25-cycle MMIO round trip — DeSC wins on pure decoupling latency;
+- loads whose values are used only by Compute are hoisted into a
+  non-blocking side structure on the Supply core (modeled here by the
+  reserve/fill/pop discipline of :class:`~repro.core.queues.HwQueue`
+  with fetches through Supply's cache hierarchy);
+- the Compute core has **no visibility into the memory hierarchy**: its
+  stores are shipped back to Supply, which issues them — the source of
+  DeSC's loss of runahead on BFS;
+- Supply/Compute are hardwired core roles: a DeSC machine cannot
+  re-purpose them at runtime the way MAPLE threads can.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.interp import QueueBackend
+from repro.core.queues import HwQueue
+from repro.cpu import isa
+from repro.sim import Semaphore
+from repro.vm.os_model import AddressSpace
+
+
+class DescBackend(QueueBackend):
+    """The Supply<->Compute queue pair plus the decoupled-load engine."""
+
+    #: Architectural queue access latency, cycles (tightly coupled).
+    COMM_LATENCY = 2
+
+    def __init__(self, soc, aspace: AddressSpace, supply_core_id: int,
+                 capacity: int = 64, max_inflight: int = 16,
+                 store_queue: int = 16):
+        self._soc = soc
+        self._sim = soc.sim
+        self._memsys = soc.memsys
+        self._aspace = aspace
+        self._supply_core = supply_core_id
+        self.stats = soc.stats.scoped("desc")
+        self.queue = HwQueue(soc.sim, 0, capacity, self.stats)
+        self._inflight = Semaphore(soc.sim, max_inflight, name="desc.inflight")
+        self._store_slots = Semaphore(soc.sim, store_queue, name="desc.stq")
+        # Supply has a single store port: shipped stores issue in order,
+        # one at a time (stores cannot be speculated or overlapped the way
+        # the hoisted loads can).
+        self._store_port = Semaphore(soc.sim, 1, name="desc.stport")
+
+    def _translate(self, vaddr: int) -> int:
+        paddr = self._aspace.page_table.lookup(vaddr)
+        if paddr is None:
+            raise RuntimeError(f"DeSC access to unmapped address {vaddr:#x}")
+        return paddr
+
+    # -- Supply side -------------------------------------------------------------
+
+    def produce(self, value):
+        """Push a value Supply already holds (bounds, computed data)."""
+        slot = yield from self.queue.reserve()
+        yield isa.Alu(1)  # queue issue slot
+        self.stats.bump("produces")
+        self._sim.spawn(self._fill_later(slot, value), name="desc.produce")
+
+    def _fill_later(self, slot: int, value):
+        yield self.COMM_LATENCY
+        self.queue.fill(slot, value)
+
+    def produce_ptr(self, addr):
+        """The DeSC hoisted load: reserve a slot, fetch through Supply's
+        cache hierarchy without stalling the Supply pipeline.
+
+        Conservative memory disambiguation: a hoisted load must not bypass
+        stores shipped back from Compute that might alias it (DeSC does
+        not speculate on memory ordering).  Kernels that stream stores
+        through Supply — BFS's dist updates — therefore stall the fetch
+        engine behind the store queue: the "loss of runahead" §5.2 blames
+        for DeSC's poor BFS showing.  MAPLE sidesteps this with the
+        software-level benign-race contract (§3.6).
+        """
+        yield from self.load_fence()
+        slot = yield from self.queue.reserve()
+        yield isa.Alu(1)
+        self.stats.bump("produce_ptrs")
+        self._sim.spawn(self._fetch_into(slot, addr), name="desc.fetch")
+
+    def _fetch_into(self, slot: int, addr):
+        yield from self._inflight.acquire()
+        try:
+            paddr = self._translate(addr)
+            value = yield from self._memsys.load(self._supply_core, paddr)
+        finally:
+            self._inflight.release()
+        yield self.COMM_LATENCY
+        self.queue.fill(slot, value)
+
+    # -- Compute side -----------------------------------------------------------------
+
+    def consume(self):
+        yield isa.Alu(self.COMM_LATENCY)
+        value = yield from self.queue.pop()
+        self.stats.bump("consumes")
+        return value
+
+    def store(self, addr, value):
+        """Compute has no memory path: ship the store to Supply."""
+        yield isa.Alu(self.COMM_LATENCY)
+        yield from self._store_slots.acquire()
+        self.stats.bump("stores_via_supply")
+        self._sim.spawn(self._issue_store(addr, value), name="desc.store")
+
+    def _issue_store(self, addr, value):
+        try:
+            yield from self._store_port.acquire()
+            try:
+                paddr = self._translate(addr)
+                yield from self._memsys.store(self._supply_core, paddr, value)
+            finally:
+                self._store_port.release()
+        finally:
+            self._store_slots.release()
+
+    def load_fence(self):
+        """Supply-side memory ordering: any load (its own or hoisted) must
+        wait while shipped stores with unresolved addresses are pending."""
+        while self._store_slots.in_use:
+            self.stats.bump("disambiguation_stalls")
+            yield 5
+
+    def fetch_add(self, addr, amount):
+        """Compute-side atomic: shipped to Supply and executed there; the
+        Compute slice blocks for the result (it needs the old value)."""
+        yield isa.Alu(self.COMM_LATENCY)
+        paddr = self._translate(addr)
+        old = yield from self._memsys.amo(self._supply_core, paddr,
+                                          lambda v, a=amount: v + a)
+        yield isa.Alu(self.COMM_LATENCY)
+        self.stats.bump("amos_via_supply")
+        return old
+
+    def drain_stores(self):
+        """Generator: wait until every shipped store has been issued —
+        required before an epoch barrier (this is where BFS loses)."""
+        while self._store_slots.in_use:
+            yield 5

@@ -1,0 +1,53 @@
+"""The compiler stack targeting MAPLE's API (§3.3).
+
+The paper adapts DeSC's LLVM slicing: programs are split into Access and
+Execute slices, loads become PRODUCE/CONSUME pairs, and loads with no
+dependents on the Access side (terminal loads) become PRODUCE_PTR so
+MAPLE fetches them.  Here the same transformation runs on a small
+loop-nest IR (:mod:`repro.compiler.ir`):
+
+1. :mod:`repro.compiler.analysis` classifies every load (regular vs
+   indirect, terminal vs address-feeding), detects indirect
+   read-modify-writes (which make a kernel non-decouplable — the SPMM
+   case), and computes which statements each slice needs.
+2. :mod:`repro.compiler.plan` turns the analysis into per-technique
+   slicing plans (doall, MAPLE/shared-memory/DeSC decoupling, software
+   prefetching, LIMA).
+3. :mod:`repro.compiler.interp` lowers a plan to executable thread
+   programs — generators of ISA instructions a core runs.
+"""
+
+from repro.compiler.analysis import KernelAnalysis, analyze
+from repro.compiler.ir import (
+    Bin,
+    ComputeStmt,
+    Const,
+    ForStmt,
+    IfStmt,
+    Kernel,
+    LoadStmt,
+    StoreStmt,
+    Var,
+)
+from repro.compiler.plan import LoadAction, SlicePlan, Technique, plan_for
+from repro.compiler.interp import Runtime, interpret
+
+__all__ = [
+    "Bin",
+    "ComputeStmt",
+    "Const",
+    "ForStmt",
+    "IfStmt",
+    "Kernel",
+    "KernelAnalysis",
+    "LoadAction",
+    "LoadStmt",
+    "Runtime",
+    "SlicePlan",
+    "StoreStmt",
+    "Technique",
+    "Var",
+    "analyze",
+    "interpret",
+    "plan_for",
+]

@@ -1,0 +1,404 @@
+"""Lowering: execute a slicing plan as a stream of ISA instructions.
+
+The interpreter walks the kernel IR with a per-slice :class:`Role` that
+decides what each statement becomes on the core: a plain load, a MAPLE
+API operation, a software-queue transfer, a prefetch sequence, or nothing
+(the statement belongs to the other slice).  The result is a generator a
+:class:`~repro.cpu.core.Core` runs directly, so all timing — MMIO round
+trips, queue backpressure, cache behaviour — is the real model's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.compiler.analysis import ImaChain
+from repro.compiler.ir import (
+    ComputeStmt,
+    FetchAddStmt,
+    ForStmt,
+    IfStmt,
+    Kernel,
+    LoadStmt,
+    StoreStmt,
+    eval_expr,
+)
+from repro.compiler.plan import LoadAction, SlicePlan
+from repro.core.api import QueueHandle
+from repro.cpu import isa
+from repro.vm.alloc import SimArray
+
+
+@dataclass
+class Runtime:
+    """Binding of kernel array/param names to simulated state."""
+
+    arrays: Dict[str, SimArray]
+    params: Dict[str, float] = field(default_factory=dict)
+
+    def array(self, name: str) -> SimArray:
+        try:
+            return self.arrays[name]
+        except KeyError:
+            raise KeyError(f"kernel array {name!r} not bound in runtime")
+
+    def with_params(self, **params) -> "Runtime":
+        merged = dict(self.params)
+        merged.update(params)
+        return Runtime(self.arrays, merged)
+
+
+class QueueBackend:
+    """How a decoupled pair communicates. Subclasses: MAPLE MMIO, the
+    shared-memory ring, DeSC architectural queues."""
+
+    def produce(self, value):
+        raise NotImplementedError
+
+    def produce_ptr(self, addr):
+        raise NotImplementedError
+
+    def consume(self):
+        raise NotImplementedError
+
+    def store(self, addr, value):
+        """Default: Execute stores directly (MAPLE keeps cores coherent)."""
+        yield isa.Store(addr, value)
+
+
+class MapleBackend(QueueBackend):
+    """Decoupling over a MAPLE hardware queue (§3.1)."""
+
+    def __init__(self, handle: QueueHandle):
+        self.handle = handle
+
+    def produce(self, value):
+        yield from self.handle.produce(value)
+
+    def produce_ptr(self, addr):
+        yield from self.handle.produce_ptr(addr)
+
+    def consume(self):
+        value = yield from self.handle.consume()
+        return value
+
+
+# -- roles --------------------------------------------------------------------
+
+
+class Role:
+    """Per-slice behaviour hooks for the interpreter."""
+
+    def __init__(self, plan: SlicePlan):
+        self.plan = plan
+
+    def includes(self, stmt) -> bool:
+        raise NotImplementedError
+
+    def load_action(self, stmt: LoadStmt) -> LoadAction:
+        raise NotImplementedError
+
+    def produce(self, value):
+        raise NotImplementedError("this role does not produce")
+
+    def produce_ptr(self, addr):
+        raise NotImplementedError("this role does not produce pointers")
+
+    def consume(self):
+        raise NotImplementedError("this role does not consume")
+
+    def store(self, addr, value):
+        yield isa.Store(addr, value)
+
+    def fetch_add(self, addr, amount):
+        old = yield isa.Amo(addr, lambda value, a=amount: value + a)
+        return old
+
+    def before_load(self):
+        """Hook run before a slice-local LOAD (memory-ordering fences)."""
+        return
+        yield  # pragma: no cover - generator shape
+
+    def on_loop_enter(self, stmt: ForStmt, lo: int, hi: int, env: dict,
+                      runtime: Runtime):
+        return
+        yield  # pragma: no cover - generator shape
+
+    def on_iteration(self, stmt: ForStmt, index: int, hi: int, env: dict,
+                     runtime: Runtime):
+        return
+        yield  # pragma: no cover - generator shape
+
+
+class DoallRole(Role):
+    """Plain execution of every statement (the baseline)."""
+
+    def includes(self, stmt) -> bool:
+        return stmt.stmt_id in self.plan.execute_stmts
+
+    def load_action(self, stmt: LoadStmt) -> LoadAction:
+        return self.plan.execute_actions.get(stmt.stmt_id, LoadAction.LOAD)
+
+
+class PrefetchRole(DoallRole):
+    """Software prefetching at distance D (Fig. 9 baseline).
+
+    For every ``A[B[f(j)]]`` chain, each iteration j re-evaluates the chain
+    at ``j+D``: an extra load of ``B[f(j+D)]``, an address-computation ALU
+    op, and a prefetch of ``&A[B[f(j+D)]]`` into the L1 — the instruction
+    overhead ("code bloat") the paper charges this technique with.
+    """
+
+    def __init__(self, plan: SlicePlan, distance: int = 8):
+        super().__init__(plan)
+        if distance < 1:
+            raise ValueError("prefetch distance must be >= 1")
+        self.distance = distance
+        self._chains_by_loop: Dict[int, List[ImaChain]] = {}
+        for chain in plan.prefetch_chains:
+            self._chains_by_loop.setdefault(chain.loop.stmt_id, []).append(chain)
+
+    def on_iteration(self, stmt: ForStmt, index: int, hi: int, env: dict,
+                     runtime: Runtime):
+        for chain in self._chains_by_loop.get(stmt.stmt_id, ()):
+            ahead = index + self.distance
+            if ahead >= hi:
+                continue
+            shifted = dict(env)
+            shifted[stmt.var] = ahead
+            b_array = runtime.array(chain.index_load.array)
+            b_index = eval_expr(chain.index_load.index, shifted)
+            future = yield isa.Load(b_array.addr(b_index))
+            # The per-iteration overhead of compiler-inserted prefetching
+            # (bounds clamping, address arithmetic, loop bookkeeping) —
+            # the "code bloat" of Ainsworth & Jones that §2 cites.
+            yield isa.Alu(5)
+            shifted[chain.index_load.dest] = future
+            a_array = runtime.array(chain.ima_load.array)
+            a_index = int(eval_expr(chain.ima_load.index, shifted))
+            yield isa.Prefetch(a_array.addr(a_index))
+
+
+class LimaRole(DoallRole):
+    """LIMA-assisted prefetching (§3.2): one MMIO op per inner loop.
+
+    ``mode="queue"``: the IMA loads become consumes from the hardware
+    queue (packed two-per-load when entries are 4 bytes, which is how
+    MAPLE ends up *reducing* load counts in Fig. 10).
+    ``mode="llc"``: loads stay coherent; LIMA just warms the LLC.
+
+    Chains with a :class:`~repro.compiler.plan.LimaLookahead` recipe are
+    issued ``distance`` outer iterations ahead (the Fig. 4 pattern
+    ``LIMA(A, B, ptr[i+D], ptr[i+1+D])``), so MAPLE's fetches overlap the
+    previous rows' computation.
+    """
+
+    def __init__(self, plan: SlicePlan, handles: Dict[int, QueueHandle],
+                 packed: bool = True, distance: int = 2):
+        super().__init__(plan)
+        self.mode = plan.lima_mode
+        self.distance = distance
+        self._handles = handles  # chain's ima_load stmt_id -> QueueHandle
+        self._packed = packed and self.mode == "queue"
+        self._chains_by_loop: Dict[int, List[ImaChain]] = {}
+        self._lookahead_by_outer: Dict[int, List[ImaChain]] = {}
+        for chain in plan.lima_chains:
+            sid = chain.ima_load.stmt_id
+            if sid not in handles:
+                raise ValueError(
+                    f"no queue handle for LIMA chain {chain.ima_load!r}")
+            info = plan.lima_lookahead.get(sid)
+            if info is not None:
+                self._lookahead_by_outer.setdefault(
+                    info.outer_loop.stmt_id, []).append(chain)
+            else:
+                self._chains_by_loop.setdefault(chain.loop.stmt_id, []).append(chain)
+        self._configured_base: Dict[int, int] = {}
+        self._remaining: Dict[int, int] = {}
+        self._buffer: Dict[int, List] = {}
+        self._next_issue: Dict[int, int] = {}
+
+    def on_loop_enter(self, stmt: ForStmt, lo: int, hi: int, env: dict,
+                      runtime: Runtime):
+        if stmt.stmt_id in self._lookahead_by_outer:
+            for chain in self._lookahead_by_outer[stmt.stmt_id]:
+                self._next_issue[chain.ima_load.stmt_id] = lo
+        for chain in self._chains_by_loop.get(stmt.stmt_id, ()):
+            yield from self._issue_run(chain, lo, hi, env, runtime)
+
+    def on_iteration(self, stmt: ForStmt, index: int, hi: int, env: dict,
+                     runtime: Runtime):
+        for chain in self._lookahead_by_outer.get(stmt.stmt_id, ()):
+            sid = chain.ima_load.stmt_id
+            info = self.plan.lima_lookahead[sid]
+            while self._next_issue[sid] <= min(index + self.distance, hi - 1):
+                future = self._next_issue[sid]
+                shifted = dict(env)
+                shifted[info.outer_loop.var] = future
+                for bound_load in info.bound_loads:
+                    array = runtime.array(bound_load.array)
+                    addr = array.addr(int(eval_expr(bound_load.index, shifted)))
+                    shifted[bound_load.dest] = yield isa.Load(addr)
+                run_lo = int(eval_expr(chain.loop.lo, shifted))
+                run_hi = int(eval_expr(chain.loop.hi, shifted))
+                yield from self._issue_run(chain, run_lo, run_hi, shifted,
+                                           runtime)
+                self._next_issue[sid] = future + 1
+
+    def _issue_run(self, chain: ImaChain, lo: int, hi: int, env: dict,
+                   runtime: Runtime):
+        sid = chain.ima_load.stmt_id
+        handle = self._handles[sid]
+        a_array = runtime.array(chain.ima_load.array)
+        base_a = a_array.base
+        if chain.offset_expr is not None:
+            # Fold the loop-invariant part of the index (e.g. SPMM's
+            # c*rows) into the effective base address.
+            base_a += 8 * int(eval_expr(chain.offset_expr, env))
+        if self._configured_base.get(sid) != base_a:
+            b_array = runtime.array(chain.index_load.array)
+            yield from handle.lima_configure(base_a, b_array.base)
+            self._configured_base[sid] = base_a
+        if hi > lo:
+            yield from handle.lima_run(lo, hi, mode=self.mode)
+            self._remaining[sid] = self._remaining.get(sid, 0) + (hi - lo)
+
+    def consume_for(self, stmt: LoadStmt):
+        sid = stmt.stmt_id
+        handle = self._handles[sid]
+        buffer = self._buffer.setdefault(sid, [])
+        if buffer:
+            self._remaining[sid] -= 1
+            return buffer.pop(0)
+        if self._packed and self._remaining.get(sid, 0) >= 2:
+            pair = yield from handle.consume_packed()
+            buffer.append(pair[1])
+            self._remaining[sid] -= 1
+            return pair[0]
+        value = yield from handle.consume()
+        self._remaining[sid] -= 1
+        return value
+
+
+class AccessRole(Role):
+    """The Access (Supply) slice of a decoupled pair."""
+
+    def __init__(self, plan: SlicePlan, backend: QueueBackend):
+        super().__init__(plan)
+        self.backend = backend
+        #: Backends with in-flight stores of unresolved address (DeSC's
+        #: Compute->Supply store queue) fence every Supply load behind
+        #: them — the loss-of-decoupling rule.
+        self._load_fence = getattr(backend, "load_fence", None)
+
+    def includes(self, stmt) -> bool:
+        return stmt.stmt_id in self.plan.access_stmts
+
+    def load_action(self, stmt: LoadStmt) -> LoadAction:
+        return self.plan.access_actions.get(stmt.stmt_id, LoadAction.SKIP)
+
+    def before_load(self):
+        if self._load_fence is not None:
+            yield from self._load_fence()
+
+    def produce(self, value):
+        yield from self.backend.produce(value)
+
+    def produce_ptr(self, addr):
+        yield from self.backend.produce_ptr(addr)
+
+
+class ExecuteRole(Role):
+    """The Execute (Compute) slice of a decoupled pair."""
+
+    def __init__(self, plan: SlicePlan, backend: QueueBackend):
+        super().__init__(plan)
+        self.backend = backend
+
+    def includes(self, stmt) -> bool:
+        return stmt.stmt_id in self.plan.execute_stmts
+
+    def load_action(self, stmt: LoadStmt) -> LoadAction:
+        return self.plan.execute_actions.get(stmt.stmt_id, LoadAction.SKIP)
+
+    def consume(self):
+        value = yield from self.backend.consume()
+        return value
+
+    def store(self, addr, value):
+        if self.plan.store_via_supply:
+            yield from self.backend.store(addr, value)
+        else:
+            yield isa.Store(addr, value)
+
+    def fetch_add(self, addr, amount):
+        if self.plan.store_via_supply:
+            old = yield from self.backend.fetch_add(addr, amount)
+        else:
+            old = yield isa.Amo(addr, lambda value, a=amount: value + a)
+        return old
+
+
+# -- the interpreter ---------------------------------------------------------------
+
+
+def interpret(kernel: Kernel, runtime: Runtime, role: Role):
+    """Generator of ISA instructions for one slice of one kernel."""
+    env = dict(runtime.params)
+    yield from _exec_body(kernel.body, env, role, runtime)
+
+
+def _exec_body(body, env: dict, role: Role, runtime: Runtime):
+    for stmt in body:
+        if not role.includes(stmt):
+            continue
+        if isinstance(stmt, ForStmt):
+            lo = int(eval_expr(stmt.lo, env))
+            hi = int(eval_expr(stmt.hi, env))
+            yield from role.on_loop_enter(stmt, lo, hi, env, runtime)
+            for index in range(lo, hi):
+                env[stmt.var] = index
+                yield from role.on_iteration(stmt, index, hi, env, runtime)
+                yield from _exec_body(stmt.body, env, role, runtime)
+        elif isinstance(stmt, LoadStmt):
+            yield from _exec_load(stmt, env, role, runtime)
+        elif isinstance(stmt, ComputeStmt):
+            env[stmt.dest] = eval_expr(stmt.expr, env)
+            yield isa.Alu(stmt.cycles)
+        elif isinstance(stmt, StoreStmt):
+            array = runtime.array(stmt.array)
+            addr = array.addr(int(eval_expr(stmt.index, env)))
+            yield from role.store(addr, eval_expr(stmt.value, env))
+        elif isinstance(stmt, IfStmt):
+            if eval_expr(stmt.cond, env):
+                yield from _exec_body(stmt.body, env, role, runtime)
+        elif isinstance(stmt, FetchAddStmt):
+            array = runtime.array(stmt.array)
+            addr = array.addr(int(eval_expr(stmt.index, env)))
+            amount = eval_expr(stmt.amount, env)
+            env[stmt.dest] = yield from role.fetch_add(addr, amount)
+        else:
+            raise TypeError(f"not a statement: {stmt!r}")
+
+
+def _exec_load(stmt: LoadStmt, env: dict, role: Role, runtime: Runtime):
+    action = role.load_action(stmt)
+    if action is LoadAction.SKIP:
+        return
+    if action is LoadAction.CONSUME:
+        if isinstance(role, LimaRole):
+            env[stmt.dest] = yield from role.consume_for(stmt)
+        else:
+            env[stmt.dest] = yield from role.consume()
+        return
+    array = runtime.array(stmt.array)
+    addr = array.addr(int(eval_expr(stmt.index, env)))
+    if action is LoadAction.PRODUCE_PTR:
+        yield from role.produce_ptr(addr)
+        return
+    yield from role.before_load()
+    value = yield isa.Load(addr)
+    env[stmt.dest] = value
+    if action is LoadAction.LOAD_AND_PRODUCE:
+        yield from role.produce(value)

@@ -1,0 +1,30 @@
+"""MAPLE — the Memory Access Parallel-Load Engine (the paper's contribution).
+
+A MAPLE instance sits on its own mesh tile behind NoC encoders/decoders.
+Cores talk to it with ordinary loads and stores to a memory-mapped page;
+the word offset within the page encodes the operation and target queue
+(§3.6).  Internally, three decoupled pipelines (Configuration, Produce,
+Consume) share a scratchpad of circular FIFO queues, an MMU with its own
+TLB and page-table walker translates the pointers software produces, and
+the LIMA unit expands a whole loop of indirect accesses from a single
+MMIO operation (§3.4).
+"""
+
+from repro.core.api import MapleApi, QueueHandle
+from repro.core.driver import MapleDriver
+from repro.core.engine import Maple
+from repro.core.opcodes import LoadOp, StoreOp, decode_offset, encode_addr
+from repro.core.queues import HwQueue, Scratchpad
+
+__all__ = [
+    "HwQueue",
+    "LoadOp",
+    "Maple",
+    "MapleApi",
+    "MapleDriver",
+    "QueueHandle",
+    "Scratchpad",
+    "StoreOp",
+    "decode_offset",
+    "encode_addr",
+]

@@ -1,0 +1,140 @@
+"""MAPLE's software API (§3.1, §3.2).
+
+The paper's API operations — INIT, OPEN/CLOSE, PRODUCE, CONSUME,
+PRODUCE_PTR, LIMA, PREFETCH — are *not* new ISA instructions: they compile
+down to ordinary loads and stores against the MAPLE page the OS mapped
+into the process (§3.6).  Accordingly, every method here is a generator
+that yields :class:`~repro.cpu.isa.Load`/:class:`~repro.cpu.isa.Store`
+descriptors; thread programs compose them with ``yield from``::
+
+    handle = yield from api.open(queue_id=0)
+    yield from handle.produce_ptr(b_array.addr(i))
+    value = yield from handle.consume()
+
+so the exact MMIO traffic (and its round-trip cost) is what the core model
+executes.
+"""
+
+from __future__ import annotations
+
+from repro.core.opcodes import LoadOp, StoreOp, encode_addr
+from repro.cpu.isa import Load, Store
+
+
+class MapleApiError(RuntimeError):
+    """User-level API misuse (queue busy, double close, ...)."""
+
+
+class MapleApi:
+    """A process's handle on one mapped MAPLE page."""
+
+    def __init__(self, page_vaddr: int):
+        if page_vaddr & 0xFFF:
+            raise ValueError("MAPLE page vaddr must be page aligned")
+        self.page_vaddr = page_vaddr
+
+    def _addr(self, opcode: int, queue_id: int = 0) -> int:
+        return encode_addr(self.page_vaddr, opcode, queue_id)
+
+    def init(self):
+        """INIT(queues): reset every hardware queue of this instance."""
+        yield Store(self._addr(StoreOp.INIT), 0)
+
+    def open(self, queue_id: int):
+        """OPEN(id): bind a queue; returns a :class:`QueueHandle`."""
+        granted = yield Load(self._addr(LoadOp.OPEN, queue_id))
+        if not granted:
+            raise MapleApiError(f"queue {queue_id} is bound to another thread")
+        return QueueHandle(self, queue_id)
+
+    def prefetch(self, pointer: int):
+        """PREFETCH(ptr): speculative prefetch of ``*ptr`` into the LLC."""
+        yield Store(self._addr(StoreOp.PREFETCH), pointer)
+
+
+class QueueHandle:
+    """An opened queue: the produce/consume endpoints of the API."""
+
+    def __init__(self, api: MapleApi, queue_id: int):
+        self._api = api
+        self.queue_id = queue_id
+        self._closed = False
+
+    def _addr(self, opcode: int) -> int:
+        return self._api._addr(opcode, self.queue_id)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise MapleApiError(f"queue {self.queue_id} used after close")
+
+    # -- decoupling operations (§3.1) ---------------------------------------
+
+    def produce(self, value):
+        """PRODUCE(id, data): push a computed value into the queue."""
+        self._check_open()
+        yield Store(self._addr(StoreOp.PRODUCE), value)
+
+    def produce_ptr(self, pointer: int, coherent: bool = False):
+        """PRODUCE_PTR(id, ptr): MAPLE fetches ``*ptr`` asynchronously and
+        fills the queue slot in program order.
+
+        ``coherent=True`` selects the LLC-path opcode: the fetch goes
+        through the shared cache instead of straight to DRAM (§3.6 —
+        "determined by the decoded operation-code")."""
+        self._check_open()
+        opcode = StoreOp.PRODUCE_PTR_LLC if coherent else StoreOp.PRODUCE_PTR
+        yield Store(self._addr(opcode), pointer)
+
+    def consume(self):
+        """CONSUME(id): pop the head entry (blocks until data arrives)."""
+        self._check_open()
+        value = yield Load(self._addr(LoadOp.CONSUME))
+        return value
+
+    def consume_packed(self):
+        """Pop two 4-byte entries with a single 8-byte load (§5.1: this is
+        why MAPLE *reduces* total load count in Fig. 10)."""
+        self._check_open()
+        pair = yield Load(self._addr(LoadOp.CONSUME_PACKED))
+        return pair
+
+    def close(self):
+        """CLOSE(id): release the binding."""
+        self._check_open()
+        self._closed = True
+        yield Store(self._addr(StoreOp.CLOSE), 0)
+
+    # -- LIMA prefetching (§3.2) -----------------------------------------------
+
+    def lima_configure(self, base_a: int, base_b: int):
+        """Program the A/B base registers (once per array pair)."""
+        self._check_open()
+        yield Store(self._addr(StoreOp.LIMA_BASE_A), base_a)
+        yield Store(self._addr(StoreOp.LIMA_BASE_B), base_b)
+
+    def lima_run(self, lo: int, hi: int, mode: str = "queue"):
+        """Expand ``A[B[i]] for i in [lo, hi)`` with ONE store (Fig. 4).
+
+        ``mode="queue"`` is the non-speculative LIMA_PRODUCE used in the
+        evaluation; ``mode="llc"`` prefetches speculatively into the LLC.
+        """
+        self._check_open()
+        yield Store(self._addr(StoreOp.LIMA_RUN), (lo, hi, mode))
+
+    # -- performance counters / debug (§3.1, §4.4) ---------------------------------
+
+    def stat_produced(self):
+        value = yield Load(self._addr(LoadOp.STAT_PRODUCED))
+        return value
+
+    def stat_consumed(self):
+        value = yield Load(self._addr(LoadOp.STAT_CONSUMED))
+        return value
+
+    def stat_occupancy(self):
+        value = yield Load(self._addr(LoadOp.STAT_OCCUPANCY))
+        return value
+
+    def stat_ptr_fetches(self):
+        value = yield Load(self._addr(LoadOp.STAT_PTR_FETCHES))
+        return value

@@ -1,0 +1,272 @@
+"""The MAPLE device: NoC-facing decoder and the three pipelines (§3.4).
+
+Request flow (Fig. 3): a core's MMIO load/store leaves its private-cache
+path, crosses the request NoC, is decoded (opcode + queue from the page
+offset), and is routed to one of three pipelines:
+
+- **Configuration** — queue binding, INIT, MMU root, LIMA registers,
+  performance/debug counter reads.  Non-blocking by construction.
+- **Produce** — data-produce fills the reserved slot immediately;
+  pointer-produce acknowledges the store as soon as the transaction is
+  buffered (so the Access core retires it and keeps running), then
+  translates the pointer and issues the DRAM fetch with the slot index as
+  transaction ID.  A full queue back-pressures through the per-queue
+  produce buffer: once the buffer is full the ack itself is delayed.
+- **Consume** — pops the head entry, or buffers the load (no polling)
+  until data arrives.
+
+Separate pipelines mean a full queue never blocks consumes or
+configuration — the deadlock-freedom property the paper formally verified.
+The engine enforces the same invariants with runtime checks instead of SVA.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.lima import LimaUnit
+from repro.core.mmu import MapleMmu
+from repro.core.opcodes import LoadOp, StoreOp, decode_offset
+from repro.core.queues import HwQueue, Scratchpad
+from repro.mem.hierarchy import MemorySystem, MMIORegion
+from repro.noc import Network, Packet, Plane
+from repro.params import SoCConfig
+from repro.sim import Semaphore, Simulator
+from repro.sim.stats import Stats
+from repro.vm.address import PAGE_SIZE
+
+
+class MapleError(RuntimeError):
+    """Protocol violation at the MAPLE interface."""
+
+
+class Maple:
+    """One MAPLE instance on its own mesh tile."""
+
+    def __init__(self, instance_id: int, tile_id: int, sim: Simulator,
+                 memsys: MemorySystem, network: Network, config: SoCConfig,
+                 stats: Stats, mmio_base: int):
+        self.instance_id = instance_id
+        self.tile_id = tile_id
+        self._sim = sim
+        self._memsys = memsys
+        self._network = network
+        self.config = config
+        self.stats = stats.scoped(f"maple{instance_id}")
+        self.page_paddr = mmio_base + instance_id * PAGE_SIZE
+
+        self.scratchpad = Scratchpad(
+            sim, config.scratchpad_bytes, config.maple_num_queues,
+            config.queue_entry_bytes, self.stats,
+        )
+        self.mmu = MapleMmu(memsys, config, self.stats,
+                            name=f"maple{instance_id}.mmu")
+        self.lima = LimaUnit(self)
+
+        #: Outstanding pointer fetches — the MLP the engine can sustain.
+        self._inflight = Semaphore(sim, config.maple_max_inflight,
+                                   name=f"maple{instance_id}.inflight")
+        self._produce_buffers: Dict[int, Semaphore] = {
+            qid: Semaphore(sim, config.produce_buffer_entries,
+                           name=f"maple{instance_id}.q{qid}.buf")
+            for qid in range(config.maple_num_queues)
+        }
+        self._consume_mutexes: Dict[int, Semaphore] = {
+            qid: Semaphore(sim, 1, name=f"maple{instance_id}.q{qid}.consume")
+            for qid in range(config.maple_num_queues)
+        }
+        #: core_id -> tile_id, provided by the SoC builder for NoC routing.
+        self.core_tiles: Dict[int, int] = {}
+
+        memsys.register_mmio(MMIORegion(
+            self.page_paddr, self.page_paddr + PAGE_SIZE, self._handle,
+            name=f"maple{instance_id}",
+        ))
+
+    # -- NoC-facing request handling -------------------------------------------
+
+    def round_trip_cycles(self, core_tile: int) -> int:
+        """Analytic core->MAPLE->core latency for a ready consume (Fig. 14)."""
+        cfg = self.config
+        return (
+            2 * cfg.mmio_path_latency
+            + self._network.one_way_latency(core_tile, self.tile_id)
+            + cfg.maple_pipeline_latency
+            + self._network.one_way_latency(self.tile_id, core_tile)
+        )
+
+    def _handle(self, op: str, paddr: int, value, core_id: int):
+        """Generator: the MMIORegion handler — one MMIO load or store."""
+        opcode, queue_id = decode_offset(paddr - self.page_paddr)
+        core_tile = self.core_tiles.get(core_id, core_id)
+        # Outbound: core pipeline -> L1 -> L1.5 -> request NoC (Fig. 14).
+        yield self.config.mmio_path_latency
+        yield from self._network.transfer(
+            Packet(core_tile, self.tile_id, f"mmio_{op}"), Plane.REQUEST)
+        yield self.config.maple_pipeline_latency  # decode + pipeline stages
+        if op == "load":
+            result = yield from self._dispatch_load(LoadOp(opcode), queue_id, core_id)
+        else:
+            result = yield from self._dispatch_store(StoreOp(opcode), queue_id,
+                                                     value, core_id)
+        # Response: NoC back plus the L1.5/L1 return path into the core.
+        yield from self._network.transfer(
+            Packet(self.tile_id, core_tile, f"mmio_{op}_resp"), Plane.RESPONSE)
+        yield self.config.mmio_path_latency
+        return result
+
+    # -- Consume pipeline ----------------------------------------------------------
+
+    def _dispatch_load(self, opcode: LoadOp, queue_id: int, core_id: int):
+        queue = self.scratchpad.queue(queue_id)
+        if opcode == LoadOp.CONSUME:
+            self.stats.bump("consumes")
+            return (yield from self._consume(queue, count=1))
+        if opcode == LoadOp.CONSUME_PACKED:
+            if self.config.queue_entry_bytes != 4:
+                raise MapleError("packed consume requires 4-byte queue entries")
+            self.stats.bump("consumes_packed")
+            return (yield from self._consume(queue, count=2))
+        if opcode == LoadOp.OPEN:
+            return self._open_queue(queue, core_id)
+        if opcode == LoadOp.STAT_PRODUCED:
+            return queue.produced
+        if opcode == LoadOp.STAT_CONSUMED:
+            return queue.consumed
+        if opcode == LoadOp.STAT_OCCUPANCY:
+            return queue.occupied
+        if opcode == LoadOp.STAT_PTR_FETCHES:
+            return queue.ptr_fetches
+        if opcode == LoadOp.STAT_TLB_MISSES:
+            return self.stats.get("misses")
+        if opcode == LoadOp.FAULT_VADDR:
+            return self.mmu.last_fault_vaddr or 0
+        raise MapleError(f"unimplemented load opcode {opcode!r}")
+
+    def _consume(self, queue: HwQueue, count: int):
+        """Pop ``count`` entries in order; buffered while the queue is empty."""
+        mutex = self._consume_mutexes[queue.queue_id]
+        yield from mutex.acquire()
+        try:
+            if not queue.head_ready():
+                self.stats.bump("consume_stalls")
+            values = []
+            for _ in range(count):
+                value = yield from queue.pop()
+                values.append(value)
+        finally:
+            mutex.release()
+        return values[0] if count == 1 else tuple(values)
+
+    def _open_queue(self, queue: HwQueue, core_id: int) -> int:
+        owner = f"core{core_id}"
+        if queue.owner is not None and queue.owner != owner:
+            return 0  # busy
+        queue.owner = owner
+        self.stats.bump("opens")
+        return 1
+
+    # -- Produce + Configuration pipelines ---------------------------------------------
+
+    def _dispatch_store(self, opcode: StoreOp, queue_id: int, value, core_id: int):
+        if opcode in (StoreOp.PRODUCE, StoreOp.PRODUCE_PTR,
+                      StoreOp.PRODUCE_PTR_LLC):
+            yield from self._accept_produce(opcode, queue_id, value)
+            return None
+        if opcode == StoreOp.PREFETCH:
+            self.stats.bump("prefetch_ops")
+            self._sim.spawn(self._prefetch_worker(value),
+                            name=f"maple{self.instance_id}.prefetch")
+            return None
+        if opcode == StoreOp.CLOSE:
+            self.scratchpad.queue(queue_id).owner = None
+            self.stats.bump("closes")
+            return None
+        if opcode == StoreOp.INIT:
+            self.scratchpad.reset_all()
+            self.stats.bump("inits")
+            return None
+        if opcode == StoreOp.SET_ROOT:
+            self.mmu.set_root(value)
+            return None
+        if opcode == StoreOp.LIMA_BASE_A:
+            self.lima.set_base_a(queue_id, value)
+            return None
+        if opcode == StoreOp.LIMA_BASE_B:
+            self.lima.set_base_b(queue_id, value)
+            return None
+        if opcode == StoreOp.LIMA_RANGE:
+            lo, hi = value
+            self.lima.set_range(queue_id, lo, hi)
+            return None
+        if opcode == StoreOp.LIMA_START:
+            self.stats.bump("lima_ops")
+            self.lima.start(queue_id, mode=value)
+            return None
+        if opcode == StoreOp.LIMA_RUN:
+            lo, hi, mode = value
+            self.lima.set_range(queue_id, lo, hi)
+            self.stats.bump("lima_ops")
+            self.lima.start(queue_id, mode=mode)
+            return None
+        raise MapleError(f"unimplemented store opcode {opcode!r}")
+
+    def _accept_produce(self, opcode: StoreOp, queue_id: int, value):
+        """Admit a produce into the per-queue buffer; the store's ack (and
+        therefore the Access core) is released as soon as it is buffered."""
+        queue = self.scratchpad.queue(queue_id)
+        buffer = self._produce_buffers[queue_id]
+        if buffer.available == 0:
+            self.stats.bump("produce_backpressure")
+        yield from buffer.acquire()
+        if opcode == StoreOp.PRODUCE:
+            self.stats.bump("produces")
+            self._sim.spawn(self._produce_data_worker(queue, buffer, value),
+                            name=f"maple{self.instance_id}.produce")
+        else:
+            self.stats.bump("produce_ptrs")
+            via_llc = opcode == StoreOp.PRODUCE_PTR_LLC
+            self._sim.spawn(
+                self._produce_ptr_worker(queue, buffer, value, via_llc=via_llc),
+                name=f"maple{self.instance_id}.produce_ptr")
+
+    def _produce_data_worker(self, queue: HwQueue, buffer: Semaphore, value):
+        index = yield from queue.reserve()
+        queue.fill(index, value)
+        buffer.release()
+
+    def _produce_ptr_worker(self, queue: HwQueue, buffer: Semaphore, ptr: int,
+                            via_llc: bool = False):
+        index = yield from queue.reserve()
+        buffer.release()
+        yield from self.fetch_into_slot(queue, index, ptr, via_llc=via_llc)
+
+    def fetch_into_slot(self, queue: HwQueue, index: int, ptr: int,
+                        via_llc: bool = False):
+        """Generator: translate + fetch ``ptr`` and fill slot ``index``.
+
+        Shared by the Produce pipeline and LIMA.  The slot index is the
+        memory transaction ID, so out-of-order DRAM responses land in the
+        right place and the queue still delivers in program order.
+        """
+        yield from self._inflight.acquire()
+        try:
+            queue.ptr_fetches += 1
+            self.stats.observe("fetch_mlp", self._inflight.in_use)
+            paddr = yield from self.mmu.translate(ptr)
+            if via_llc:
+                data = yield from self._memsys.load_llc(paddr)
+            else:
+                data = yield from self._memsys.load_dram(paddr)
+        finally:
+            self._inflight.release()
+        queue.fill(index, data)
+
+    def _prefetch_worker(self, ptr: int):
+        """Speculative prefetch: translate and push the line into the LLC."""
+        yield from self._inflight.acquire()
+        try:
+            paddr = yield from self.mmu.translate(ptr)
+        finally:
+            self._inflight.release()
+        self._memsys.prefetch_l2(paddr)

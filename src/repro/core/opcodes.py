@@ -1,0 +1,78 @@
+"""MMIO operation encoding (§3.6, "Extensible").
+
+Each MAPLE instance owns one 4 KB page.  The byte offset of an access
+within that page is re-purposed as an instruction word:
+
+- bits 3..8  (6 bits): operation code — up to 64 load ops and 64 store
+  ops, since the access type (load vs store) selects the opcode space;
+- bits 9..11 (3 bits): queue id — 8 hardware queues per instance.
+
+Accesses are 8-byte aligned, so bits 0..2 are always zero.
+"""
+
+from __future__ import annotations
+
+import enum
+
+OPCODE_SHIFT = 3
+OPCODE_BITS = 6
+QUEUE_SHIFT = OPCODE_SHIFT + OPCODE_BITS  # 9
+QUEUE_BITS = 3
+MAX_OPCODES = 1 << OPCODE_BITS
+MAX_QUEUES = 1 << QUEUE_BITS
+PAGE_MASK = 0xFFF
+
+
+class LoadOp(enum.IntEnum):
+    """Operations carried by MMIO *loads* (the response is the result)."""
+
+    CONSUME = 0           # pop one queue entry
+    CONSUME_PACKED = 1    # pop two 4-byte entries in one 8-byte load (§5.1)
+    OPEN = 2              # bind the queue to the calling thread
+    STAT_PRODUCED = 8     # performance counters (§3.1 "debugging")
+    STAT_CONSUMED = 9
+    STAT_OCCUPANCY = 10
+    STAT_PTR_FETCHES = 11
+    STAT_TLB_MISSES = 12
+    FAULT_VADDR = 13      # driver reads the faulting address (§3.5)
+
+
+class StoreOp(enum.IntEnum):
+    """Operations carried by MMIO *stores* (the payload is the operand)."""
+
+    PRODUCE = 0          # push payload data into the queue
+    PRODUCE_PTR = 1      # push a pointer; MAPLE fetches and fills in order
+    CLOSE = 2            # release the queue binding
+    INIT = 3             # reset all queues (API INIT)
+    PREFETCH = 4         # speculative prefetch of payload pointer into LLC
+    PRODUCE_PTR_LLC = 5  # pointer-produce fetching coherently via the LLC
+                         # (§3.6: DRAM-direct or LLC, chosen by opcode)
+    SET_ROOT = 16        # driver-only: configure the MMU root (satp-like)
+    LIMA_BASE_A = 17     # LIMA configuration registers (§3.4)
+    LIMA_BASE_B = 18
+    LIMA_RANGE = 19      # payload: (lo, hi) index range
+    LIMA_START = 20      # payload: "queue" (non-speculative) or "llc"
+    LIMA_RUN = 21        # payload: (lo, hi, mode) — range + start in one op,
+                         # the single-store form used inside tight loops (Fig. 4)
+
+
+def encode_addr(page_base: int, opcode: int, queue_id: int = 0) -> int:
+    """The MMIO address that performs ``opcode`` on ``queue_id``."""
+    if page_base & PAGE_MASK:
+        raise ValueError(f"page base {page_base:#x} not page aligned")
+    if not 0 <= opcode < MAX_OPCODES:
+        raise ValueError(f"opcode {opcode} out of range")
+    if not 0 <= queue_id < MAX_QUEUES:
+        raise ValueError(f"queue id {queue_id} out of range")
+    return page_base | (queue_id << QUEUE_SHIFT) | (opcode << OPCODE_SHIFT)
+
+
+def decode_offset(offset: int) -> tuple:
+    """(opcode, queue_id) from a byte offset within the MAPLE page."""
+    if not 0 <= offset <= PAGE_MASK:
+        raise ValueError(f"offset {offset:#x} outside the MMIO page")
+    if offset & ((1 << OPCODE_SHIFT) - 1):
+        raise ValueError(f"offset {offset:#x} not 8-byte aligned")
+    opcode = (offset >> OPCODE_SHIFT) & (MAX_OPCODES - 1)
+    queue_id = (offset >> QUEUE_SHIFT) & (MAX_QUEUES - 1)
+    return opcode, queue_id

@@ -1,0 +1,197 @@
+"""Scratchpad-backed circular FIFO hardware queues (§3.1, §3.4).
+
+Each queue supports the reserve / fill / pop discipline the paper's
+Produce pipeline uses: a produce *reserves* the tail slot (its index is
+the memory transaction ID), the DRAM response *fills* that slot whenever
+it arrives, and consumes *pop* strictly from the head — so data is
+delivered in program order even though memory responses return out of
+order.  Back-pressure is structural: reserve blocks while the queue is
+full, pop blocks while the head entry has not arrived ("buffered, not
+polled").
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, List, Optional
+
+from repro.sim import Gate, Semaphore, Simulator
+from repro.sim.stats import ScopedStats
+
+
+class SlotState(enum.Enum):
+    EMPTY = 0
+    RESERVED = 1
+    VALID = 2
+
+
+class QueueError(RuntimeError):
+    """Protocol violation on a hardware queue (a model bug or misuse)."""
+
+
+class HwQueue:
+    """One circular FIFO in the MAPLE scratchpad."""
+
+    def __init__(self, sim: Simulator, queue_id: int, capacity: int,
+                 stats: ScopedStats):
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self._sim = sim
+        self.queue_id = queue_id
+        self.capacity = capacity
+        self._stats = stats
+        self._states: List[SlotState] = [SlotState.EMPTY] * capacity
+        self._values: List[Any] = [None] * capacity
+        self._head = 0
+        self._tail = 0
+        self._occupied = 0  # reserved + valid
+        #: Free-slot pool with strict FIFO handoff: the order reservations
+        #: are granted IS the program order of the queue.
+        self.space = Semaphore(sim, capacity, name=f"q{queue_id}.space")
+        self.ready = Gate(sim, opened=False, name=f"q{queue_id}.ready")
+        self.owner: Optional[str] = None
+        self.produced = 0
+        self.consumed = 0
+        self.ptr_fetches = 0
+
+    # -- state inspection -----------------------------------------------------
+
+    @property
+    def occupied(self) -> int:
+        return self._occupied
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - self._occupied
+
+    def valid_entries(self) -> int:
+        return sum(1 for state in self._states if state is SlotState.VALID)
+
+    def head_ready(self) -> bool:
+        return self._states[self._head] is SlotState.VALID
+
+    # -- produce side ------------------------------------------------------------
+
+    def reserve(self):
+        """Generator: claim the tail slot, blocking while full.
+
+        Returns the slot index — the transaction ID for the memory fetch.
+        Reservations are granted strictly in request order (FIFO handoff),
+        since the grant order defines the queue's program order.
+        """
+        yield from self.space.acquire()
+        return self._alloc()
+
+    def try_reserve(self) -> Optional[int]:
+        if not self.space.try_acquire():
+            return None
+        return self._alloc()
+
+    def _alloc(self) -> int:
+        if self._occupied >= self.capacity:
+            raise QueueError(f"queue {self.queue_id} reserve past capacity")
+        index = self._tail
+        self._states[index] = SlotState.RESERVED
+        self._tail = (self._tail + 1) % self.capacity
+        self._occupied += 1
+        self._stats.observe("occupancy", self._occupied)
+        return index
+
+    def fill(self, index: int, value: Any) -> None:
+        """Complete a reserved slot with its data (out-of-order safe)."""
+        if self._states[index] is not SlotState.RESERVED:
+            raise QueueError(
+                f"queue {self.queue_id} fill of slot {index} in state "
+                f"{self._states[index].name}"
+            )
+        self._states[index] = SlotState.VALID
+        self._values[index] = value
+        self.produced += 1
+        if index == self._head:
+            self.ready.open()
+
+    # -- consume side ----------------------------------------------------------------
+
+    def pop(self):
+        """Generator: wait for the head entry to be valid, then take it."""
+        while not self.head_ready():
+            # ready may be stale-open from a previous head; resync.
+            if not self.head_ready():
+                self.ready.close()
+            yield from self.ready.wait()
+        value = self._values[self._head]
+        self._states[self._head] = SlotState.EMPTY
+        self._values[self._head] = None
+        self._head = (self._head + 1) % self.capacity
+        self._occupied -= 1
+        self.consumed += 1
+        self.space.release()
+        if not self.head_ready():
+            self.ready.close()
+        return value
+
+    def try_pop(self) -> Optional[Any]:
+        if not self.head_ready():
+            return None
+        # Delegate to pop()'s body without blocking: head is ready, so the
+        # generator completes synchronously.
+        gen = self.pop()
+        try:
+            next(gen)
+        except StopIteration as stop:
+            return stop.value
+        raise QueueError("pop blocked despite head_ready")  # pragma: no cover
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def reset(self) -> None:
+        if any(state is SlotState.RESERVED for state in self._states):
+            raise QueueError(
+                f"queue {self.queue_id} reset with in-flight fetches"
+            )
+        self._states = [SlotState.EMPTY] * self.capacity
+        self._values = [None] * self.capacity
+        self._head = self._tail = 0
+        self._occupied = 0
+        self.space = Semaphore(self._sim, self.capacity,
+                               name=f"q{self.queue_id}.space")
+        self.ready.close()
+        self.owner = None
+
+    def __repr__(self) -> str:
+        return (
+            f"<HwQueue {self.queue_id} {self.valid_entries()}v/"
+            f"{self._occupied}o/{self.capacity}>"
+        )
+
+
+class Scratchpad:
+    """The shared SRAM hosting all queues of one MAPLE instance (§3.4).
+
+    The geometry mirrors the tapeout: ``scratchpad_bytes`` split evenly
+    across ``num_queues`` queues of ``entry_bytes`` entries (1 KB / 8
+    queues / 4 B = 32 entries, §5.3).
+    """
+
+    def __init__(self, sim: Simulator, scratchpad_bytes: int, num_queues: int,
+                 entry_bytes: int, stats: ScopedStats):
+        if scratchpad_bytes % (num_queues * entry_bytes):
+            raise ValueError("scratchpad does not divide into equal queues")
+        self.bytes = scratchpad_bytes
+        self.entry_bytes = entry_bytes
+        entries = scratchpad_bytes // num_queues // entry_bytes
+        self.queues: List[HwQueue] = [
+            HwQueue(sim, queue_id, entries, stats) for queue_id in range(num_queues)
+        ]
+
+    def queue(self, queue_id: int) -> HwQueue:
+        if not 0 <= queue_id < len(self.queues):
+            raise KeyError(f"queue id {queue_id} out of range")
+        return self.queues[queue_id]
+
+    def reset_all(self) -> None:
+        for queue in self.queues:
+            queue.reset()
+
+    def __len__(self) -> int:
+        return len(self.queues)

@@ -1,0 +1,80 @@
+"""Table 1: classification of prior IMA-latency-mitigation techniques.
+
+The paper scores four decades of prior work against the four features
+that make a technique practical to adopt in an SoC: unmodified cores,
+unmodified ISA, compatibility with simple (in-order, area-efficient)
+cores, and being a hardware-software co-design that can exploit program
+knowledge.  MAPLE is the only row satisfying all four.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+FEATURES = (
+    "unmodified_cores",
+    "unmodified_isa",
+    "simple_cores",
+    "hw_sw_codesign",
+)
+
+FEATURE_TITLES = {
+    "unmodified_cores": "Unmodif. Cores",
+    "unmodified_isa": "Unmodif. ISA",
+    "simple_cores": "Simple Cores",
+    "hw_sw_codesign": "HW-SW Co-design",
+}
+
+
+@dataclass(frozen=True)
+class TechniqueRow:
+    name: str
+    citation: str
+    unmodified_cores: bool
+    unmodified_isa: bool
+    simple_cores: bool
+    hw_sw_codesign: bool
+
+    def feature(self, key: str) -> bool:
+        return getattr(self, key)
+
+    def satisfies_all(self) -> bool:
+        return all(self.feature(key) for key in FEATURES)
+
+
+#: Table 1, row for row (checkmark pattern from the paper).
+TABLE1: Tuple[TechniqueRow, ...] = (
+    TechniqueRow("HW DAE", "[21, 36, 49]", False, False, True, True),
+    TechniqueRow("DeSC/MTDCAE", "[22, 55]", False, False, True, True),
+    TechniqueRow("SW Pre-execution", "[35]", False, False, False, True),
+    TechniqueRow("Triggered inst.", "[43]", False, False, True, True),
+    TechniqueRow("Slipstream", "[52, 54]", False, True, True, False),
+    TechniqueRow("HW Prefetching", "[9]", False, True, True, False),
+    TechniqueRow("Graph Pref, IMP", "[1, 62]", False, True, True, False),
+    TechniqueRow("Programmable Pref.", "[3]", False, False, True, True),
+    TechniqueRow("DSWP", "[45]", False, False, False, True),
+    TechniqueRow("Outrider", "[15]", False, False, False, True),
+    TechniqueRow("Clairvoyance", "[58]", True, True, False, False),
+    TechniqueRow("SWOOP", "[59]", False, True, True, True),
+    TechniqueRow("MAD", "[24]", False, True, True, True),
+    TechniqueRow("Pipette", "[41]", False, False, False, True),
+    TechniqueRow("Prodigy", "[56]", False, True, True, True),
+    TechniqueRow("MAPLE", "(this work)", True, True, True, True),
+)
+
+
+def render_table1() -> str:
+    """The taxonomy as fixed-width text, one line per technique."""
+    header = f"{'Technique':22s} " + " ".join(
+        f"{FEATURE_TITLES[key]:>16s}" for key in FEATURES)
+    lines = [header, "-" * len(header)]
+    for row in TABLE1:
+        marks = " ".join(
+            f"{'yes' if row.feature(key) else 'no':>16s}" for key in FEATURES)
+        lines.append(f"{row.name:22s} {marks}")
+    return "\n".join(lines)
+
+
+def techniques_satisfying_all() -> List[str]:
+    return [row.name for row in TABLE1 if row.satisfies_all()]

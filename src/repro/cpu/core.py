@@ -1,0 +1,168 @@
+"""The single-issue in-order core timing model.
+
+One instruction at a time, blocking memory operations — the Ariane-class
+baseline of Tables 2/3 (instruction window / ROB of 1).  The core owns a
+16-entry TLB and a hardware page-table walker; faults trap into the OS and
+retry.  Per-core statistics feed Figs. 10 (load counts) and 11 (average
+load latency): every load-class instruction, including MMIO consumes from
+MAPLE, lands in the same counters, exactly as the paper's hardware
+counters measure.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.cpu.isa import Alu, Amo, Load, Prefetch, Store, Sync
+from repro.mem.hierarchy import MemorySystem
+from repro.params import SoCConfig
+from repro.sim import Semaphore, Simulator
+from repro.sim.stats import Stats
+from repro.vm.os_model import AddressSpace, SimOS
+from repro.vm.ptw import PageTableWalker, TranslationFault
+from repro.vm.tlb import Tlb
+
+
+class Thread:
+    """A software thread: a program generator bound to an address space."""
+
+    def __init__(self, program: Generator, aspace: AddressSpace, name: str = "thread"):
+        self.program = program
+        self.aspace = aspace
+        self.name = name
+
+
+class Core:
+    """One in-order core at a mesh tile."""
+
+    def __init__(self, core_id: int, tile_id: int, sim: Simulator,
+                 memsys: MemorySystem, os: SimOS, config: SoCConfig,
+                 stats: Stats):
+        self.core_id = core_id
+        self.tile_id = tile_id
+        self._sim = sim
+        self._memsys = memsys
+        self._os = os
+        self.config = config
+        self.stats = stats.scoped(f"core{core_id}")
+        self.tlb = Tlb(config.core_tlb_entries, self.stats, name=f"tlb{core_id}")
+        self._ptw = PageTableWalker(memsys, self.stats, name=f"ptw{core_id}")
+        #: Outstanding-L1-miss budget shared by demand loads and software
+        #: prefetches (Ariane's blocking cache: 1).
+        self._mshrs = Semaphore(sim, config.core_mshrs, name=f"mshr{core_id}")
+        self._store_buffer = Semaphore(sim, config.store_buffer_entries,
+                                       name=f"stb{core_id}")
+        os.register_tlb(self.tlb)
+
+    def run(self, thread: Thread):
+        """Spawn the thread on this core; returns the sim Process handle."""
+        return self._sim.spawn(self._execute(thread), name=f"core{self.core_id}.{thread.name}")
+
+    # -- execution loop ------------------------------------------------------
+
+    def _execute(self, thread: Thread):
+        program = thread.program
+        to_send = None
+        while True:
+            try:
+                inst = program.send(to_send)
+            except StopIteration as stop:
+                return stop.value
+            to_send = yield from self._perform(inst, thread.aspace)
+
+    def _perform(self, inst, aspace: AddressSpace):
+        if isinstance(inst, int) or hasattr(inst, "_add_waiter") or hasattr(inst, "_add_joiner"):
+            # A raw simulation wait (delay / Signal / Process join) from a
+            # hardware-model backend the thread is blocked on: the core
+            # stalls until it resolves. Not an architectural instruction.
+            result = yield inst
+            return result
+        self.stats.bump("instructions")
+        if isinstance(inst, Alu):
+            self.stats.bump("alu_ops")
+            yield inst.cycles
+            return None
+        if isinstance(inst, Load):
+            return (yield from self._do_load(inst.vaddr, aspace))
+        if isinstance(inst, Store):
+            self.stats.bump("stores")
+            paddr = yield from self._translate(aspace, inst.vaddr)
+            if self._memsys.is_mmio(paddr):
+                # MMIO stores (MAPLE produces) are synchronous: the store
+                # retires only once the device acknowledges it (§3.6).
+                yield from self._memsys.store(self.core_id, paddr, inst.value)
+                return None
+            # Ordinary stores retire into the store buffer: the value is
+            # architecturally visible now; cache/coherence work completes
+            # in the background, stalling only when the buffer is full.
+            self._memsys.mem.write_word(paddr, inst.value)
+            yield from self._store_buffer.acquire()
+            self._sim.spawn(self._drain_store(paddr, inst.value),
+                            name=f"core{self.core_id}.stb")
+            yield 1
+            return None
+        if isinstance(inst, Prefetch):
+            self.stats.bump("prefetches")
+            paddr = yield from self._translate(aspace, inst.vaddr)
+            self._sim.spawn(self._prefetch_through_mshr(paddr),
+                            name=f"core{self.core_id}.prefetch")
+            yield 1  # issue slot
+            return None
+        if isinstance(inst, Amo):
+            self.stats.bump("amos")
+            paddr = yield from self._translate(aspace, inst.vaddr)
+            old = yield from self._memsys.amo(self.core_id, paddr, inst.op)
+            return old
+        if isinstance(inst, Sync):
+            self.stats.bump("syncs")
+            yield from inst.barrier.wait()
+            return None
+        raise TypeError(f"core {self.core_id}: unknown instruction {inst!r}")
+
+    def _do_load(self, vaddr: int, aspace: AddressSpace):
+        self.stats.bump("loads")
+        start = self._sim.now
+        paddr = yield from self._translate(aspace, vaddr)
+        if (self._memsys._mmio_region(paddr) is None
+                and not self._memsys.l1_would_hit(self.core_id, paddr)):
+            # A demand miss takes an MSHR — and waits if software
+            # prefetches already occupy them (the blocking-cache effect).
+            yield from self._mshrs.acquire()
+            try:
+                value = yield from self._memsys.load(self.core_id, paddr)
+            finally:
+                self._mshrs.release()
+        else:
+            value = yield from self._memsys.load(self.core_id, paddr)
+        self.stats.observe("load_latency", self._sim.now - start)
+        return value
+
+    def _drain_store(self, paddr: int, value):
+        try:
+            yield from self._memsys.store(self.core_id, paddr, value,
+                                          apply=False)
+        finally:
+            self._store_buffer.release()
+
+    def _prefetch_through_mshr(self, paddr: int):
+        yield from self._mshrs.acquire()
+        try:
+            yield from self._memsys.prefetch_fill(self.core_id, paddr)
+        finally:
+            self._mshrs.release()
+
+    # -- MMU -------------------------------------------------------------------
+
+    def _translate(self, aspace: AddressSpace, vaddr: int):
+        """Generator: TLB hit is free (folded into L1 latency); a miss
+        walks; a fault traps to the OS and retries once."""
+        hit = self.tlb.translate(vaddr)
+        if hit is not None:
+            return hit[0]
+        try:
+            paddr, flags = yield from self._ptw.walk(aspace.root_paddr, vaddr)
+        except TranslationFault:
+            yield from self._os.handle_fault(aspace, vaddr)  # may raise SegFault
+            paddr, flags = yield from self._ptw.walk(aspace.root_paddr, vaddr)
+        self.tlb.insert(vaddr, paddr & ~(self.config.page_size - 1), flags)
+        return paddr

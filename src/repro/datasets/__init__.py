@@ -1,0 +1,35 @@
+"""Datasets for the evaluation workloads (§4.1).
+
+The paper evaluates on SuiteSparse matrices, a Kronecker network, the
+Wikipedia/YouTube/LiveJournal graphs, and synthetic matrices from
+riscv-tests.  Real-world dumps are not redistributable here, so this
+package provides *seeded, deterministic surrogates* with the property the
+experiments actually depend on: irregularly-indexed working sets much
+larger than the L1/L2, so indirect accesses defeat cache locality.
+Substitutions are documented in DESIGN.md.
+"""
+
+from repro.datasets.graphs import (
+    Graph,
+    livejournal_surrogate,
+    power_law_graph,
+    wikipedia_surrogate,
+    youtube_surrogate,
+)
+from repro.datasets.kronecker import kronecker_graph
+from repro.datasets.sparse import CscMatrix, CsrMatrix, random_csr
+from repro.datasets.synthetic import riscv_tests_matrix, riscv_tests_vector
+
+__all__ = [
+    "CscMatrix",
+    "CsrMatrix",
+    "Graph",
+    "kronecker_graph",
+    "livejournal_surrogate",
+    "power_law_graph",
+    "random_csr",
+    "riscv_tests_matrix",
+    "riscv_tests_vector",
+    "wikipedia_surrogate",
+    "youtube_surrogate",
+]

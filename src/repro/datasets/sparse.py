@@ -1,0 +1,140 @@
+"""Compressed sparse matrix containers (§4.1).
+
+CSR and CSC exactly as the paper describes them: three one-dimensional
+arrays — extents (row/column pointers), indices of non-zeros, and the
+non-zero values.  Dense operands are flat one-dimensional arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+
+@dataclass
+class CsrMatrix:
+    """Compressed Sparse Row: row_ptr[rows+1], col_idx[nnz], values[nnz]."""
+
+    rows: int
+    cols: int
+    row_ptr: np.ndarray
+    col_idx: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.row_ptr = np.asarray(self.row_ptr, dtype=np.int64)
+        self.col_idx = np.asarray(self.col_idx, dtype=np.int64)
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if len(self.row_ptr) != self.rows + 1:
+            raise ValueError("row_ptr must have rows+1 entries")
+        if self.row_ptr[0] != 0 or self.row_ptr[-1] != len(self.col_idx):
+            raise ValueError("row_ptr extents are inconsistent")
+        if np.any(np.diff(self.row_ptr) < 0):
+            raise ValueError("row_ptr must be non-decreasing")
+        if len(self.col_idx) != len(self.values):
+            raise ValueError("col_idx and values must have equal length")
+        if len(self.col_idx) and (self.col_idx.min() < 0
+                                  or self.col_idx.max() >= self.cols):
+            raise ValueError("column index out of range")
+
+    @property
+    def nnz(self) -> int:
+        return len(self.values)
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros((self.rows, self.cols))
+        for row in range(self.rows):
+            for k in range(self.row_ptr[row], self.row_ptr[row + 1]):
+                dense[row, self.col_idx[k]] += self.values[k]
+        return dense
+
+    def row_of_nnz(self) -> np.ndarray:
+        """For each non-zero, the row it belongs to (used by SDHP)."""
+        out = np.empty(self.nnz, dtype=np.int64)
+        for row in range(self.rows):
+            out[self.row_ptr[row]:self.row_ptr[row + 1]] = row
+        return out
+
+    def to_csc(self) -> "CscMatrix":
+        order = np.lexsort((self.row_of_nnz(), self.col_idx))
+        rows_sorted = self.row_of_nnz()[order]
+        vals_sorted = self.values[order]
+        cols_sorted = self.col_idx[order]
+        col_ptr = np.zeros(self.cols + 1, dtype=np.int64)
+        np.add.at(col_ptr, cols_sorted + 1, 1)
+        col_ptr = np.cumsum(col_ptr)
+        return CscMatrix(self.rows, self.cols, col_ptr, rows_sorted, vals_sorted)
+
+    @staticmethod
+    def from_dense(dense: np.ndarray) -> "CsrMatrix":
+        dense = np.asarray(dense)
+        rows, cols = dense.shape
+        row_ptr: List[int] = [0]
+        col_idx: List[int] = []
+        values: List[float] = []
+        for row in range(rows):
+            nz = np.nonzero(dense[row])[0]
+            col_idx.extend(int(c) for c in nz)
+            values.extend(float(v) for v in dense[row, nz])
+            row_ptr.append(len(col_idx))
+        return CsrMatrix(rows, cols, np.array(row_ptr), np.array(col_idx),
+                         np.array(values))
+
+
+@dataclass
+class CscMatrix:
+    """Compressed Sparse Column: col_ptr[cols+1], row_idx[nnz], values[nnz]."""
+
+    rows: int
+    cols: int
+    col_ptr: np.ndarray
+    row_idx: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.col_ptr = np.asarray(self.col_ptr, dtype=np.int64)
+        self.row_idx = np.asarray(self.row_idx, dtype=np.int64)
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if len(self.col_ptr) != self.cols + 1:
+            raise ValueError("col_ptr must have cols+1 entries")
+        if self.col_ptr[0] != 0 or self.col_ptr[-1] != len(self.row_idx):
+            raise ValueError("col_ptr extents are inconsistent")
+        if np.any(np.diff(self.col_ptr) < 0):
+            raise ValueError("col_ptr must be non-decreasing")
+        if len(self.row_idx) and (self.row_idx.min() < 0
+                                  or self.row_idx.max() >= self.rows):
+            raise ValueError("row index out of range")
+
+    @property
+    def nnz(self) -> int:
+        return len(self.values)
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros((self.rows, self.cols))
+        for col in range(self.cols):
+            for k in range(self.col_ptr[col], self.col_ptr[col + 1]):
+                dense[self.row_idx[k], col] += self.values[k]
+        return dense
+
+
+def random_csr(rows: int, cols: int, nnz_per_row: int, seed: int) -> CsrMatrix:
+    """A seeded random CSR matrix with ~nnz_per_row non-zeros per row.
+
+    Column indices are uniform (maximally cache-averse for the dense
+    operand, which is what makes SDHP/SPMV IMA-bound).
+    """
+    rng = np.random.default_rng(seed)
+    row_ptr = [0]
+    col_idx: List[int] = []
+    values: List[float] = []
+    for _ in range(rows):
+        count = min(cols, max(1, int(rng.poisson(nnz_per_row))))
+        chosen = rng.choice(cols, size=count, replace=False)
+        chosen.sort()
+        col_idx.extend(int(c) for c in chosen)
+        values.extend(float(v) for v in rng.uniform(0.5, 1.5, size=count))
+        row_ptr.append(len(col_idx))
+    return CsrMatrix(rows, cols, np.array(row_ptr), np.array(col_idx),
+                     np.array(values))

@@ -1,0 +1,29 @@
+"""Synthetic matrices in the style of riscv-tests (§4.1: SPMM and SPMV).
+
+The riscv-tests benchmark inputs are small uniform-random sparse matrices
+with a fixed density; these generators reproduce that recipe with seeds,
+sized so the dense operand exceeds the simulated caches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.sparse import CsrMatrix, random_csr
+
+
+def riscv_tests_matrix(rows: int = 256, cols: int = 16384, nnz_per_row: int = 8,
+                       seed: int = 7) -> CsrMatrix:
+    """A uniform-random CSR matrix as used for the SPMV/SPMM runs.
+
+    The default 16384 columns make the dense multiplicand 128 KB — twice
+    the 64 KB L2 and sixteen times the 8 KB L1, so the `x[col_idx[k]]`
+    gathers miss all the way to DRAM.
+    """
+    return random_csr(rows, cols, nnz_per_row, seed)
+
+
+def riscv_tests_vector(length: int = 16384, seed: int = 11) -> np.ndarray:
+    """The dense multiplicand vector (values in [1, 2))."""
+    rng = np.random.default_rng(seed)
+    return rng.uniform(1.0, 2.0, size=length)

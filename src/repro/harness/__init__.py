@@ -1,0 +1,18 @@
+"""Evaluation harness: experiment runner and figure/table regenerators.
+
+:mod:`repro.harness.techniques` runs one (workload, technique) cell —
+building a fresh SoC, compiling/slicing the kernel, wiring MAPLE or a
+baseline, executing, and validating results against the reference.
+:mod:`repro.harness.figures` composes cells into every figure of the
+paper's evaluation; :mod:`repro.harness.tables` renders the three tables.
+"""
+
+from repro.harness.techniques import (
+    ExperimentResult,
+    HARNESS_TECHNIQUES,
+    run_workload,
+)
+from repro.harness import figures, tables
+
+__all__ = ["ExperimentResult", "HARNESS_TECHNIQUES", "figures", "run_workload",
+           "tables"]

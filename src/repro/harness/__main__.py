@@ -1,0 +1,81 @@
+"""Command-line figure/table regenerator.
+
+Usage::
+
+    python -m repro.harness fig8
+    python -m repro.harness fig12 --scale 1
+    python -m repro.harness fig14 table1 table2 table3 area
+    python -m repro.harness all          # everything (several minutes)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness import figures, tables
+
+_TARGETS = ("fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+            "fig15", "queue-sweep", "area", "table1", "table2", "table3")
+
+
+def _render(target: str, scale: int) -> str:
+    if target == "fig8":
+        return figures.fig8(scale=scale).render()
+    if target in ("fig9", "fig10", "fig11"):
+        trio = figures.prefetch_study(scale=scale)
+        index = {"fig9": 0, "fig10": 1, "fig11": 2}[target]
+        return trio[index].render()
+    if target == "fig12":
+        return figures.fig12(scale=scale).render()
+    if target == "fig13":
+        return figures.fig13(scale=scale).render()
+    if target == "fig14":
+        return figures.fig14().render()
+    if target == "fig15":
+        return figures.fig15(scale=scale).render()
+    if target == "queue-sweep":
+        return figures.queue_sweep(scale=scale).render()
+    if target == "area":
+        report = figures.area_analysis()
+        lines = ["area analysis (12 nm model, §5.4)"]
+        lines += [f"  {name:35s} {mm2:8.4f} mm^2" for name, mm2 in report.rows()]
+        lines.append(f"  overhead vs served cores: "
+                     f"{report.overhead_fraction * 100:.2f}%")
+        return "\n".join(lines)
+    if target == "table1":
+        return tables.table1()
+    if target == "table2":
+        return tables.table2()
+    if target == "table3":
+        return tables.table3()
+    raise ValueError(f"unknown target {target!r}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate tables/figures of the MAPLE evaluation.")
+    parser.add_argument("targets", nargs="+",
+                        help=f"one of {', '.join(_TARGETS)}, or 'all'")
+    parser.add_argument("--scale", type=int, default=1,
+                        help="dataset scale factor (default 1)")
+    args = parser.parse_args(argv)
+
+    targets = list(args.targets)
+    if targets == ["all"]:
+        targets = list(_TARGETS)
+    unknown = [t for t in targets if t not in _TARGETS]
+    if unknown:
+        parser.error(f"unknown target(s): {', '.join(unknown)}")
+
+    for target in targets:
+        start = time.time()
+        print(_render(target, args.scale))
+        print(f"[{target}: {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

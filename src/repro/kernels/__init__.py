@@ -1,0 +1,35 @@
+"""The paper's evaluation workloads (§4.1).
+
+SDHP, SPMV, and SPMM are expressed in the compiler IR and go through the
+full slicing/lowering pipeline; BFS is level-orchestrated — an outer
+driver (also fully timed) invokes a per-level IR kernel, swaps frontier
+buffers, and synchronizes at epoch barriers, mirroring how the paper's
+FPGA runs sliced BFS manually.
+
+Each workload provides seeded datasets, a numpy/pure-Python reference
+implementation, array binding into a simulated address space, and a
+result check that reads the simulated memory back.
+"""
+
+from repro.kernels.base import LoopWorkload, WorkloadBinding
+from repro.kernels.bfs import BfsWorkload
+from repro.kernels.sdhp import SdhpWorkload
+from repro.kernels.spmm import SpmmWorkload
+from repro.kernels.spmv import SpmvWorkload
+
+ALL_WORKLOADS = {
+    "sdhp": SdhpWorkload,
+    "spmm": SpmmWorkload,
+    "spmv": SpmvWorkload,
+    "bfs": BfsWorkload,
+}
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "BfsWorkload",
+    "LoopWorkload",
+    "SdhpWorkload",
+    "SpmmWorkload",
+    "SpmvWorkload",
+    "WorkloadBinding",
+]

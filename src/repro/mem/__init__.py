@@ -1,0 +1,16 @@
+"""Memory substrate: physical memory, DRAM channel, caches, hierarchy.
+
+The hierarchy is functional + timed: data always lives in the flat
+:class:`~repro.mem.backing.PhysicalMemory` (so values are always current),
+while the caches track only tags/LRU/dirty state and charge latencies.
+This "write-through functional, write-back timing" split makes the model
+immune to data-coherence bugs while still reproducing miss costs, cache
+thrashing, and invalidation ping-pong.
+"""
+
+from repro.mem.backing import PhysicalMemory
+from repro.mem.cache import Cache
+from repro.mem.dram import DramChannel
+from repro.mem.hierarchy import MemorySystem, MMIORegion
+
+__all__ = ["Cache", "DramChannel", "MemorySystem", "MMIORegion", "PhysicalMemory"]

@@ -1,0 +1,49 @@
+"""Flat word-granular physical memory.
+
+The simulation stores data at 8-byte word granularity: every array element
+occupies one word regardless of its declared C width (the paper's 4-byte
+packing optimization is modeled at the MAPLE queue level, where it actually
+lives — see :meth:`repro.core.api.MapleQueueHandle.consume_packed`).
+Uninitialized reads return zero, like zero-filled pages from an OS.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+
+WORD_BYTES = 8
+
+
+class PhysicalMemory:
+    """Sparse backing store: byte address (8-aligned) -> Python value."""
+
+    def __init__(self) -> None:
+        self._words: Dict[int, Any] = {}
+
+    def read_word(self, paddr: int) -> Any:
+        self._check(paddr)
+        return self._words.get(paddr, 0)
+
+    def write_word(self, paddr: int, value: Any) -> None:
+        self._check(paddr)
+        self._words[paddr] = value
+
+    def read_line(self, line_addr: int, line_size: int) -> list:
+        """All words of a cache line, in address order (used by LIMA)."""
+        if line_addr % line_size:
+            raise ValueError(f"line address {line_addr:#x} not {line_size}-aligned")
+        return [
+            self._words.get(line_addr + off, 0)
+            for off in range(0, line_size, WORD_BYTES)
+        ]
+
+    def words_in_use(self) -> int:
+        return len(self._words)
+
+    @staticmethod
+    def _check(paddr: int) -> None:
+        if paddr < 0:
+            raise ValueError(f"negative physical address {paddr:#x}")
+        if paddr % WORD_BYTES:
+            raise ValueError(f"unaligned word access at {paddr:#x}")

@@ -1,0 +1,112 @@
+"""Set-associative cache with true-LRU replacement.
+
+The cache is a tag store only: it answers "is this line present, and what
+gets evicted if I insert?".  Data stays in :class:`PhysicalMemory`.  This is
+exactly the state the paper's effects depend on — software prefetching
+thrashes the 8 KB L1 because prefetched lines evict live ones, which this
+structure reproduces faithfully.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass
+class EvictedLine:
+    """What :meth:`Cache.insert` displaced."""
+
+    line: int
+    dirty: bool
+
+
+class Cache:
+    """Tags + LRU + dirty bits for a size/ways/line_size geometry."""
+
+    def __init__(self, size: int, ways: int, line_size: int, name: str = "cache"):
+        if size % (ways * line_size):
+            raise ValueError(f"{name}: size {size} not divisible into {ways}-way sets")
+        self.name = name
+        self.size = size
+        self.ways = ways
+        self.line_size = line_size
+        self.num_sets = size // (ways * line_size)
+        self._line_shift = line_size.bit_length() - 1
+        # Each set maps line -> dirty flag; OrderedDict order is LRU order
+        # (least recent first).
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
+
+    def _set_for(self, line: int) -> OrderedDict:
+        # ``line`` is a line-aligned byte address; the set index comes from
+        # the bits just above the offset, as in real tag arrays.
+        return self._sets[(line >> self._line_shift) % self.num_sets]
+
+    def lookup(self, line: int) -> bool:
+        """Probe for a line; a hit refreshes its LRU position."""
+        entry = self._set_for(line)
+        if line in entry:
+            entry.move_to_end(line)
+            return True
+        return False
+
+    def contains(self, line: int) -> bool:
+        """Probe without disturbing LRU state (for assertions/snoops)."""
+        return line in self._set_for(line)
+
+    def insert(self, line: int, dirty: bool = False) -> Optional[EvictedLine]:
+        """Install a line, returning the victim if the set was full.
+
+        Inserting a line that is already present refreshes LRU and merges
+        the dirty bit (a fill never cleans a dirty line).
+        """
+        entry = self._set_for(line)
+        if line in entry:
+            entry[line] = entry[line] or dirty
+            entry.move_to_end(line)
+            return None
+        victim = None
+        if len(entry) >= self.ways:
+            victim_line, victim_dirty = entry.popitem(last=False)
+            victim = EvictedLine(victim_line, victim_dirty)
+        entry[line] = dirty
+        return victim
+
+    def mark_dirty(self, line: int) -> None:
+        entry = self._set_for(line)
+        if line not in entry:
+            raise KeyError(f"{self.name}: cannot dirty absent line {line:#x}")
+        entry[line] = True
+
+    def clean(self, line: int) -> None:
+        """Clear the dirty bit (coherence downgrade to shared-clean)."""
+        entry = self._set_for(line)
+        if line not in entry:
+            raise KeyError(f"{self.name}: cannot clean absent line {line:#x}")
+        entry[line] = False
+
+    def is_dirty(self, line: int) -> bool:
+        entry = self._set_for(line)
+        return entry.get(line, False)
+
+    def invalidate(self, line: int) -> bool:
+        """Drop a line (coherence invalidation). True if it was present."""
+        entry = self._set_for(line)
+        return entry.pop(line, None) is not None
+
+    def flush(self) -> None:
+        for entry in self._sets:
+            entry.clear()
+
+    def occupancy(self) -> int:
+        return sum(len(entry) for entry in self._sets)
+
+    def resident_lines(self) -> List[int]:
+        return [line for entry in self._sets for line in entry]
+
+    def __repr__(self) -> str:
+        return (
+            f"<Cache {self.name} {self.size}B {self.ways}-way "
+            f"{self.num_sets} sets, {self.occupancy()} lines resident>"
+        )

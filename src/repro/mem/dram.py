@@ -1,0 +1,44 @@
+"""DRAM channel model: fixed latency, bounded concurrency.
+
+Table 2/3 give a 300-cycle access latency; memory-level parallelism is
+bounded by the number of in-flight requests the channel sustains
+(``dram_max_inflight``), which stands in for banks/queues/bandwidth.  MAPLE's
+whole value proposition is keeping many of these slots busy at once while an
+in-order core can keep only one.
+"""
+
+from __future__ import annotations
+
+from repro.sim import Semaphore, Simulator
+from repro.sim.stats import ScopedStats
+
+
+class DramChannel:
+    """A shared memory channel every line fill goes through."""
+
+    def __init__(self, sim: Simulator, latency: int, max_inflight: int,
+                 stats: ScopedStats):
+        if latency < 1:
+            raise ValueError("DRAM latency must be positive")
+        self._sim = sim
+        self.latency = latency
+        self._slots = Semaphore(sim, max_inflight, name="dram.slots")
+        self._stats = stats
+
+    @property
+    def inflight(self) -> int:
+        return self._slots.in_use
+
+    def access(self, line_addr: int, write: bool = False):
+        """Generator: one line-sized DRAM transaction.
+
+        Blocks while the channel is saturated, then waits the access
+        latency.  Reads and writes cost the same (row activation dominates).
+        """
+        yield from self._slots.acquire()
+        self._stats.bump("writes" if write else "reads")
+        self._stats.observe("occupancy", self._slots.in_use)
+        try:
+            yield self.latency
+        finally:
+            self._slots.release()

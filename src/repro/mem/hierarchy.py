@@ -1,0 +1,315 @@
+"""The coherent two-level memory hierarchy (private L1s, shared L2, DRAM).
+
+Timing model (Tables 2/3): L1 hit = 2 cycles, L1-miss-to-L2-hit = +30
+cycles, L2 miss = +300 cycles through the shared DRAM channel.  A
+directory-style sharers map reproduces the coherence costs the paper's
+software baselines suffer: a store to a line other cores hold pays an
+upgrade round trip and invalidates them, and a load of a line dirty in
+another L1 pays a forwarding round trip.  The L2 is inclusive — evicting an
+L2 line kills the L1 copies — matching OpenPiton's L1.5/L2 organization.
+
+Functionally, data lives only in :class:`PhysicalMemory`, so values are
+always current regardless of timing state.
+
+MMIO regions registered with :meth:`MemorySystem.register_mmio` bypass the
+caches entirely; this is how cores reach MAPLE with plain loads and stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.mem.backing import PhysicalMemory
+from repro.mem.cache import Cache
+from repro.mem.dram import DramChannel
+from repro.params import SoCConfig
+from repro.sim import Signal, Simulator
+from repro.sim.stats import Stats
+
+
+@dataclass
+class MMIORegion:
+    """An uncacheable physical range owned by a device.
+
+    ``handler(op, paddr, value, core_id)`` is a generator completing the
+    access with full device timing; its return value answers loads.
+    """
+
+    start: int
+    end: int
+    handler: Callable
+    name: str = "mmio"
+
+    def covers(self, paddr: int) -> bool:
+        return self.start <= paddr < self.end
+
+
+class MemorySystem:
+    """Private L1 per core + shared inclusive L2 + one DRAM channel."""
+
+    def __init__(self, sim: Simulator, config: SoCConfig, stats: Stats):
+        self._sim = sim
+        self.config = config
+        self.stats = stats
+        self.mem = PhysicalMemory()
+        self.dram = DramChannel(
+            sim, config.dram_latency, config.dram_max_inflight, stats.scoped("dram")
+        )
+        self.l2 = Cache(config.l2_size, config.l2_ways, config.line_size, name="l2")
+        self.l1s: Dict[int, Cache] = {}
+        self._sharers: Dict[int, Set[int]] = {}
+        self._l2_inflight: Dict[int, Signal] = {}
+        self._l1_inflight: Dict[Tuple[int, int], Signal] = {}
+        self._mmio: List[MMIORegion] = []
+        self._mmio_floor: Optional[int] = None
+        #: Called as listener(line_addr, was_prefetch) after every L2 fill
+        #: from DRAM.  Memory-side prefetchers (DROPLET) hook here.
+        self.l2_fill_listeners: List[Callable[[int, bool], None]] = []
+        self._l2_prefetching: Set[int] = set()
+
+    # -- construction -------------------------------------------------------
+
+    def add_core(self, core_id: int) -> None:
+        if core_id in self.l1s:
+            raise ValueError(f"core {core_id} already has an L1")
+        cfg = self.config
+        self.l1s[core_id] = Cache(cfg.l1_size, cfg.l1_ways, cfg.line_size,
+                                  name=f"l1.{core_id}")
+
+    def register_mmio(self, region: MMIORegion) -> None:
+        if region.end <= region.start:
+            raise ValueError("empty MMIO region")
+        for existing in self._mmio:
+            if region.start < existing.end and existing.start < region.end:
+                raise ValueError(f"MMIO region {region.name} overlaps {existing.name}")
+        self._mmio.append(region)
+        if self._mmio_floor is None or region.start < self._mmio_floor:
+            self._mmio_floor = region.start
+
+    def _mmio_region(self, paddr: int) -> Optional[MMIORegion]:
+        if self._mmio_floor is None or paddr < self._mmio_floor:
+            return None
+        for region in self._mmio:
+            if region.covers(paddr):
+                return region
+        return None
+
+    def _line_of(self, paddr: int) -> int:
+        return paddr & ~(self.config.line_size - 1)
+
+    # -- core-facing accesses ------------------------------------------------
+
+    def load(self, core_id: int, paddr: int):
+        """Generator: a core's (physically-addressed) load. Returns the value."""
+        region = self._mmio_region(paddr)
+        if region is not None:
+            value = yield from region.handler("load", paddr, None, core_id)
+            return value
+        line = self._line_of(paddr)
+        l1 = self.l1s[core_id]
+        yield self.config.l1_latency
+        if l1.lookup(line):
+            self.stats.bump(f"l1.{core_id}.hits")
+        else:
+            self.stats.bump(f"l1.{core_id}.misses")
+            yield from self._l1_fill(core_id, line)
+        return self.mem.read_word(paddr)
+
+    def store(self, core_id: int, paddr: int, value: Any, apply: bool = True):
+        """Generator: a core's store (write-allocate, write-back).
+
+        ``apply=False`` runs the timing/coherence path only — used by the
+        store-buffer model, which makes the value architecturally visible
+        at issue time and completes the cache work in the background.
+        """
+        region = self._mmio_region(paddr)
+        if region is not None:
+            result = yield from region.handler("store", paddr, value, core_id)
+            return result
+        line = self._line_of(paddr)
+        l1 = self.l1s[core_id]
+        yield self.config.l1_latency
+        if l1.lookup(line):
+            self.stats.bump(f"l1.{core_id}.hits")
+        else:
+            self.stats.bump(f"l1.{core_id}.misses")
+            yield from self._l1_fill(core_id, line)
+        yield from self._upgrade_for_store(core_id, line)
+        if self.l1s[core_id].contains(line):
+            self.l1s[core_id].mark_dirty(line)
+        if apply:
+            self.mem.write_word(paddr, value)
+        return None
+
+    def is_mmio(self, paddr: int) -> bool:
+        return self._mmio_region(paddr) is not None
+
+    def amo(self, core_id: int, paddr: int, op: Callable[[Any], Any]):
+        """Generator: atomic read-modify-write. Returns the old value.
+
+        Atomicity holds because the functional update happens at a single
+        point in simulated time (no yields between read and write).
+        """
+        line = self._line_of(paddr)
+        yield self.config.l1_latency
+        l1 = self.l1s[core_id]
+        if l1.lookup(line):
+            self.stats.bump(f"l1.{core_id}.hits")
+        else:
+            self.stats.bump(f"l1.{core_id}.misses")
+            yield from self._l1_fill(core_id, line)
+        yield from self._upgrade_for_store(core_id, line)
+        old = self.mem.read_word(paddr)
+        self.mem.write_word(paddr, op(old))
+        if self.l1s[core_id].contains(line):
+            self.l1s[core_id].mark_dirty(line)
+        self.stats.bump(f"l1.{core_id}.amos")
+        return old
+
+    def prefetch_fill(self, core_id: int, paddr: int):
+        """Generator: fill a core's L1 for a software prefetch (the core
+        wraps this in its MSHR discipline)."""
+        line = self._line_of(paddr)
+        self.stats.bump(f"l1.{core_id}.prefetches")
+        if not self.l1s[core_id].contains(line):
+            yield from self._l1_fill(core_id, line)
+
+    def prefetch_l1(self, core_id: int, paddr: int) -> None:
+        """Fire-and-forget software prefetch into a core's L1 (unbounded;
+        cores apply their MSHR limit via :meth:`prefetch_fill`)."""
+        self._sim.spawn(self.prefetch_fill(core_id, paddr),
+                        name=f"pf.l1.{core_id}")
+
+    def l1_would_hit(self, core_id: int, paddr: int) -> bool:
+        """Peek whether a load would hit the L1 (no LRU update)."""
+        return self.l1s[core_id].contains(self._line_of(paddr))
+
+    def prefetch_l2(self, paddr: int, on_complete: Optional[Callable[[], None]] = None
+                    ) -> None:
+        """Fire-and-forget prefetch into the shared LLC (LIMA speculative,
+        DROPLET).  ``on_complete`` lets prefetchers track occupancy of
+        their request queues."""
+        line = self._line_of(paddr)
+        self.stats.bump("l2.prefetches")
+
+        def _run():
+            try:
+                if not self.l2.contains(line):
+                    self._l2_prefetching.add(line)
+                    try:
+                        yield from self._ensure_l2(line)
+                    finally:
+                        self._l2_prefetching.discard(line)
+            finally:
+                if on_complete is not None:
+                    on_complete()
+
+        self._sim.spawn(_run(), name="pf.l2")
+
+    # -- device-facing accesses (MAPLE) ---------------------------------------
+
+    def load_llc(self, paddr: int):
+        """Generator: cache-coherent device load through the shared L2."""
+        line = self._line_of(paddr)
+        yield from self._ensure_l2(line)
+        return self.mem.read_word(paddr)
+
+    def load_dram(self, paddr: int):
+        """Generator: non-coherent device load straight from DRAM."""
+        line = self._line_of(paddr)
+        yield from self.dram.access(line)
+        return self.mem.read_word(paddr)
+
+    def load_dram_line(self, line_addr: int):
+        """Generator: one full line from DRAM (LIMA's 64 B chunk fetch)."""
+        yield from self.dram.access(line_addr)
+        return self.mem.read_line(line_addr, self.config.line_size)
+
+    # -- internals ------------------------------------------------------------
+
+    def _l1_fill(self, core_id: int, line: int):
+        key = (core_id, line)
+        pending = self._l1_inflight.get(key)
+        if pending is not None:
+            yield pending
+            return
+        signal = Signal(self._sim, name=f"l1fill.{core_id}.{line:#x}")
+        self._l1_inflight[key] = signal
+        try:
+            yield from self._snoop_dirty_elsewhere(core_id, line)
+            yield from self._ensure_l2(line)
+            victim = self.l1s[core_id].insert(line)
+            if victim is not None:
+                self._drop_sharer(victim.line, core_id)
+                if victim.dirty:
+                    self.stats.bump(f"l1.{core_id}.writebacks")
+            self._sharers.setdefault(line, set()).add(core_id)
+        finally:
+            del self._l1_inflight[key]
+            signal.fire()
+
+    def _snoop_dirty_elsewhere(self, core_id: int, line: int):
+        """If another L1 holds the line dirty, pay a forwarding round trip."""
+        for other in list(self._sharers.get(line, set())):
+            if other != core_id and self.l1s[other].is_dirty(line):
+                yield self.config.l2_latency
+                self.stats.bump("coherence.forwards")
+                # The owner's copy is downgraded to shared-clean — unless
+                # it was evicted/invalidated during the forwarding delay.
+                if self.l1s[other].contains(line):
+                    self.l1s[other].clean(line)
+                break
+
+    def _upgrade_for_store(self, core_id: int, line: int):
+        """Invalidate other sharers before a store (directory upgrade)."""
+        others = self._sharers.get(line, set()) - {core_id}
+        if others:
+            yield self.config.l2_latency
+            # Re-read after the round trip: sharers may have changed.
+            others = self._sharers.get(line, set()) - {core_id}
+            self.stats.bump("coherence.invalidations", len(others))
+            for other in others:
+                self.l1s[other].invalidate(line)
+                self._drop_sharer(line, other)
+
+    def _ensure_l2(self, line: int):
+        if self.l2.lookup(line):
+            yield self.config.l2_latency
+            self.stats.bump("l2.hits")
+            return
+        pending = self._l2_inflight.get(line)
+        if pending is not None:
+            self.stats.bump("l2.merged_misses")
+            yield pending
+            return
+        signal = Signal(self._sim, name=f"l2fill.{line:#x}")
+        self._l2_inflight[line] = signal
+        try:
+            self.stats.bump("l2.misses")
+            yield self.config.l2_latency
+            yield from self.dram.access(line)
+            victim = self.l2.insert(line)
+            if victim is not None:
+                self._evict_l2_victim(victim.line, victim.dirty)
+            was_prefetch = line in self._l2_prefetching
+            for listener in self.l2_fill_listeners:
+                listener(line, was_prefetch)
+        finally:
+            del self._l2_inflight[line]
+            signal.fire()
+
+    def _evict_l2_victim(self, line: int, dirty: bool) -> None:
+        """Inclusive L2: an eviction recalls the line from every L1."""
+        for core_id in self._sharers.pop(line, set()):
+            self.l1s[core_id].invalidate(line)
+            self.stats.bump("coherence.recalls")
+        if dirty:
+            self.stats.bump("l2.writebacks")
+
+    def _drop_sharer(self, line: int, core_id: int) -> None:
+        sharers = self._sharers.get(line)
+        if sharers is not None:
+            sharers.discard(core_id)
+            if not sharers:
+                del self._sharers[line]

@@ -1,0 +1,82 @@
+"""Mesh topology: tile ids, coordinates, and occupants.
+
+Tiles are numbered row-major: tile ``i`` sits at ``(i % cols, i // cols)``.
+Each tile hosts either a core (with its private caches) or a device such as
+a MAPLE instance; the mesh just answers geometric questions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.noc.routing import hop_count
+
+Coord = Tuple[int, int]
+
+
+@dataclass
+class Tile:
+    """One slot in the mesh and what it hosts."""
+
+    tile_id: int
+    coord: Coord
+    occupant: Optional[str] = None  # "core3", "maple0", "memctl", ...
+
+
+class Mesh:
+    """A cols x rows tile grid."""
+
+    def __init__(self, cols: int, rows: int):
+        if cols < 1 or rows < 1:
+            raise ValueError("mesh must be at least 1x1")
+        self.cols = cols
+        self.rows = rows
+        self.tiles: Dict[int, Tile] = {
+            tile_id: Tile(tile_id, (tile_id % cols, tile_id // cols))
+            for tile_id in range(cols * rows)
+        }
+
+    @property
+    def size(self) -> int:
+        return self.cols * self.rows
+
+    def coord_of(self, tile_id: int) -> Coord:
+        return self.tiles[tile_id].coord
+
+    def tile_at(self, coord: Coord) -> Tile:
+        x, y = coord
+        if not (0 <= x < self.cols and 0 <= y < self.rows):
+            raise KeyError(f"coordinate {coord} outside {self.cols}x{self.rows} mesh")
+        return self.tiles[y * self.cols + x]
+
+    def place(self, tile_id: int, occupant: str) -> None:
+        tile = self.tiles[tile_id]
+        if tile.occupant is not None:
+            raise ValueError(f"tile {tile_id} already hosts {tile.occupant}")
+        tile.occupant = occupant
+
+    def find(self, occupant: str) -> int:
+        for tile in self.tiles.values():
+            if tile.occupant == occupant:
+                return tile.tile_id
+        raise KeyError(f"no tile hosts {occupant}")
+
+    def hops(self, src_tile: int, dst_tile: int) -> int:
+        return hop_count(self.coord_of(src_tile), self.coord_of(dst_tile))
+
+    def nearest(self, src_tile: int, prefix: str) -> int:
+        """The closest tile whose occupant name starts with ``prefix``.
+
+        This is the OS placement policy from §5.3: map a thread to the
+        MAPLE instance minimizing round-trip hops.  Ties break on tile id
+        for determinism.
+        """
+        candidates = [
+            tile.tile_id
+            for tile in self.tiles.values()
+            if tile.occupant is not None and tile.occupant.startswith(prefix)
+        ]
+        if not candidates:
+            raise KeyError(f"no tile hosts an occupant matching {prefix!r}")
+        return min(candidates, key=lambda t: (self.hops(src_tile, t), t))

@@ -1,0 +1,65 @@
+"""The three-plane network fabric.
+
+OpenPiton uses three physical NoCs so that requests, responses, and memory
+traffic cannot deadlock each other.  :class:`Network.transfer` charges
+encode + hops + decode cycles and records per-plane statistics; an optional
+``latency_override`` supports the Fig. 15 sensitivity sweep, where the
+core-to-MAPLE latency is varied as a free parameter.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.noc.mesh import Mesh
+from repro.noc.packet import Packet
+from repro.params import SoCConfig
+from repro.sim import Simulator
+from repro.sim.stats import Stats
+
+
+class Plane(enum.Enum):
+    """The three P-Mesh planes."""
+
+    REQUEST = 1
+    RESPONSE = 2
+    MEMORY = 3
+
+
+class Network:
+    """Latency/statistics model over a :class:`Mesh`."""
+
+    def __init__(self, sim: Simulator, mesh: Mesh, config: SoCConfig, stats: Stats,
+                 hop_latency_override: Optional[int] = None):
+        self._sim = sim
+        self.mesh = mesh
+        self.config = config
+        self._stats = stats
+        self._hop_latency = (
+            config.hop_latency if hop_latency_override is None else hop_latency_override
+        )
+
+    def one_way_latency(self, src_tile: int, dst_tile: int) -> int:
+        """Encode + per-hop + decode cost for one packet."""
+        hops = self.mesh.hops(src_tile, dst_tile)
+        return (
+            self.config.noc_encode_latency
+            + hops * self._hop_latency
+            + self.config.noc_decode_latency
+        )
+
+    def transfer(self, packet: Packet, plane: Plane):
+        """Generator: move a packet across the mesh, charging latency."""
+        latency = self.one_way_latency(packet.src, packet.dst)
+        self._stats.bump(f"noc.{plane.name.lower()}.packets")
+        self._stats.bump(f"noc.{plane.name.lower()}.hops",
+                         self.mesh.hops(packet.src, packet.dst))
+        yield latency
+        return packet
+
+    def round_trip_latency(self, src_tile: int, dst_tile: int) -> int:
+        """Request + response network cost (no endpoint processing)."""
+        return self.one_way_latency(src_tile, dst_tile) + self.one_way_latency(
+            dst_tile, src_tile
+        )

@@ -1,0 +1,28 @@
+"""NoC packet representation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Any
+
+_packet_ids = count()
+
+
+@dataclass
+class Packet:
+    """One message on the mesh.
+
+    ``kind`` is free-form ("mmio_load", "mmio_store", "mem_req", ...);
+    the network only cares about source, destination, and plane, but
+    keeping the kind and payload on the packet makes traces readable.
+    """
+
+    src: int
+    dst: int
+    kind: str
+    payload: Any = None
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __repr__(self) -> str:
+        return f"<Packet #{self.packet_id} {self.kind} {self.src}->{self.dst}>"

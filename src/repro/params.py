@@ -1,0 +1,108 @@
+"""Central SoC configuration, mirroring Tables 2 and 3 of the paper.
+
+Every component takes its structural and timing parameters from a
+:class:`SoCConfig`.  Two presets are provided:
+
+- :data:`FPGA_CONFIG` — the OpenPiton+Ariane FPGA prototype (Table 2),
+- :data:`MOSAIC_CONFIG` — the MosaicSim setup used for the prior-work
+  comparison (Table 3).
+
+The two differ only where the paper's tables differ; both use single-issue
+in-order cores, 8 KB 4-way L1s at 2 cycles, a shared 64 KB 8-way L2 at 30
+cycles, and 300-cycle DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class SoCConfig:
+    """All structural and timing knobs of the simulated SoC."""
+
+    name: str = "openpiton-maple"
+
+    # Cores (Table 2: RISCV64 Ariane, 6-stage in-order, 1 thread/core).
+    num_cores: int = 2
+    issue_width: int = 1
+
+    # Caches. Latencies are load-to-use costs in cycles.
+    line_size: int = 64
+    l1_size: int = 8 * 1024
+    l1_ways: int = 4
+    l1_latency: int = 2
+    l2_size: int = 64 * 1024
+    l2_ways: int = 8
+    l2_latency: int = 30
+    #: Outstanding L1 misses a core sustains (demand + software prefetch).
+    #: Ariane's blocking write-through L1 supports one — which is exactly
+    #: why software prefetching loses on this class of core (§5.1).
+    core_mshrs: int = 1
+    #: Store-buffer depth: ordinary stores retire immediately and complete
+    #: in the background; the core stalls only when the buffer is full.
+    #: MMIO stores (MAPLE produces) bypass it — they are synchronous and
+    #: return once MAPLE acknowledges them (§3.6).
+    store_buffer_entries: int = 8
+
+    # DRAM (Table 2: DDR3, 300-cycle latency; Table 3 adds 68 GB/s).
+    dram_latency: int = 300
+    dram_max_inflight: int = 16
+
+    # NoC: 2D mesh, XY routing (OpenPiton P-Mesh style).
+    mesh_cols: int = 2
+    mesh_rows: int = 2
+    hop_latency: int = 1
+    noc_encode_latency: int = 1
+    noc_decode_latency: int = 1
+    # Private-cache path cost an MMIO request pays before reaching the NoC
+    # (L1 miss handling + L1.5 passthrough; see Fig. 14).
+    mmio_path_latency: int = 8
+
+    # MAPLE (Table 2: 1 instance, 1 KB scratchpad; §5.3/§5.4: 8 queues of
+    # 32 entries x 4 B; 16-entry fully associative TLB, like the cores).
+    maple_instances: int = 1
+    scratchpad_bytes: int = 1024
+    maple_num_queues: int = 8
+    queue_entry_bytes: int = 4
+    maple_tlb_entries: int = 16
+    maple_max_inflight: int = 32
+    maple_pipeline_latency: int = 3
+    produce_buffer_entries: int = 4
+
+    # Virtual memory (Sv39-like three-level pages of 4 KB).
+    page_size: int = 4096
+    core_tlb_entries: int = 16
+
+    def __post_init__(self) -> None:
+        if self.line_size & (self.line_size - 1):
+            raise ValueError("line_size must be a power of two")
+        if self.l1_size % (self.line_size * self.l1_ways):
+            raise ValueError("L1 geometry does not divide into sets")
+        if self.l2_size % (self.line_size * self.l2_ways):
+            raise ValueError("L2 geometry does not divide into sets")
+        if self.page_size % self.line_size:
+            raise ValueError("page_size must be a multiple of line_size")
+        if self.scratchpad_bytes % self.maple_num_queues:
+            raise ValueError("scratchpad must divide evenly across queues")
+
+    @property
+    def queue_entries(self) -> int:
+        """Entries per hardware queue (default 1024/8/4 = 32, per §5.3)."""
+        return self.scratchpad_bytes // self.maple_num_queues // self.queue_entry_bytes
+
+    @property
+    def words_per_line(self) -> int:
+        return self.line_size // 8
+
+    def with_overrides(self, **kwargs) -> "SoCConfig":
+        """A copy with some fields replaced (used by sensitivity sweeps)."""
+        return replace(self, **kwargs)
+
+
+#: Table 2 — the FPGA-emulated SoC prototype.
+FPGA_CONFIG = SoCConfig(name="fpga-openpiton")
+
+#: Table 3 — the MosaicSim model used against DeSC and DROPLET.
+MOSAIC_CONFIG = SoCConfig(name="mosaicsim", dram_max_inflight=32)

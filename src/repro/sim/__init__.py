@@ -1,0 +1,26 @@
+"""Discrete-event simulation kernel.
+
+Every hardware component in the reproduction (cores, caches, NoC routers,
+DRAM, MAPLE pipelines) is modeled as one or more *processes*: Python
+generators driven by a :class:`~repro.sim.engine.Simulator`.  A process
+yields either an integer (advance that many cycles), a
+:class:`~repro.sim.signal.Signal` (block until it fires), or another
+process handle (join).  This mirrors how RTL blocks wait on clocks and
+handshakes while staying pure Python.
+"""
+
+from repro.sim.engine import Process, Simulator
+from repro.sim.signal import Barrier, Gate, Semaphore, Signal
+from repro.sim.stats import Histogram, Stats, geomean
+
+__all__ = [
+    "Barrier",
+    "Gate",
+    "Histogram",
+    "Process",
+    "Semaphore",
+    "Signal",
+    "Simulator",
+    "Stats",
+    "geomean",
+]

@@ -1,0 +1,151 @@
+"""The discrete-event simulator core.
+
+The engine keeps a priority queue of (time, sequence, callback) entries and a
+notion of *processes*.  A process wraps a generator; whatever the generator
+yields decides when it is resumed:
+
+``int``
+    Resume after that many cycles (0 is legal: resume later this cycle).
+``Signal``
+    Resume when the signal fires; ``gen.send()`` receives the fired value.
+``Process``
+    Resume when that process finishes (join); receives its return value.
+
+Exceptions raised inside a process propagate out of :meth:`Simulator.run`,
+so a broken model fails loudly instead of silently dropping events.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation engine (bad yields, deadlock)."""
+
+
+class Process:
+    """Handle for a spawned generator process.
+
+    The handle doubles as a join target: other processes can ``yield proc``
+    to wait for completion, and :attr:`result` carries the generator's
+    return value afterwards.
+    """
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = "proc"):
+        self._sim = sim
+        self._gen = gen
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+        self._joiners: list[Process] = []
+
+    def __repr__(self) -> str:
+        state = "done" if self.finished else "running"
+        return f"<Process {self.name} {state}>"
+
+    def _add_joiner(self, proc: "Process") -> None:
+        if self.finished:
+            raise SimulationError("joining a finished process must be immediate")
+        self._joiners.append(proc)
+
+    def _finish(self, result: Any) -> None:
+        self.finished = True
+        self.result = result
+        joiners, self._joiners = self._joiners, []
+        for joiner in joiners:
+            self._sim._resume(joiner, result)
+
+
+class Simulator:
+    """Cycle-accurate event loop.
+
+    Time is an integer cycle count.  All scheduling is deterministic: events
+    at the same cycle run in insertion order (a monotonically increasing
+    sequence number breaks ties), so simulations are exactly reproducible.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._seq = 0
+        self._queue: list[tuple[int, int, Callable[[], None]]] = []
+        self._live_processes = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        return self._now
+
+    @property
+    def live_processes(self) -> int:
+        """Number of spawned processes that have not finished."""
+        return self._live_processes
+
+    def schedule(self, delay: int, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` cycles (0 = later this cycle)."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, self._seq, callback))
+        self._seq += 1
+
+    def spawn(self, gen: Generator, name: str = "proc") -> Process:
+        """Register a generator as a process and start it this cycle."""
+        proc = Process(self, gen, name)
+        self._live_processes += 1
+        self.schedule(0, lambda: self._step(proc, None))
+        return proc
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Drain the event queue.
+
+        Stops when the queue is empty, when simulated time would pass
+        ``until``, or after ``max_events`` events (a runaway-model backstop).
+        Returns the final simulation time.
+        """
+        events = 0
+        while self._queue:
+            time, _seq, callback = self._queue[0]
+            if until is not None and time > until:
+                self._now = until
+                break
+            heapq.heappop(self._queue)
+            self._now = time
+            callback()
+            events += 1
+            if max_events is not None and events >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events} at cycle {self._now}")
+        return self._now
+
+    # -- process machinery -------------------------------------------------
+
+    def _resume(self, proc: Process, value: Any) -> None:
+        self.schedule(0, lambda: self._step(proc, value))
+
+    def _step(self, proc: Process, value: Any) -> None:
+        try:
+            yielded = proc._gen.send(value)
+        except StopIteration as stop:
+            self._live_processes -= 1
+            proc._finish(stop.value)
+            return
+        self._dispatch(proc, yielded)
+
+    def _dispatch(self, proc: Process, yielded: Any) -> None:
+        if isinstance(yielded, int):
+            self.schedule(yielded, lambda: self._step(proc, None))
+        elif hasattr(yielded, "_add_waiter"):  # Signal-like
+            if yielded.fired:
+                self._resume(proc, yielded.value)
+            else:
+                yielded._add_waiter(proc)
+        elif isinstance(yielded, Process):
+            if yielded.finished:
+                self._resume(proc, yielded.result)
+            else:
+                yielded._add_joiner(proc)
+        else:
+            raise SimulationError(
+                f"process {proc.name} yielded unsupported value {yielded!r}; "
+                "yield an int delay, a Signal, or a Process"
+            )

@@ -1,0 +1,175 @@
+"""Synchronization primitives for simulation processes.
+
+These model the handshake patterns hardware uses: one-shot valid/ready
+events (:class:`Signal`), reusable level-sensitive gates (:class:`Gate`),
+counted resources such as MSHRs or DRAM channel slots (:class:`Semaphore`),
+and thread barriers for OpenMP-style epochs (:class:`Barrier`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.engine import Process, Simulator
+
+
+class Signal:
+    """A one-shot event. Processes yield it to block until :meth:`fire`.
+
+    Firing twice is an error — hardware handshakes complete exactly once,
+    and double-completion is invariably a model bug worth failing on.
+    """
+
+    def __init__(self, sim: "Simulator", name: str = "signal"):
+        self._sim = sim
+        self.name = name
+        self.fired = False
+        self.value: Any = None
+        self._waiters: list["Process"] = []
+
+    def __repr__(self) -> str:
+        state = "fired" if self.fired else "pending"
+        return f"<Signal {self.name} {state}>"
+
+    def _add_waiter(self, proc: "Process") -> None:
+        self._waiters.append(proc)
+
+    def fire(self, value: Any = None) -> None:
+        """Wake every waiter with ``value``."""
+        if self.fired:
+            raise RuntimeError(f"signal {self.name} fired twice")
+        self.fired = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self._sim._resume(proc, value)
+
+
+class Gate:
+    """A reusable open/closed condition.
+
+    ``wait()`` returns a generator to ``yield from``; it passes through
+    immediately while the gate is open and blocks while closed.  Used for
+    queue-not-empty / queue-not-full conditions that toggle repeatedly.
+    """
+
+    def __init__(self, sim: "Simulator", opened: bool = False, name: str = "gate"):
+        self._sim = sim
+        self.name = name
+        self._opened = opened
+        self._pending: list[Signal] = []
+
+    @property
+    def opened(self) -> bool:
+        return self._opened
+
+    def open(self) -> None:
+        self._opened = True
+        pending, self._pending = self._pending, []
+        for signal in pending:
+            signal.fire()
+
+    def close(self) -> None:
+        self._opened = False
+
+    def wait(self):
+        """Generator: block until the gate is (or becomes) open."""
+        while not self._opened:
+            signal = Signal(self._sim, name=f"{self.name}.wait")
+            self._pending.append(signal)
+            yield signal
+
+    def __repr__(self) -> str:
+        state = "open" if self._opened else "closed"
+        return f"<Gate {self.name} {state}>"
+
+
+class Semaphore:
+    """A counted resource with strict FIFO fairness and direct handoff.
+
+    ``release`` hands the unit straight to the oldest waiter (the count is
+    not incremented in between), so a unit can never be "stolen" by a
+    request that arrived later — essential for the MAPLE queue-slot
+    discipline, where reservation order defines program order.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int, name: str = "sem"):
+        if capacity < 1:
+            raise ValueError("semaphore capacity must be >= 1")
+        self._sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._available = capacity
+        self._waiters: deque[Signal] = deque()
+
+    @property
+    def available(self) -> int:
+        return self._available
+
+    @property
+    def in_use(self) -> int:
+        return self.capacity - self._available
+
+    def acquire(self):
+        """Generator: block until a unit is available, then take it.
+
+        Requests are served strictly in arrival order, even when a unit
+        is free at call time (a free unit with waiters present means a
+        handoff is already in flight).
+        """
+        if self._waiters or self._available == 0:
+            signal = Signal(self._sim, name=f"{self.name}.acquire")
+            self._waiters.append(signal)
+            yield signal
+            # The releasing side handed its unit directly to us.
+            return
+        self._available -= 1
+
+    def try_acquire(self) -> bool:
+        """Take a unit without blocking; False if none available (or if
+        earlier requests are still queued)."""
+        if self._waiters or self._available == 0:
+            return False
+        self._available -= 1
+        return True
+
+    def release(self) -> None:
+        if self._waiters:
+            self._waiters.popleft().fire()  # direct handoff
+            return
+        if self._available >= self.capacity:
+            raise RuntimeError(f"semaphore {self.name} released above capacity")
+        self._available += 1
+
+
+class Barrier:
+    """An N-party rendezvous, reusable across epochs (BFS layers, etc.)."""
+
+    def __init__(self, sim: "Simulator", parties: int, name: str = "barrier"):
+        if parties < 1:
+            raise ValueError("barrier needs at least one party")
+        self._sim = sim
+        self.name = name
+        self.parties = parties
+        self._arrived = 0
+        self._generation = Signal(sim, name=f"{name}.gen0")
+        self._epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        """How many times the barrier has released all parties."""
+        return self._epoch
+
+    def wait(self):
+        """Generator: block until all parties have arrived."""
+        self._arrived += 1
+        if self._arrived == self.parties:
+            self._arrived = 0
+            self._epoch += 1
+            released = self._generation
+            self._generation = Signal(self._sim, name=f"{self.name}.gen{self._epoch}")
+            released.fire(self._epoch)
+        else:
+            yield self._generation

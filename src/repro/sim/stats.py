@@ -1,0 +1,119 @@
+"""Statistics collection for simulations and the evaluation harness.
+
+Components register counters and histograms in a shared :class:`Stats`
+registry; the harness reads them to regenerate the paper's figures
+(e.g. load counts for Fig. 10, load-latency averages for Fig. 11).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List
+
+
+class Histogram:
+    """Streaming histogram tracking count / sum / min / max and samples.
+
+    Samples are retained (the runs here are small) so tests can assert on
+    distributions; ``keep_samples=False`` switches to summary-only mode.
+    """
+
+    def __init__(self, keep_samples: bool = True):
+        self.count = 0
+        self.total = 0.0
+        self.min: float = math.inf
+        self.max: float = -math.inf
+        self._keep_samples = keep_samples
+        self.samples: List[float] = []
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if self._keep_samples:
+            self.samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:
+        if not self.count:
+            return "<Histogram empty>"
+        return f"<Histogram n={self.count} mean={self.mean:.2f} min={self.min} max={self.max}>"
+
+
+class Stats:
+    """A flat, namespaced registry of counters and histograms.
+
+    Keys are dotted strings such as ``"core0.loads"`` or
+    ``"maple.produce_ptr"``.  Missing counters read as zero, so reporting
+    code does not need to special-case components that never fired.
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def bump(self, key: str, amount: int = 1) -> None:
+        self.counters[key] = self.counters.get(key, 0) + amount
+
+    def get(self, key: str) -> int:
+        return self.counters.get(key, 0)
+
+    def observe(self, key: str, value: float) -> None:
+        hist = self.histograms.get(key)
+        if hist is None:
+            hist = self.histograms[key] = Histogram()
+        hist.add(value)
+
+    def histogram(self, key: str) -> Histogram:
+        hist = self.histograms.get(key)
+        if hist is None:
+            hist = self.histograms[key] = Histogram()
+        return hist
+
+    def scoped(self, prefix: str) -> "ScopedStats":
+        """A view that prepends ``prefix.`` to every key."""
+        return ScopedStats(self, prefix)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat dict of all counters and histogram means (for reports)."""
+        out: Dict[str, float] = dict(self.counters)
+        for key, hist in self.histograms.items():
+            out[f"{key}.mean"] = hist.mean
+            out[f"{key}.count"] = hist.count
+        return out
+
+
+class ScopedStats:
+    """Prefix view over a :class:`Stats` registry."""
+
+    def __init__(self, stats: Stats, prefix: str):
+        self._stats = stats
+        self._prefix = prefix
+
+    def bump(self, key: str, amount: int = 1) -> None:
+        self._stats.bump(f"{self._prefix}.{key}", amount)
+
+    def get(self, key: str) -> int:
+        return self._stats.get(f"{self._prefix}.{key}")
+
+    def observe(self, key: str, value: float) -> None:
+        self._stats.observe(f"{self._prefix}.{key}", value)
+
+    def histogram(self, key: str) -> Histogram:
+        return self._stats.histogram(f"{self._prefix}.{key}")
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean, as used for every summary number in the paper."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,108 @@
+"""Full-SoC construction and experiment execution helpers."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.driver import MapleDriver
+from repro.core.engine import Maple
+from repro.cpu.core import Core, Thread
+from repro.mem.hierarchy import MemorySystem
+from repro.noc import Mesh, Network
+from repro.params import SoCConfig
+from repro.sim import Barrier, Simulator, Stats
+from repro.vm.alloc import SimArray, alloc_array
+from repro.vm.os_model import AddressSpace, SimOS
+
+
+class Soc:
+    """One simulated SoC instance: build, allocate, run, measure.
+
+    Every experiment constructs a fresh :class:`Soc` so runs are fully
+    isolated and deterministic.  Tile placement is row-major: cores at
+    tiles ``0..num_cores-1``, MAPLE instances right after — so with the
+    default 2x2 mesh, core 0 is one hop from MAPLE 0 and the analytic
+    round trip lands at the paper's ~25 cycles (Fig. 14).
+    """
+
+    def __init__(self, config: Optional[SoCConfig] = None,
+                 hop_latency_override: Optional[int] = None):
+        self.config = config or SoCConfig()
+        cfg = self._fit_mesh(self.config)
+        self.config = cfg
+        self.sim = Simulator()
+        self.stats = Stats()
+        self.memsys = MemorySystem(self.sim, cfg, self.stats)
+        self.os = SimOS(self.sim, self.memsys, cfg)
+        self.mesh = Mesh(cfg.mesh_cols, cfg.mesh_rows)
+        self.network = Network(self.sim, self.mesh, cfg, self.stats,
+                               hop_latency_override=hop_latency_override)
+
+        self.cores: List[Core] = []
+        for core_id in range(cfg.num_cores):
+            tile = core_id
+            self.mesh.place(tile, f"core{core_id}")
+            self.memsys.add_core(core_id)
+            self.cores.append(Core(core_id, tile, self.sim, self.memsys,
+                                   self.os, cfg, self.stats))
+
+        self.maples: List[Maple] = []
+        for instance in range(cfg.maple_instances):
+            tile = cfg.num_cores + instance
+            self.mesh.place(tile, f"maple{instance}")
+            maple = Maple(instance, tile, self.sim, self.memsys, self.network,
+                          cfg, self.stats, mmio_base=SimOS.MMIO_BASE)
+            maple.core_tiles = {core.core_id: core.tile_id for core in self.cores}
+            self.maples.append(maple)
+
+        self.driver = MapleDriver(self.os, self.maples, self.mesh)
+
+    @staticmethod
+    def _fit_mesh(cfg: SoCConfig) -> SoCConfig:
+        """Grow the mesh if the configured one cannot seat every tile."""
+        needed = cfg.num_cores + cfg.maple_instances
+        if cfg.mesh_cols * cfg.mesh_rows >= needed:
+            return cfg
+        cols = max(cfg.mesh_cols, math.ceil(math.sqrt(needed)))
+        rows = math.ceil(needed / cols)
+        return cfg.with_overrides(mesh_cols=cols, mesh_rows=rows)
+
+    # -- process / data setup ---------------------------------------------------
+
+    def new_process(self) -> AddressSpace:
+        return self.os.create_address_space()
+
+    def array(self, aspace: AddressSpace, data_or_length, name: str = "array",
+              lazy: bool = False) -> SimArray:
+        return alloc_array(self.os, aspace, data_or_length, name=name, lazy=lazy)
+
+    def barrier(self, parties: int, name: str = "barrier") -> Barrier:
+        return Barrier(self.sim, parties, name=name)
+
+    # -- execution ------------------------------------------------------------------
+
+    def run_threads(self, assignments: Sequence[Tuple[int, Thread]]) -> int:
+        """Run threads on cores until all finish; returns elapsed cycles.
+
+        ``assignments`` is a list of ``(core_id, Thread)`` pairs; each core
+        takes at most one thread (Tables 2/3: one hardware thread per
+        core).
+        """
+        seen_cores = set()
+        finish: Dict[int, int] = {}
+        for core_id, thread in assignments:
+            if core_id in seen_cores:
+                raise ValueError(f"core {core_id} assigned twice")
+            seen_cores.add(core_id)
+            proc = self.cores[core_id].run(thread)
+
+            def waiter(p=proc, c=core_id):
+                yield p
+                finish[c] = self.sim.now
+
+            self.sim.spawn(waiter(), name=f"join.core{core_id}")
+        self.sim.run()
+        if len(finish) != len(assignments):
+            raise RuntimeError("a thread never finished (deadlock in the model)")
+        return max(finish.values()) if finish else 0

@@ -1,0 +1,120 @@
+"""Radix page tables stored in simulated physical memory.
+
+Page-table entries are 64-bit words following the RISC-V PTE layout
+(V/R/W/U permission bits, PPN starting at bit 10).  Because tables live in
+:class:`~repro.mem.backing.PhysicalMemory`, the hardware walkers in
+:mod:`repro.vm.ptw` produce real memory traffic with real timing — page
+table walks are part of the latency MAPLE must tolerate (§3.5).
+
+This module offers *functional* (zero-time) construction and mutation used
+by the OS; the timed read path is the walker's.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.mem.backing import PhysicalMemory
+from repro.vm.address import ENTRIES_PER_TABLE, PAGE_SHIFT, PAGE_SIZE, vpn_indices
+
+PTE_V = 0x1  # valid
+PTE_R = 0x2  # readable (leaf)
+PTE_W = 0x4  # writable
+PTE_U = 0x8  # user accessible
+_PPN_SHIFT = 10
+
+
+def make_pte(ppn: int, flags: int) -> int:
+    return (ppn << _PPN_SHIFT) | flags
+
+
+def pte_is_valid(pte: int) -> bool:
+    return bool(pte & PTE_V)
+
+
+def pte_is_leaf(pte: int) -> bool:
+    return bool(pte & (PTE_R | PTE_W))
+
+
+def pte_ppn(pte: int) -> int:
+    return pte >> _PPN_SHIFT
+
+
+def pte_flags(pte: int) -> int:
+    return pte & ((1 << _PPN_SHIFT) - 1)
+
+
+class PageTable:
+    """A three-level radix tree rooted at ``root_paddr``.
+
+    ``alloc_frame`` supplies physical frames for intermediate tables.
+    """
+
+    def __init__(self, mem: PhysicalMemory, root_paddr: int,
+                 alloc_frame: Callable[[], int]):
+        if root_paddr % PAGE_SIZE:
+            raise ValueError("page table root must be page aligned")
+        self.mem = mem
+        self.root_paddr = root_paddr
+        self._alloc_frame = alloc_frame
+        self._zero_table(root_paddr)
+
+    def _zero_table(self, table_paddr: int) -> None:
+        for index in range(ENTRIES_PER_TABLE):
+            self.mem.write_word(table_paddr + 8 * index, 0)
+
+    def _entry_addr(self, table_paddr: int, index: int) -> int:
+        return table_paddr + 8 * index
+
+    def map_page(self, vaddr: int, paddr: int, flags: int = PTE_R | PTE_W | PTE_U) -> None:
+        """Install a 4 KB leaf mapping vaddr's page -> paddr's frame."""
+        if paddr % PAGE_SIZE:
+            raise ValueError(f"physical frame {paddr:#x} not page aligned")
+        vpn2, vpn1, vpn0 = vpn_indices(vaddr)
+        table = self.root_paddr
+        for index in (vpn2, vpn1):
+            entry_addr = self._entry_addr(table, index)
+            pte = self.mem.read_word(entry_addr)
+            if not pte_is_valid(pte):
+                next_table = self._alloc_frame()
+                self._zero_table(next_table)
+                self.mem.write_word(entry_addr, make_pte(next_table >> PAGE_SHIFT, PTE_V))
+                table = next_table
+            else:
+                if pte_is_leaf(pte):
+                    raise ValueError("superpage in the middle of a walk")
+                table = pte_ppn(pte) << PAGE_SHIFT
+        leaf_addr = self._entry_addr(table, vpn0)
+        self.mem.write_word(leaf_addr, make_pte(paddr >> PAGE_SHIFT, flags | PTE_V))
+
+    def unmap_page(self, vaddr: int) -> bool:
+        """Remove a leaf mapping. Returns False if it was not mapped."""
+        leaf_addr = self._leaf_entry_addr(vaddr)
+        if leaf_addr is None:
+            return False
+        pte = self.mem.read_word(leaf_addr)
+        if not pte_is_valid(pte):
+            return False
+        self.mem.write_word(leaf_addr, 0)
+        return True
+
+    def lookup(self, vaddr: int) -> Optional[int]:
+        """Functional translation (no timing). None if unmapped."""
+        leaf_addr = self._leaf_entry_addr(vaddr)
+        if leaf_addr is None:
+            return None
+        pte = self.mem.read_word(leaf_addr)
+        if not pte_is_valid(pte) or not pte_is_leaf(pte):
+            return None
+        from repro.vm.address import page_offset
+        return (pte_ppn(pte) << PAGE_SHIFT) | page_offset(vaddr)
+
+    def _leaf_entry_addr(self, vaddr: int) -> Optional[int]:
+        vpn2, vpn1, vpn0 = vpn_indices(vaddr)
+        table = self.root_paddr
+        for index in (vpn2, vpn1):
+            pte = self.mem.read_word(self._entry_addr(table, index))
+            if not pte_is_valid(pte) or pte_is_leaf(pte):
+                return None
+            table = pte_ppn(pte) << PAGE_SHIFT
+        return self._entry_addr(table, vpn0)

@@ -1,0 +1,52 @@
+"""Tests for the CLI figure runner and reporting helpers."""
+
+import pytest
+
+from repro.harness.__main__ import main, _TARGETS, _render
+from repro.harness.figures import FigureResult, Series
+
+
+def test_cli_fast_targets(capsys):
+    assert main(["table1", "table2", "table3", "area", "fig14"]) == 0
+    out = capsys.readouterr().out
+    assert "MAPLE" in out
+    assert "Table 2" in out
+    assert "round-trip" in out
+    assert "overhead vs served cores" in out
+
+
+def test_cli_rejects_unknown_target():
+    with pytest.raises(SystemExit):
+        main(["nonsense"])
+
+
+def test_render_covers_every_target_name():
+    for target in _TARGETS:
+        # Fast targets render here; slow ones only need to be reachable.
+        if target in ("table1", "table2", "table3", "area", "fig14"):
+            assert _render(target, scale=1)
+
+
+def test_render_unknown_target_raises():
+    with pytest.raises(ValueError):
+        _render("fig99", scale=1)
+
+
+def test_figure_result_render_layout():
+    result = FigureResult(
+        "figX", "demo", ("a", "b"),
+        [Series("one", {"a": 1.0, "b": 4.0}),
+         Series("two", {"a": 2.0, "b": 2.0})],
+        notes="hello")
+    text = result.render()
+    assert "figX: demo" in text
+    assert "geomean" in text
+    assert "2.00" in text
+    assert "note: hello" in text
+
+
+def test_figure_result_series_lookup():
+    result = FigureResult("f", "t", ("a",), [Series("s", {"a": 1.0})])
+    assert result.series_by_label("s").values["a"] == 1.0
+    with pytest.raises(KeyError):
+        result.series_by_label("missing")

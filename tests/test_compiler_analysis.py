@@ -1,0 +1,179 @@
+"""Tests for the slicing analysis: depths, terminality, RMW, chains."""
+
+from repro.compiler import analyze
+from repro.compiler.analysis import ADDRESS, BOUND, COND, VALUE
+from repro.compiler.ir import (
+    Bin,
+    ComputeStmt,
+    Const,
+    ForStmt,
+    IfStmt,
+    Kernel,
+    LoadStmt,
+    StoreStmt,
+    Var,
+)
+from repro.kernels.bfs import build_bfs_level_kernel
+from repro.kernels.sdhp import build_sdhp_kernel
+from repro.kernels.spmm import build_spmm_kernel
+from repro.kernels.spmv import build_spmv_kernel
+
+
+def load_by_array(analysis, array, nth=0):
+    found = [info for info in analysis.loads.values()
+             if info.stmt.array == array]
+    return found[nth]
+
+
+# -- depth classification -------------------------------------------------------
+
+def test_spmv_depths():
+    analysis = analyze(build_spmv_kernel())
+    assert load_by_array(analysis, "col_idx").depth == 0
+    assert load_by_array(analysis, "vals").depth == 0
+    assert load_by_array(analysis, "x").depth == 1  # the IMA
+
+
+def test_depth_propagates_through_computes():
+    kernel = Kernel("k", ["b", "a", "out"], ["n"], [
+        ForStmt("i", Const(0), Var("n"), [
+            LoadStmt("t", "b", Var("i")),
+            ComputeStmt("t2", Bin("+", Var("t"), Const(4))),
+            LoadStmt("v", "a", Var("t2")),  # still an IMA through t2
+            StoreStmt("out", Var("i"), Var("v")),
+        ])])
+    analysis = analyze(kernel)
+    assert load_by_array(analysis, "a").depth == 1
+
+
+def test_two_level_indirection_depth():
+    kernel = Kernel("k", ["b", "m", "a", "out"], ["n"], [
+        ForStmt("i", Const(0), Var("n"), [
+            LoadStmt("t", "b", Var("i")),
+            LoadStmt("u", "m", Var("t")),
+            LoadStmt("v", "a", Var("u")),
+            StoreStmt("out", Var("i"), Var("v")),
+        ])])
+    analysis = analyze(kernel)
+    assert load_by_array(analysis, "m").depth == 1
+    assert load_by_array(analysis, "a").depth == 2
+
+
+# -- use categories and terminality --------------------------------------------------
+
+def test_spmv_terminal_ima():
+    analysis = analyze(build_spmv_kernel())
+    x = load_by_array(analysis, "x")
+    assert x.terminal
+    assert x.categories == {VALUE}
+    col = load_by_array(analysis, "col_idx")
+    assert not col.terminal
+    assert ADDRESS in col.categories
+
+
+def test_bound_feeding_loads_categorized():
+    analysis = analyze(build_spmv_kernel())
+    row0 = load_by_array(analysis, "row_ptr", 0)
+    assert BOUND in row0.categories
+
+
+def test_bfs_dist_load_is_terminal_condition():
+    analysis = analyze(build_bfs_level_kernel())
+    dist = load_by_array(analysis, "dist")
+    assert dist.depth == 1
+    assert dist.terminal
+    assert COND in dist.categories
+
+
+# -- RMW detection ----------------------------------------------------------------------
+
+def test_spmm_indirect_rmw_blocks_decoupling():
+    analysis = analyze(build_spmm_kernel())
+    assert analysis.indirect_rmw
+    assert not analysis.decouplable
+    assert "RMW" in analysis.reason
+
+
+def test_bfs_benign_annotation_permits_decoupling():
+    analysis = analyze(build_bfs_level_kernel())
+    assert not analysis.indirect_rmw  # annotated benign
+    assert analysis.decouplable
+
+
+def test_unannotated_bfs_like_kernel_would_be_rmw():
+    kernel = build_bfs_level_kernel()
+    bare = Kernel(kernel.name, kernel.arrays, kernel.params,
+                  build_bfs_level_kernel().body, benign_race_arrays=())
+    analysis = analyze(bare)
+    assert analysis.indirect_rmw
+
+
+def test_sdhp_and_spmv_decouplable():
+    assert analyze(build_sdhp_kernel()).decouplable
+    assert analyze(build_spmv_kernel()).decouplable
+
+
+def test_kernel_without_imas_not_decouplable():
+    kernel = Kernel("dense", ["a", "out"], ["n"], [
+        ForStmt("i", Const(0), Var("n"), [
+            LoadStmt("v", "a", Var("i")),
+            StoreStmt("out", Var("i"), Var("v")),
+        ])])
+    analysis = analyze(kernel)
+    assert not analysis.decouplable
+    assert "no terminal" in analysis.reason
+
+
+# -- chain matching ---------------------------------------------------------------------------
+
+def test_spmv_chain_is_lima_compatible():
+    analysis = analyze(build_spmv_kernel())
+    chain = load_by_array(analysis, "x").chain
+    assert chain is not None
+    assert chain.lima_compatible
+    assert chain.index_load.array == "col_idx"
+    assert chain.offset_expr is None
+
+
+def test_spmm_chain_has_loop_invariant_offset():
+    analysis = analyze(build_spmm_kernel())
+    t_load = load_by_array(analysis, "t")
+    chain = t_load.chain
+    assert chain is not None
+    assert chain.lima_compatible
+    assert chain.offset_expr is not None  # c*rows folded into the base
+
+
+def test_bfs_chain_over_neighbors():
+    analysis = analyze(build_bfs_level_kernel())
+    chain = load_by_array(analysis, "dist").chain
+    assert chain is not None
+    assert chain.index_load.array == "neighbors"
+    assert chain.lima_compatible
+
+
+def test_no_chain_for_two_level_indirection():
+    kernel = Kernel("k", ["b", "m", "a", "out"], ["n"], [
+        ForStmt("i", Const(0), Var("n"), [
+            LoadStmt("t", "b", Var("i")),
+            LoadStmt("u", "m", Var("t")),
+            LoadStmt("v", "a", Var("u")),
+            StoreStmt("out", Var("i"), Var("v")),
+        ])])
+    analysis = analyze(kernel)
+    # a's feeder (m) is itself indirect -> no simple A[B[i]] chain.
+    assert load_by_array(analysis, "a").chain is None
+
+
+# -- slice membership -------------------------------------------------------------------------------
+
+def test_spmv_slice_membership():
+    analysis = analyze(build_spmv_kernel())
+    col = load_by_array(analysis, "col_idx").stmt.stmt_id
+    vals = load_by_array(analysis, "vals").stmt.stmt_id
+    x = load_by_array(analysis, "x").stmt.stmt_id
+    assert col in analysis.in_access
+    assert col not in analysis.in_execute  # address-only
+    assert vals in analysis.in_execute
+    assert vals not in analysis.in_access  # value-only
+    assert x in analysis.in_access and x in analysis.in_execute  # ptr/consume

@@ -1,0 +1,164 @@
+"""Tests for the kernel IR: expressions, validation, traversal."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.compiler.ir import (
+    Bin,
+    ComputeStmt,
+    Const,
+    FetchAddStmt,
+    ForStmt,
+    IfStmt,
+    Kernel,
+    LoadStmt,
+    StoreStmt,
+    Var,
+    eval_expr,
+    expr_equal,
+    expr_vars,
+    walk,
+)
+
+
+# -- expressions ---------------------------------------------------------------
+
+def test_eval_const_and_var():
+    assert eval_expr(Const(5), {}) == 5
+    assert eval_expr(Var("x"), {"x": 3}) == 3
+
+
+def test_eval_unbound_var_raises():
+    with pytest.raises(NameError, match="unbound"):
+        eval_expr(Var("missing"), {})
+
+
+def test_eval_bin_ops():
+    env = {"a": 7, "b": 2}
+    assert eval_expr(Bin("+", Var("a"), Var("b")), env) == 9
+    assert eval_expr(Bin("-", Var("a"), Var("b")), env) == 5
+    assert eval_expr(Bin("*", Var("a"), Var("b")), env) == 14
+    assert eval_expr(Bin("//", Var("a"), Var("b")), env) == 3
+    assert eval_expr(Bin("min", Var("a"), Var("b")), env) == 2
+    assert eval_expr(Bin("==", Var("a"), Const(7)), env) is True
+    assert eval_expr(Bin("<", Var("b"), Var("a")), env) is True
+
+
+def test_eval_unknown_op_raises():
+    with pytest.raises(ValueError, match="operator"):
+        eval_expr(Bin("^", Const(1), Const(2)), {})
+
+
+def test_expr_vars_collects_all_names():
+    expr = Bin("+", Bin("*", Var("i"), Const(8)), Var("t"))
+    assert expr_vars(expr) == {"i", "t"}
+    assert expr_vars(Const(1)) == set()
+
+
+def test_expr_equal_is_structural():
+    a = Bin("+", Var("i"), Const(1))
+    b = Bin("+", Var("i"), Const(1))
+    c = Bin("+", Var("i"), Const(2))
+    assert expr_equal(a, b)
+    assert not expr_equal(a, c)
+
+
+@given(st.integers(min_value=-100, max_value=100),
+       st.integers(min_value=-100, max_value=100))
+def test_eval_matches_python(a, b):
+    env = {"a": a, "b": b}
+    assert eval_expr(Bin("+", Var("a"), Var("b")), env) == a + b
+    assert eval_expr(Bin("max", Var("a"), Var("b")), env) == max(a, b)
+
+
+# -- kernel construction / validation -----------------------------------------------
+
+def tiny_kernel():
+    return Kernel(
+        name="copy",
+        arrays=["src", "dst"],
+        params=["n"],
+        body=[ForStmt("i", Const(0), Var("n"), [
+            LoadStmt("t", "src", Var("i")),
+            StoreStmt("dst", Var("i"), Var("t")),
+        ])],
+    )
+
+
+def test_stmt_ids_assigned_in_program_order():
+    kernel = tiny_kernel()
+    ids = [stmt.stmt_id for stmt, _p in kernel.all_statements()]
+    assert ids == [0, 1, 2]
+
+
+def test_walk_reports_parents():
+    kernel = tiny_kernel()
+    stmts = list(kernel.all_statements())
+    loop, parents = stmts[0]
+    assert parents == ()
+    load, parents = stmts[1]
+    assert parents == (loop,)
+
+
+def test_undeclared_array_rejected():
+    with pytest.raises(ValueError, match="undeclared array"):
+        Kernel("bad", ["a"], [], [LoadStmt("t", "nope", Const(0))])
+
+
+def test_unbound_name_rejected():
+    with pytest.raises(ValueError, match="unbound"):
+        Kernel("bad", ["a"], [], [LoadStmt("t", "a", Var("i"))])
+
+
+def test_unbound_loop_bound_rejected():
+    with pytest.raises(ValueError, match="unbound"):
+        Kernel("bad", ["a"], [], [ForStmt("i", Const(0), Var("n"), [])])
+
+
+def test_temp_scoping_follows_program_order():
+    # Using a temp before its definition is rejected.
+    with pytest.raises(ValueError, match="unbound"):
+        Kernel("bad", ["a"], [], [
+            StoreStmt("a", Const(0), Var("t")),
+            LoadStmt("t", "a", Const(0)),
+        ])
+
+
+def test_loop_scoped_temp_not_visible_outside():
+    with pytest.raises(ValueError, match="unbound"):
+        Kernel("bad", ["a"], ["n"], [
+            ForStmt("i", Const(0), Var("n"), [LoadStmt("t", "a", Var("i"))]),
+            StoreStmt("a", Const(0), Var("t")),
+        ])
+
+
+def test_accumulator_seeded_before_loop_is_visible_after():
+    Kernel("ok", ["a"], ["n"], [
+        ComputeStmt("acc", Const(0)),
+        ForStmt("i", Const(0), Var("n"), [
+            LoadStmt("v", "a", Var("i")),
+            ComputeStmt("acc", Bin("+", Var("acc"), Var("v"))),
+        ]),
+        StoreStmt("a", Const(0), Var("acc")),
+    ])
+
+
+def test_fetchadd_validates_and_binds_dest():
+    Kernel("ok", ["counter", "out"], [], [
+        FetchAddStmt("slot", "counter", Const(0), Const(1)),
+        StoreStmt("out", Var("slot"), Const(1)),
+    ])
+    with pytest.raises(ValueError, match="undeclared array"):
+        Kernel("bad", ["out"], [], [
+            FetchAddStmt("slot", "counter", Const(0), Const(1)),
+        ])
+
+
+def test_if_condition_names_checked():
+    with pytest.raises(ValueError, match="unbound"):
+        Kernel("bad", ["a"], [], [IfStmt(Var("cond"), [])])
+
+
+def test_non_statement_rejected():
+    with pytest.raises(TypeError):
+        Kernel("bad", ["a"], [], ["not a statement"])

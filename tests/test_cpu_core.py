@@ -1,0 +1,217 @@
+"""Tests for the in-order core model."""
+
+import pytest
+
+from repro.cpu import Alu, Amo, Load, Prefetch, Store, Sync, Thread
+from repro.params import SoCConfig
+from repro.system import Soc
+from repro.vm.os_model import SegmentationFault
+
+
+def build(**overrides):
+    soc = Soc(SoCConfig().with_overrides(**overrides) if overrides else None)
+    aspace = soc.new_process()
+    return soc, aspace
+
+
+def run_program(soc, aspace, program, core=0):
+    return soc.run_threads([(core, Thread(program, aspace, "t"))])
+
+
+def test_alu_costs_its_cycles():
+    soc, aspace = build()
+
+    def program():
+        yield Alu(10)
+        yield Alu(5)
+
+    elapsed = run_program(soc, aspace, program())
+    assert elapsed == 15
+    assert soc.cores[0].stats.get("alu_ops") == 2
+    assert soc.cores[0].stats.get("instructions") == 2
+
+
+def test_alu_validation():
+    with pytest.raises(ValueError):
+        Alu(0)
+
+
+def test_load_returns_stored_value_and_counts():
+    soc, aspace = build()
+    arr = soc.array(aspace, [7.5, 8.5], name="a")
+    got = []
+
+    def program():
+        got.append((yield Load(arr.addr(1))))
+
+    run_program(soc, aspace, program())
+    assert got == [8.5]
+    core = soc.cores[0]
+    assert core.stats.get("loads") == 1
+    assert core.stats.histogram("load_latency").count == 1
+
+
+def test_store_buffer_makes_stores_cheap():
+    soc, aspace = build()
+    arr = soc.array(aspace, 16, name="a")
+    times = []
+
+    def program():
+        yield Load(arr.addr(8))  # warm the TLB (translation is blocking)
+        start = soc.sim.now
+        yield Store(arr.addr(0), 42)
+        times.append(soc.sim.now - start)
+
+    run_program(soc, aspace, program())
+    assert arr.read(0) == 42
+    # The store retires into the buffer after translation, far below a
+    # DRAM write-allocate miss.
+    assert times[0] < 50
+
+
+def test_store_buffer_backpressure_when_full():
+    soc, aspace = build(store_buffer_entries=2)
+    cfg = soc.config
+    # Each store misses a distinct line -> each drain takes ~DRAM latency.
+    arr = soc.array(aspace, 8 * 32, name="a")
+
+    def program():
+        for i in range(8):
+            yield Store(arr.addr(8 * i), i)
+
+    elapsed = run_program(soc, aspace, program())
+    # 8 stores through a 2-deep buffer cannot all hide: the run must wait
+    # for several DRAM round trips.
+    assert elapsed > 2 * cfg.dram_latency
+
+
+def test_store_value_visible_immediately_to_other_core():
+    soc, aspace = build()
+    arr = soc.array(aspace, 8, name="a")
+    got = {}
+
+    def writer():
+        yield Store(arr.addr(0), 99)
+        yield Alu(1)
+
+    def reader():
+        yield Alu(50)  # store retired by now
+        got["v"] = yield Load(arr.addr(0))
+
+    soc.run_threads([(0, Thread(writer(), aspace, "w")),
+                     (1, Thread(reader(), aspace, "r"))])
+    assert got["v"] == 99
+
+
+def test_prefetch_is_nonblocking_and_counted():
+    soc, aspace = build()
+    arr = soc.array(aspace, 64, name="a")
+
+    def program():
+        yield Load(arr.addr(63))  # warm the TLB; different line than addr(0)
+        start = soc.sim.now
+        yield Prefetch(arr.addr(0))
+        issue_time = soc.sim.now - start
+        assert issue_time < 20  # issue slot only, not the miss
+        yield Alu(600)
+        yield Load(arr.addr(0))
+
+    run_program(soc, aspace, program())
+    core = soc.cores[0]
+    assert core.stats.get("prefetches") == 1
+    # The later demand load hit the prefetched line.
+    hist = core.stats.histogram("load_latency")
+    assert hist.samples[-1] <= soc.config.l1_latency + 1
+
+
+def test_mshr_serializes_demand_behind_prefetch():
+    soc, aspace = build(core_mshrs=1)
+    arr = soc.array(aspace, 64, name="a")
+    lat = {}
+
+    def program():
+        yield Load(arr.addr(63))          # warm the TLB
+        yield Prefetch(arr.addr(0))       # occupies the only MSHR
+        start = soc.sim.now
+        yield Load(arr.addr(8))           # different line: must wait
+        lat["demand"] = soc.sim.now - start
+
+    run_program(soc, aspace, program())
+    # The demand miss waited for the prefetch fill before starting.
+    assert lat["demand"] > 1.5 * soc.config.dram_latency
+
+
+def test_amo_is_atomic_across_cores():
+    soc, aspace = build()
+    counter = soc.array(aspace, 1, name="c")
+
+    def bump():
+        for _ in range(25):
+            yield Amo(counter.addr(0), lambda v: v + 1)
+
+    soc.run_threads([(0, Thread(bump(), aspace, "a")),
+                     (1, Thread(bump(), aspace, "b"))])
+    assert counter.read(0) == 50
+
+
+def test_sync_instruction_uses_barrier():
+    soc, aspace = build()
+    barrier = soc.barrier(2)
+    times = []
+
+    def program(delay):
+        yield Alu(delay)
+        yield Sync(barrier)
+        times.append(soc.sim.now)
+
+    soc.run_threads([(0, Thread(program(5), aspace, "a")),
+                     (1, Thread(program(60), aspace, "b"))])
+    assert times == [60, 60]
+
+
+def test_segfault_propagates_out_of_thread():
+    soc, aspace = build()
+
+    def program():
+        yield Load(0x7000_0000)  # no VMA there
+
+    with pytest.raises(SegmentationFault):
+        run_program(soc, aspace, program())
+
+
+def test_lazy_page_faults_are_transparent():
+    soc, aspace = build()
+    arr = soc.array(aspace, 8, name="lazy", lazy=True)
+    got = {}
+
+    def program():
+        yield Store(arr.addr(0), 5)
+        got["v"] = yield Load(arr.addr(0))
+
+    run_program(soc, aspace, program())
+    assert got["v"] == 5
+    assert soc.stats.get("os.demand_mapped_pages") == 1
+
+
+def test_tlb_miss_then_hit_latency_difference():
+    soc, aspace = build()
+    arr = soc.array(aspace, 8, name="a")
+
+    def program():
+        yield Load(arr.addr(0))  # cold: PTW + DRAM
+        yield Load(arr.addr(1))  # TLB + L1 hit
+
+    run_program(soc, aspace, program())
+    hist = soc.cores[0].stats.histogram("load_latency")
+    assert hist.samples[0] > hist.samples[1]
+    assert hist.samples[1] == soc.config.l1_latency
+
+
+def test_unknown_instruction_rejected():
+    soc, aspace = build()
+
+    def program():
+        yield "bogus"
+
+    with pytest.raises(TypeError):
+        run_program(soc, aspace, program())

@@ -1,0 +1,134 @@
+"""Tests for dataset containers and generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets import (
+    CsrMatrix,
+    kronecker_graph,
+    livejournal_surrogate,
+    power_law_graph,
+    random_csr,
+    riscv_tests_matrix,
+    riscv_tests_vector,
+    wikipedia_surrogate,
+    youtube_surrogate,
+)
+from repro.datasets.graphs import reference_bfs
+
+
+def test_csr_roundtrip_through_dense():
+    dense = np.array([[0, 1.5, 0], [2.0, 0, 0], [0, 0, 3.0]])
+    csr = CsrMatrix.from_dense(dense)
+    assert csr.nnz == 3
+    np.testing.assert_allclose(csr.to_dense(), dense)
+
+
+def test_csr_validation_catches_bad_extents():
+    with pytest.raises(ValueError):
+        CsrMatrix(2, 2, [0, 1], [0], [1.0])  # row_ptr too short
+    with pytest.raises(ValueError):
+        CsrMatrix(2, 2, [0, 2, 1], [0, 1], [1.0, 2.0])  # decreasing
+    with pytest.raises(ValueError):
+        CsrMatrix(2, 2, [0, 1, 2], [0, 5], [1.0, 2.0])  # col out of range
+
+
+def test_csr_row_of_nnz():
+    dense = np.array([[1, 1, 0], [0, 0, 0], [0, 0, 1]])
+    csr = CsrMatrix.from_dense(dense)
+    assert list(csr.row_of_nnz()) == [0, 0, 2]
+
+
+def test_csr_to_csc_preserves_matrix():
+    csr = random_csr(10, 12, nnz_per_row=3, seed=5)
+    csc = csr.to_csc()
+    np.testing.assert_allclose(csc.to_dense(), csr.to_dense())
+
+
+def test_random_csr_is_deterministic():
+    a = random_csr(20, 50, 4, seed=9)
+    b = random_csr(20, 50, 4, seed=9)
+    np.testing.assert_array_equal(a.col_idx, b.col_idx)
+    np.testing.assert_array_equal(a.values, b.values)
+    c = random_csr(20, 50, 4, seed=10)
+    assert not np.array_equal(a.col_idx, c.col_idx)
+
+
+@given(st.integers(min_value=1, max_value=30), st.integers(min_value=1, max_value=30),
+       st.integers(min_value=1, max_value=5), st.integers(min_value=0, max_value=100))
+@settings(max_examples=25)
+def test_random_csr_always_valid(rows, cols, nnz, seed):
+    csr = random_csr(rows, cols, nnz, seed)
+    # __post_init__ validates; additionally every row is sorted.
+    for row in range(rows):
+        segment = csr.col_idx[csr.row_ptr[row]:csr.row_ptr[row + 1]]
+        assert list(segment) == sorted(segment)
+        assert len(set(segment)) == len(segment)  # no duplicate columns
+
+
+def test_power_law_graph_structure():
+    graph = power_law_graph(200, avg_degree=6, seed=3)
+    assert graph.num_vertices == 200
+    assert graph.num_edges > 200  # self-loops removed, most edges survive
+    in_degrees = np.bincount(graph.neighbors, minlength=graph.num_vertices)
+    assert in_degrees.max() > 5 * in_degrees.mean()  # hubs exist
+
+
+def test_power_law_graph_no_self_loops():
+    graph = power_law_graph(100, avg_degree=4, seed=1)
+    for vertex in range(graph.num_vertices):
+        assert vertex not in graph.neighbors_of(vertex)
+
+
+def test_surrogates_have_expected_relative_density():
+    wiki = wikipedia_surrogate(scale=512)
+    you = youtube_surrogate(scale=512)
+    live = livejournal_surrogate(scale=512)
+    assert live.num_edges > wiki.num_edges > you.num_edges
+
+
+def test_kronecker_graph_deterministic_and_valid():
+    a = kronecker_graph(8, edges_per_vertex=4, seed=5)
+    b = kronecker_graph(8, edges_per_vertex=4, seed=5)
+    assert a.num_vertices == 256
+    np.testing.assert_array_equal(a.neighbors, b.neighbors)
+
+
+def test_kronecker_initiator_validation():
+    with pytest.raises(ValueError):
+        kronecker_graph(4, 2, seed=1, initiator=(0.5, 0.5, 0.5, 0.5))
+    with pytest.raises(ValueError):
+        kronecker_graph(0, 2, seed=1)
+
+
+def test_kronecker_degree_skew():
+    graph = kronecker_graph(9, edges_per_vertex=8, seed=2)
+    degrees = np.diff(graph.row_ptr)
+    assert degrees.max() > 4 * max(degrees.mean(), 1)
+
+
+def test_reference_bfs_small_chain():
+    # 0 -> 1 -> 2, and 3 unreachable
+    from repro.datasets.graphs import Graph
+    graph = Graph("chain", 4, [0, 1, 2, 2, 2], [1, 2])
+    assert reference_bfs(graph, 0) == [0, 1, 2, -1]
+
+
+def test_reference_bfs_matches_networkx_style_on_random_graph():
+    graph = power_law_graph(100, avg_degree=5, seed=7)
+    dist = reference_bfs(graph, 0)
+    # sanity: root is 0, every reachable vertex has a parent one closer.
+    assert dist[0] == 0
+    for vertex in range(graph.num_vertices):
+        if dist[vertex] > 0:
+            assert any(dist[p] == dist[vertex] - 1
+                       for p in range(graph.num_vertices)
+                       if vertex in graph.neighbors_of(p))
+
+
+def test_riscv_tests_defaults_exceed_caches():
+    matrix = riscv_tests_matrix()
+    vector = riscv_tests_vector()
+    assert len(vector) == matrix.cols
+    assert len(vector) * 8 > 64 * 1024  # dense operand > L2

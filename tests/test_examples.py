@@ -1,0 +1,42 @@
+"""Smoke tests: the fast example scripts must run end-to-end.
+
+(The BFS prefetching example simulates a full-size graph and is exercised
+by the benchmark suite instead.)
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "overlap factor" in out
+
+
+def test_decoupled_spmv(capsys):
+    run_example("decoupled_spmv.py")
+    out = capsys.readouterr().out
+    assert "decouplable: True" in out
+    assert "MAPLE decoupling" in out
+
+
+def test_pipeline_stages(capsys):
+    run_example("pipeline_stages.py")
+    out = capsys.readouterr().out
+    assert "3-stage pipeline" in out
+
+
+def test_area_and_taxonomy(capsys):
+    run_example("area_and_taxonomy.py")
+    out = capsys.readouterr().out
+    assert "paper: 1.1%" in out
+    assert "Table 2" in out

@@ -1,0 +1,110 @@
+"""Additional MAPLE engine coverage: INIT, debug reads, error paths."""
+
+import pytest
+
+from repro.core.engine import MapleError
+from repro.core.opcodes import LoadOp, StoreOp, encode_addr
+from repro.cpu import Alu, Load, Store, Thread
+from repro.params import SoCConfig
+from repro.system import Soc
+
+
+def build():
+    soc = Soc(SoCConfig())
+    aspace = soc.new_process()
+    api = soc.driver.attach(aspace)
+    return soc, aspace, api
+
+
+def test_init_resets_all_queues():
+    soc, aspace, api = build()
+
+    def program():
+        q0 = yield from api.open(0)
+        q1 = yield from api.open(1)
+        yield from q0.produce(1)
+        yield from q1.produce(2)
+        yield Alu(50)
+        yield from api.init()
+        # After INIT the bindings are cleared and the queues empty.
+        occ0 = yield Load(encode_addr(api.page_vaddr, LoadOp.STAT_OCCUPANCY, 0))
+        occ1 = yield Load(encode_addr(api.page_vaddr, LoadOp.STAT_OCCUPANCY, 1))
+        assert occ0 == 0 and occ1 == 0
+        q0b = yield from api.open(0)  # re-open succeeds
+        yield from q0b.produce(9)
+        value = yield from q0b.consume()
+        assert value == 9
+
+    soc.run_threads([(0, Thread(program(), aspace, "t"))])
+    assert soc.stats.get("maple0.inits") == 1
+
+
+def test_fault_vaddr_debug_register():
+    soc, aspace, api = build()
+    lazy = soc.array(aspace, 8, name="lazy", lazy=True)
+
+    def program():
+        q = yield from api.open(0)
+        yield from q.produce_ptr(lazy.addr(0))
+        yield from q.consume()
+        fault_addr = yield Load(encode_addr(api.page_vaddr, LoadOp.FAULT_VADDR))
+        assert fault_addr == lazy.addr(0)
+
+    soc.run_threads([(0, Thread(program(), aspace, "t"))])
+
+
+def test_stat_ptr_fetches_counter():
+    soc, aspace, api = build()
+    data = soc.array(aspace, [1.0] * 8, name="A")
+
+    def program():
+        q = yield from api.open(0)
+        yield from q.produce_ptr(data.addr(0))
+        yield from q.produce_ptr(data.addr(1))
+        yield from q.consume()
+        yield from q.consume()
+        count = yield from q.stat_ptr_fetches()
+        assert count == 2
+
+    soc.run_threads([(0, Thread(program(), aspace, "t"))])
+
+
+def test_unaligned_mmio_access_rejected():
+    soc, aspace, api = build()
+
+    def program():
+        yield Load(api.page_vaddr + 4)  # not 8-byte aligned
+
+    with pytest.raises(ValueError, match="aligned"):
+        soc.run_threads([(0, Thread(program(), aspace, "t"))])
+
+
+def test_unimplemented_opcode_raises_maple_error():
+    soc, aspace, api = build()
+
+    def program():
+        yield Store(encode_addr(api.page_vaddr, 60, 0), 0)  # unused opcode
+
+    with pytest.raises(ValueError):
+        # StoreOp(60) does not exist -> ValueError from the enum.
+        soc.run_threads([(0, Thread(program(), aspace, "t"))])
+
+
+def test_round_trip_formula_matches_config():
+    soc, aspace, api = build()
+    cfg = soc.config
+    maple = soc.maples[0]
+    hops = soc.mesh.hops(0, maple.tile_id)
+    expected = (2 * cfg.mmio_path_latency
+                + 2 * (cfg.noc_encode_latency + cfg.noc_decode_latency)
+                + 2 * hops * cfg.hop_latency
+                + cfg.maple_pipeline_latency)
+    assert maple.round_trip_cycles(0) == expected
+
+
+def test_mmio_registration_collision_between_instances():
+    # Two instances must occupy disjoint MMIO pages (registration would
+    # raise on overlap).
+    soc = Soc(SoCConfig(maple_instances=2))
+    a, b = soc.maples
+    assert abs(a.page_paddr - b.page_paddr) >= soc.config.page_size

@@ -1,0 +1,203 @@
+"""System tests for the LIMA unit (loops of indirect memory accesses)."""
+
+import pytest
+
+from repro.cpu import Alu, Load, Thread
+from repro.params import SoCConfig
+from repro.system import Soc
+
+
+def build():
+    soc = Soc(SoCConfig())
+    aspace = soc.new_process()
+    api = soc.driver.attach(aspace)
+    return soc, aspace, api
+
+
+def test_lima_queue_mode_delivers_a_of_b_in_order():
+    soc, aspace, api = build()
+    b = soc.array(aspace, [3, 0, 2, 1, 3], name="B")
+    a = soc.array(aspace, [10.0, 11.0, 12.0, 13.0], name="A")
+    got = []
+
+    def program():
+        handle = yield from api.open(0)
+        yield from handle.lima_configure(a.base, b.base)
+        yield from handle.lima_run(0, 5, mode="queue")
+        for _ in range(5):
+            got.append((yield from handle.consume()))
+
+    soc.run_threads([(0, Thread(program(), aspace, "t"))])
+    assert got == [13.0, 10.0, 12.0, 11.0, 13.0]
+    assert soc.stats.get("maple0.lima_elements") == 5
+
+
+def test_lima_respects_subrange():
+    soc, aspace, api = build()
+    b = soc.array(aspace, list(range(10)), name="B")
+    a = soc.array(aspace, [float(100 + i) for i in range(10)], name="A")
+    got = []
+
+    def program():
+        handle = yield from api.open(0)
+        yield from handle.lima_configure(a.base, b.base)
+        yield from handle.lima_run(4, 7, mode="queue")
+        for _ in range(3):
+            got.append((yield from handle.consume()))
+
+    soc.run_threads([(0, Thread(program(), aspace, "t"))])
+    assert got == [104.0, 105.0, 106.0]
+
+
+def test_lima_empty_range_is_noop():
+    soc, aspace, api = build()
+    b = soc.array(aspace, [0], name="B")
+    a = soc.array(aspace, [1.0], name="A")
+
+    def program():
+        handle = yield from api.open(0)
+        yield from handle.lima_configure(a.base, b.base)
+        yield from handle.lima_run(0, 0, mode="queue")
+        yield Alu(100)
+
+    soc.run_threads([(0, Thread(program(), aspace, "t"))])
+    assert soc.stats.get("maple0.lima_elements") == 0
+
+
+def test_lima_chunks_b_in_cache_lines():
+    soc, aspace, api = build()
+    n = 20  # indices span 3 cache lines (8 words each)
+    b = soc.array(aspace, [0] * n, name="B")
+    a = soc.array(aspace, [5.0], name="A")
+
+    def program():
+        handle = yield from api.open(0)
+        yield from handle.lima_configure(a.base, b.base)
+        yield from handle.lima_run(0, n, mode="queue")
+        for _ in range(n):
+            yield from handle.consume()
+
+    soc.run_threads([(0, Thread(program(), aspace, "t"))])
+    assert soc.stats.get("maple0.lima_chunks") == 3
+
+
+def test_lima_llc_mode_prefetches_into_l2_only():
+    soc, aspace, api = build()
+    b = soc.array(aspace, [0, 8, 16], name="B")  # distinct lines of A
+    a = soc.array(aspace, [float(i) for i in range(24)], name="A")
+
+    def program():
+        handle = yield from api.open(0)
+        yield from handle.lima_configure(a.base, b.base)
+        yield from handle.lima_run(0, 3, mode="llc")
+        yield Alu(1500)  # let prefetches land
+        # Demand loads now hit in the LLC.
+        for i in (0, 8, 16):
+            value = yield Load(a.addr(i))
+            assert value == float(i)
+
+    soc.run_threads([(0, Thread(program(), aspace, "t"))])
+    assert soc.stats.get("l2.prefetches") == 3
+    line_mask = ~(soc.config.line_size - 1)
+    for i in (0, 8, 16):
+        paddr = aspace.page_table.lookup(a.addr(i))
+        assert soc.memsys.l2.contains(paddr & line_mask)
+
+
+def test_lima_overlaps_with_compute():
+    """LIMA expansion runs concurrently with the core: total time is far
+    below serialized DRAM fetches."""
+    soc, aspace, api = build()
+    n = 16
+    stride = 8  # one line per element -> distinct DRAM fetch each
+    b = soc.array(aspace, [i * stride for i in range(n)], name="B")
+    a = soc.array(aspace, [float(i) for i in range(n * stride)], name="A")
+    got = []
+
+    def program():
+        handle = yield from api.open(0)
+        yield from handle.lima_configure(a.base, b.base)
+        yield from handle.lima_run(0, n, mode="queue")
+        for _ in range(n):
+            got.append((yield from handle.consume()))
+
+    elapsed = soc.run_threads([(0, Thread(program(), aspace, "t"))])
+    assert got == [float(i * stride) for i in range(n)]
+    assert elapsed < 0.5 * n * soc.config.dram_latency
+
+
+def test_lima_start_before_configure_fails():
+    soc, aspace, api = build()
+
+    def program():
+        handle = yield from api.open(0)
+        yield from handle.lima_run(0, 4, mode="queue")
+
+    with pytest.raises(RuntimeError, match="before configuration"):
+        soc.run_threads([(0, Thread(program(), aspace, "t"))])
+
+
+def test_lima_invalid_mode_rejected():
+    soc, aspace, api = build()
+    b = soc.array(aspace, [0], name="B")
+    a = soc.array(aspace, [1.0], name="A")
+
+    def program():
+        handle = yield from api.open(0)
+        yield from handle.lima_configure(a.base, b.base)
+        yield from handle.lima_run(0, 1, mode="l1")
+
+    with pytest.raises(ValueError, match="mode"):
+        soc.run_threads([(0, Thread(program(), aspace, "t"))])
+
+
+def test_lima_negative_range_rejected():
+    soc, aspace, api = build()
+    b = soc.array(aspace, [0], name="B")
+    a = soc.array(aspace, [1.0], name="A")
+
+    def program():
+        handle = yield from api.open(0)
+        yield from handle.lima_configure(a.base, b.base)
+        yield from handle.lima_run(5, 2, mode="queue")
+
+    with pytest.raises(ValueError, match="range"):
+        soc.run_threads([(0, Thread(program(), aspace, "t"))])
+
+
+def test_lima_non_integer_index_raises():
+    soc, aspace, api = build()
+    b = soc.array(aspace, [0.5], name="B")  # floats are not indices
+    a = soc.array(aspace, [1.0], name="A")
+
+    def program():
+        handle = yield from api.open(0)
+        yield from handle.lima_configure(a.base, b.base)
+        yield from handle.lima_run(0, 1, mode="queue")
+        yield from handle.consume()
+
+    with pytest.raises(TypeError, match="not an integer"):
+        soc.run_threads([(0, Thread(program(), aspace, "t"))])
+
+
+def test_two_lima_streams_on_different_queues():
+    soc, aspace, api = build()
+    b = soc.array(aspace, [0, 1, 2, 3], name="B")
+    a = soc.array(aspace, [9.0, 8.0, 7.0, 6.0], name="A")
+    got = {0: [], 1: []}
+
+    def program():
+        q0 = yield from api.open(0)
+        q1 = yield from api.open(1)
+        yield from q0.lima_configure(a.base, b.base)
+        yield from q1.lima_configure(a.base, b.base)
+        yield from q0.lima_run(0, 2, mode="queue")
+        yield from q1.lima_run(2, 4, mode="queue")
+        for _ in range(2):
+            got[0].append((yield from q0.consume()))
+        for _ in range(2):
+            got[1].append((yield from q1.consume()))
+
+    soc.run_threads([(0, Thread(program(), aspace, "t"))])
+    assert got[0] == [9.0, 8.0]
+    assert got[1] == [7.0, 6.0]

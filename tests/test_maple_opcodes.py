@@ -1,0 +1,82 @@
+"""Unit tests for the MMIO opcode codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.opcodes import (
+    LoadOp,
+    MAX_OPCODES,
+    MAX_QUEUES,
+    StoreOp,
+    decode_offset,
+    encode_addr,
+)
+
+
+def test_encode_decode_roundtrip_simple():
+    base = 1 << 40
+    addr = encode_addr(base, StoreOp.PRODUCE_PTR, queue_id=5)
+    opcode, queue_id = decode_offset(addr - base)
+    assert opcode == StoreOp.PRODUCE_PTR
+    assert queue_id == 5
+
+
+def test_encode_requires_aligned_base():
+    with pytest.raises(ValueError):
+        encode_addr((1 << 40) + 8, 0, 0)
+
+
+def test_encode_range_checks():
+    base = 1 << 40
+    with pytest.raises(ValueError):
+        encode_addr(base, MAX_OPCODES, 0)
+    with pytest.raises(ValueError):
+        encode_addr(base, 0, MAX_QUEUES)
+    with pytest.raises(ValueError):
+        encode_addr(base, -1, 0)
+
+
+def test_decode_rejects_unaligned_and_outside():
+    with pytest.raises(ValueError):
+        decode_offset(0x4)
+    with pytest.raises(ValueError):
+        decode_offset(0x1000)
+
+
+def test_opcode_space_is_64_per_access_type():
+    # bits 3..8 give 64 codes; load and store spaces are independent.
+    assert MAX_OPCODES == 64
+    assert MAX_QUEUES == 8
+
+
+def test_all_addresses_stay_inside_the_page():
+    base = 1 << 40
+    for opcode in range(MAX_OPCODES):
+        for queue_id in range(MAX_QUEUES):
+            addr = encode_addr(base, opcode, queue_id)
+            assert base <= addr < base + 4096
+
+
+@given(st.integers(min_value=0, max_value=MAX_OPCODES - 1),
+       st.integers(min_value=0, max_value=MAX_QUEUES - 1))
+def test_roundtrip_property(opcode, queue_id):
+    base = 1 << 40
+    addr = encode_addr(base, opcode, queue_id)
+    assert decode_offset(addr - base) == (opcode, queue_id)
+
+
+@given(st.tuples(st.integers(min_value=0, max_value=MAX_OPCODES - 1),
+                 st.integers(min_value=0, max_value=MAX_QUEUES - 1)),
+       st.tuples(st.integers(min_value=0, max_value=MAX_OPCODES - 1),
+                 st.integers(min_value=0, max_value=MAX_QUEUES - 1)))
+def test_encoding_is_injective(a, b):
+    base = 1 << 40
+    if a != b:
+        assert encode_addr(base, *a) != encode_addr(base, *b)
+
+
+def test_load_and_store_opcodes_fit_the_field():
+    for op in LoadOp:
+        assert 0 <= op < MAX_OPCODES
+    for op in StoreOp:
+        assert 0 <= op < MAX_OPCODES

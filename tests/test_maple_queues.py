@@ -1,0 +1,209 @@
+"""Unit and property tests for the scratchpad hardware queues."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.queues import HwQueue, QueueError, Scratchpad, SlotState
+from repro.sim import Simulator, Stats
+
+
+def make_queue(capacity=4):
+    sim = Simulator()
+    stats = Stats()
+    return sim, HwQueue(sim, 0, capacity, stats.scoped("q"))
+
+
+def drive(sim, gen):
+    box = {}
+
+    def wrapper():
+        box["value"] = yield from gen
+
+    sim.spawn(wrapper())
+    sim.run()
+    return box.get("value")
+
+
+def test_reserve_fill_pop_in_order():
+    sim, queue = make_queue()
+    i0 = drive(sim, queue.reserve())
+    i1 = drive(sim, queue.reserve())
+    queue.fill(i0, "a")
+    queue.fill(i1, "b")
+    assert drive(sim, queue.pop()) == "a"
+    assert drive(sim, queue.pop()) == "b"
+
+
+def test_out_of_order_fill_pops_in_program_order():
+    sim, queue = make_queue()
+    i0 = drive(sim, queue.reserve())
+    i1 = drive(sim, queue.reserve())
+    queue.fill(i1, "late-arrives-first")
+    assert not queue.head_ready()  # head slot still waiting for memory
+    queue.fill(i0, "first")
+    assert drive(sim, queue.pop()) == "first"
+    assert drive(sim, queue.pop()) == "late-arrives-first"
+
+
+def test_pop_blocks_until_fill():
+    sim, queue = make_queue()
+    index = drive(sim, queue.reserve())
+    got = []
+
+    def consumer():
+        value = yield from queue.pop()
+        got.append((sim.now, value))
+
+    def producer():
+        yield 50
+        queue.fill(index, 7)
+
+    sim.spawn(consumer())
+    sim.spawn(producer())
+    sim.run()
+    assert got == [(50, 7)]
+
+
+def test_reserve_blocks_when_full():
+    sim, queue = make_queue(capacity=2)
+    i0 = drive(sim, queue.reserve())
+    drive(sim, queue.reserve())
+    queue.fill(i0, "x")
+    times = {}
+
+    def producer():
+        index = yield from queue.reserve()  # must wait for a pop
+        times["reserved"] = sim.now
+        queue.fill(index, "y")
+
+    def consumer():
+        yield 30
+        value = yield from queue.pop()
+        times["popped"] = (sim.now, value)
+
+    sim.spawn(producer())
+    sim.spawn(consumer())
+    sim.run()
+    assert times["reserved"] == 30
+    assert times["popped"] == (30, "x")
+
+
+def test_fill_requires_reserved_slot():
+    sim, queue = make_queue()
+    with pytest.raises(QueueError):
+        queue.fill(0, "x")
+    index = drive(sim, queue.reserve())
+    queue.fill(index, "x")
+    with pytest.raises(QueueError):
+        queue.fill(index, "again")
+
+
+def test_try_reserve_and_try_pop():
+    sim, queue = make_queue(capacity=1)
+    assert queue.try_pop() is None
+    index = queue.try_reserve()
+    assert index == 0
+    assert queue.try_reserve() is None  # full
+    queue.fill(index, 5)
+    assert queue.try_pop() == 5
+    assert queue.try_pop() is None
+
+
+def test_wraparound_reuses_slots():
+    sim, queue = make_queue(capacity=2)
+    for round_no in range(5):
+        index = drive(sim, queue.reserve())
+        queue.fill(index, round_no)
+        assert drive(sim, queue.pop()) == round_no
+    assert queue.produced == 5
+    assert queue.consumed == 5
+
+
+def test_reset_clears_state():
+    sim, queue = make_queue()
+    index = drive(sim, queue.reserve())
+    queue.fill(index, 1)
+    queue.owner = "core0"
+    queue.reset()
+    assert queue.occupied == 0
+    assert queue.owner is None
+    assert queue.space.available == queue.capacity
+    assert not queue.ready.opened
+
+
+def test_reset_with_inflight_fetch_raises():
+    sim, queue = make_queue()
+    drive(sim, queue.reserve())  # reserved, never filled
+    with pytest.raises(QueueError):
+        queue.reset()
+
+
+def test_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        HwQueue(sim, 0, 0, Stats().scoped("q"))
+
+
+def test_scratchpad_geometry_matches_tapeout():
+    sim = Simulator()
+    sp = Scratchpad(sim, 1024, 8, 4, Stats().scoped("sp"))
+    assert len(sp) == 8
+    assert all(q.capacity == 32 for q in sp.queues)  # §5.3: 32 x 4B x 8 = 1KB
+
+
+def test_scratchpad_uneven_split_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Scratchpad(sim, 1000, 8, 4, Stats().scoped("sp"))
+
+
+def test_scratchpad_queue_bounds():
+    sim = Simulator()
+    sp = Scratchpad(sim, 1024, 8, 4, Stats().scoped("sp"))
+    with pytest.raises(KeyError):
+        sp.queue(8)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=60))
+@settings(max_examples=50)
+def test_fifo_order_preserved_under_random_fill_order(values):
+    """Whatever order memory responses arrive, pops deliver program order."""
+    import random
+
+    sim = Simulator()
+    queue = HwQueue(sim, 0, max(len(values), 1), Stats().scoped("q"))
+    indices = [drive(sim, queue.reserve()) for _ in values]
+    rng = random.Random(42)
+    fill_order = list(range(len(values)))
+    rng.shuffle(fill_order)
+    for pos in fill_order:
+        queue.fill(indices[pos], values[pos])
+    popped = [drive(sim, queue.pop()) for _ in values]
+    assert popped == values
+
+
+@given(st.integers(min_value=1, max_value=16), st.integers(min_value=1, max_value=100))
+@settings(max_examples=40)
+def test_producer_consumer_conservation(capacity, total):
+    """A pipelined producer/consumer pair never loses or duplicates items."""
+    sim = Simulator()
+    queue = HwQueue(sim, 0, capacity, Stats().scoped("q"))
+    received = []
+
+    def producer():
+        for i in range(total):
+            index = yield from queue.reserve()
+            yield 1
+            queue.fill(index, i)
+
+    def consumer():
+        for _ in range(total):
+            value = yield from queue.pop()
+            received.append(value)
+            yield 2
+
+    sim.spawn(producer())
+    sim.spawn(consumer())
+    sim.run()
+    assert received == list(range(total))
+    assert queue.occupied == 0

@@ -1,0 +1,389 @@
+"""Full-system integration tests: cores driving MAPLE through MMIO.
+
+These exercise the complete path of Fig. 3 — core pipeline, TLB, MMIO
+page, NoC, MAPLE decode, produce/consume pipelines, MAPLE MMU, DRAM — on
+a freshly built SoC per test.
+"""
+
+import pytest
+
+from repro.core.api import MapleApiError
+from repro.cpu import Alu, Load, Store, Thread
+from repro.params import SoCConfig
+from repro.system import Soc
+from repro.vm.os_model import SimOS
+
+
+def build_soc(**overrides):
+    cfg = SoCConfig().with_overrides(**overrides) if overrides else SoCConfig()
+    return Soc(cfg)
+
+
+def test_attach_maps_device_page():
+    soc = build_soc()
+    aspace = soc.new_process()
+    api = soc.driver.attach(aspace, core_tile=0)
+    assert aspace.page_table.lookup(api.page_vaddr) == soc.maples[0].page_paddr
+
+
+def test_attach_is_idempotent_per_process():
+    soc = build_soc()
+    aspace = soc.new_process()
+    api1 = soc.driver.attach(aspace)
+    api2 = soc.driver.attach(aspace)
+    assert api1 is api2
+
+
+def test_produce_consume_data_roundtrip():
+    soc = build_soc()
+    aspace = soc.new_process()
+    api = soc.driver.attach(aspace)
+    got = []
+    # The OPEN binding is per-thread; the consumer side of a decoupled pair
+    # reuses the producer's queue through a raw handle (the API maps logical
+    # queues onto shared hardware queues, §3).
+    from repro.core.api import QueueHandle
+
+    def producer():
+        handle = yield from api.open(0)
+        for i in range(5):
+            yield from handle.produce(i * 10)
+
+    def consumer():
+        handle = QueueHandle(api, 0)
+        for _ in range(5):
+            value = yield from handle.consume()
+            got.append(value)
+
+    soc.run_threads([
+        (0, Thread(producer(), aspace, "producer")),
+        (1, Thread(consumer(), aspace, "consumer")),
+    ])
+    assert got == [0, 10, 20, 30, 40]
+
+
+def test_produce_ptr_fetches_memory_in_program_order():
+    soc = build_soc()
+    aspace = soc.new_process()
+    api = soc.driver.attach(aspace)
+    data = soc.array(aspace, [5.5, 6.5, 7.5, 8.5], name="A")
+    got = []
+
+    def access():
+        handle = yield from api.open(0)
+        for i in (2, 0, 3, 1):
+            yield from handle.produce_ptr(data.addr(i))
+
+    def execute():
+        from repro.core.api import QueueHandle
+        handle = QueueHandle(api, 0)
+        for _ in range(4):
+            value = yield from handle.consume()
+            got.append(value)
+
+    soc.run_threads([
+        (0, Thread(access(), aspace, "access")),
+        (1, Thread(execute(), aspace, "execute")),
+    ])
+    assert got == [7.5, 5.5, 8.5, 6.5]
+    assert soc.stats.get("maple0.produce_ptrs") == 4
+
+
+def test_consume_round_trip_latency_near_25_cycles():
+    """Fig. 14: a ready consume costs ~25 cycles + 1/hop from core 0."""
+    soc = build_soc()
+    analytic = soc.maples[0].round_trip_cycles(core_tile=0)
+    assert analytic == 25
+
+    aspace = soc.new_process()
+    api = soc.driver.attach(aspace)
+    measured = {}
+
+    def program():
+        handle = yield from api.open(0)
+        yield from handle.produce(42)
+        yield Alu(300)  # let the fill land so the consume does not block
+        start = soc.sim.now
+        value = yield from handle.consume()
+        measured["latency"] = soc.sim.now - start
+        assert value == 42
+
+    soc.run_threads([(0, Thread(program(), aspace, "t"))])
+    assert measured["latency"] == analytic
+
+
+def test_consume_blocks_until_produce():
+    soc = build_soc()
+    aspace = soc.new_process()
+    api = soc.driver.attach(aspace)
+    times = {}
+
+    def consumer():
+        handle = yield from api.open(0)
+        value = yield from handle.consume()
+        times["consumed"] = (soc.sim.now, value)
+
+    def producer():
+        from repro.core.api import QueueHandle
+        handle = QueueHandle(api, 0)
+        # Wait long enough that even the consumer's cold page-table walk
+        # (three DRAM-latency PTE reads for the MMIO page) has finished.
+        yield Alu(3000)
+        yield from handle.produce("late")
+
+    soc.run_threads([
+        (0, Thread(consumer(), aspace, "c")),
+        (1, Thread(producer(), aspace, "p")),
+    ])
+    when, value = times["consumed"]
+    assert value == "late"
+    assert when > 3000
+    assert soc.stats.get("maple0.consume_stalls") == 1
+
+
+def test_full_queue_backpressures_producer():
+    # Queue capacity 32 + produce buffer 4: the 37th produce must stall
+    # until a consume frees a slot.
+    soc = build_soc()
+    aspace = soc.new_process()
+    api = soc.driver.attach(aspace)
+    cfg = soc.config
+    capacity = cfg.queue_entries
+    buffered = capacity + cfg.produce_buffer_entries
+    times = {}
+
+    def producer():
+        handle = yield from api.open(0)
+        for i in range(buffered + 1):
+            yield from handle.produce(i)
+        times["producer_done"] = soc.sim.now
+
+    def consumer():
+        from repro.core.api import QueueHandle
+        handle = QueueHandle(api, 0)
+        yield Alu(5000)
+        times["consume_at"] = soc.sim.now
+        for _ in range(buffered + 1):
+            yield from handle.consume()
+
+    soc.run_threads([
+        (0, Thread(producer(), aspace, "p")),
+        (1, Thread(consumer(), aspace, "c")),
+    ])
+    assert times["producer_done"] > times["consume_at"]
+    assert soc.stats.get("maple0.produce_backpressure") >= 1
+
+
+def test_packed_consume_returns_two_entries():
+    soc = build_soc()
+    aspace = soc.new_process()
+    api = soc.driver.attach(aspace)
+    got = []
+
+    def program():
+        handle = yield from api.open(0)
+        for i in range(4):
+            yield from handle.produce(i)
+        pair1 = yield from handle.consume_packed()
+        pair2 = yield from handle.consume_packed()
+        got.extend([pair1, pair2])
+
+    soc.run_threads([(0, Thread(program(), aspace, "t"))])
+    assert got == [(0, 1), (2, 3)]
+    assert soc.stats.get("maple0.consumes_packed") == 2
+
+
+def test_packed_consume_requires_4_byte_entries():
+    soc = build_soc(queue_entry_bytes=8)
+    aspace = soc.new_process()
+    api = soc.driver.attach(aspace)
+
+    def program():
+        handle = yield from api.open(0)
+        yield from handle.produce(1)
+        yield from handle.produce(2)
+        yield from handle.consume_packed()
+
+    from repro.core.engine import MapleError
+    with pytest.raises(MapleError):
+        soc.run_threads([(0, Thread(program(), aspace, "t"))])
+
+
+def test_open_grants_exclusive_binding():
+    soc = build_soc()
+    aspace = soc.new_process()
+    api = soc.driver.attach(aspace)
+    outcome = {}
+
+    def first():
+        handle = yield from api.open(0)
+        outcome["first"] = True
+        yield Alu(100)
+        yield from handle.close()
+
+    def second():
+        yield Alu(50)  # after first OPEN, before CLOSE
+        try:
+            yield from api.open(0)
+            outcome["second"] = "granted"
+        except MapleApiError:
+            outcome["second"] = "denied"
+
+    soc.run_threads([
+        (0, Thread(first(), aspace, "a")),
+        (1, Thread(second(), aspace, "b")),
+    ])
+    assert outcome == {"first": True, "second": "denied"}
+
+
+def test_close_then_reopen():
+    soc = build_soc()
+    aspace = soc.new_process()
+    api = soc.driver.attach(aspace)
+
+    def program():
+        handle = yield from api.open(0)
+        yield from handle.close()
+        handle2 = yield from api.open(0)  # rebind succeeds after close
+        yield from handle2.produce(1)
+        value = yield from handle2.consume()
+        assert value == 1
+
+    soc.run_threads([(0, Thread(program(), aspace, "t"))])
+
+
+def test_use_after_close_raises():
+    soc = build_soc()
+    aspace = soc.new_process()
+    api = soc.driver.attach(aspace)
+
+    def program():
+        handle = yield from api.open(0)
+        yield from handle.close()
+        with pytest.raises(MapleApiError):
+            yield from handle.produce(1)
+
+    soc.run_threads([(0, Thread(program(), aspace, "t"))])
+
+
+def test_runahead_overlaps_fetches():
+    """The Access thread keeps producing while MAPLE fetches in parallel:
+    total time must be far below N serialized DRAM accesses (Fig. 2)."""
+    soc = build_soc()
+    aspace = soc.new_process()
+    api = soc.driver.attach(aspace)
+    n = 16
+    # Spread data across lines so each fetch is a distinct DRAM access.
+    data = soc.array(aspace, [float(i) for i in range(n * 8)], name="A")
+    got = []
+
+    def access():
+        handle = yield from api.open(0)
+        for i in range(n):
+            yield from handle.produce_ptr(data.addr(i * 8))
+
+    def execute():
+        from repro.core.api import QueueHandle
+        handle = QueueHandle(api, 0)
+        for _ in range(n):
+            got.append((yield from handle.consume()))
+
+    elapsed = soc.run_threads([
+        (0, Thread(access(), aspace, "access")),
+        (1, Thread(execute(), aspace, "execute")),
+    ])
+    assert got == [float(i * 8) for i in range(n)]
+    serialized = n * soc.config.dram_latency
+    assert elapsed < 0.5 * serialized  # MLP must be visible
+    assert soc.stats.histogram("maple0.fetch_mlp").max > 1
+
+
+def test_stat_counters_via_debug_api():
+    soc = build_soc()
+    aspace = soc.new_process()
+    api = soc.driver.attach(aspace)
+    stats_read = {}
+
+    def program():
+        handle = yield from api.open(0)
+        for i in range(3):
+            yield from handle.produce(i)
+        yield from handle.consume()
+        stats_read["produced"] = yield from handle.stat_produced()
+        stats_read["consumed"] = yield from handle.stat_consumed()
+        stats_read["occupancy"] = yield from handle.stat_occupancy()
+
+    soc.run_threads([(0, Thread(program(), aspace, "t"))])
+    assert stats_read == {"produced": 3, "consumed": 1, "occupancy": 2}
+
+
+def test_maple_page_fault_resolved_by_driver():
+    """PRODUCE_PTR into a lazily-mapped page: MAPLE's walker faults, the
+    driver maps the page, and the fetch completes (§3.5)."""
+    soc = build_soc()
+    aspace = soc.new_process()
+    api = soc.driver.attach(aspace)
+    lazy = soc.array(aspace, 8, name="lazy", lazy=True)
+    got = []
+
+    def program():
+        handle = yield from api.open(0)
+        yield from handle.produce_ptr(lazy.addr(0))
+        got.append((yield from handle.consume()))
+
+    soc.run_threads([(0, Thread(program(), aspace, "t"))])
+    assert got == [0]  # demand-zero page
+    assert soc.stats.get("maple0.page_faults") == 1
+    assert soc.stats.get("os.demand_mapped_pages") == 1
+
+
+def test_shootdown_reaches_maple_tlb():
+    soc = build_soc()
+    aspace = soc.new_process()
+    api = soc.driver.attach(aspace)
+    data = soc.array(aspace, [1.0] * 8, name="A")
+
+    def program():
+        handle = yield from api.open(0)
+        yield from handle.produce_ptr(data.addr(0))
+        yield from handle.consume()
+
+    soc.run_threads([(0, Thread(program(), aspace, "t"))])
+    maple_tlb = soc.maples[0].mmu.tlb
+    assert maple_tlb.translate(data.addr(0)) is not None
+    soc.os.munmap(aspace, data.base, 8 * len(data))
+    assert maple_tlb.translate(data.addr(0)) is None
+    assert soc.stats.get("maple0.shootdowns") >= 1
+
+
+def test_speculative_prefetch_op_fills_llc():
+    soc = build_soc()
+    aspace = soc.new_process()
+    api = soc.driver.attach(aspace)
+    data = soc.array(aspace, [3.0] * 8, name="A")
+
+    def program():
+        yield from api.prefetch(data.addr(0))
+        yield Alu(600)  # allow the prefetch to land
+        value = yield Load(data.addr(0))
+        assert value == 3.0
+
+    soc.run_threads([(0, Thread(program(), aspace, "t"))])
+    paddr = aspace.page_table.lookup(data.addr(0))
+    line = paddr & ~(soc.config.line_size - 1)
+    assert soc.stats.get("l2.prefetches") == 1
+    # The demand load after the prefetch hits in L2, not DRAM.
+    assert soc.stats.get("l2.hits") >= 1
+
+
+def test_nearest_maple_instance_chosen():
+    soc = build_soc(maple_instances=2, num_cores=2, mesh_cols=2, mesh_rows=2)
+    # tiles: core0@0 (0,0), core1@1 (1,0), maple0@2 (0,1), maple1@3 (1,1)
+    assert soc.driver.pick_instance(core_tile=0).instance_id == 0
+    assert soc.driver.pick_instance(core_tile=1).instance_id == 1
+
+
+def test_mesh_autogrows_for_many_tiles():
+    soc = build_soc(num_cores=8, maple_instances=1)
+    assert soc.config.mesh_cols * soc.config.mesh_rows >= 9
+    assert len(soc.cores) == 8

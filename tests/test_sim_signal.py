@@ -1,0 +1,205 @@
+"""Unit tests for Gate, Semaphore, and Barrier."""
+
+import pytest
+
+from repro.sim import Barrier, Gate, Semaphore, Simulator
+
+
+def test_gate_open_passes_immediately():
+    sim = Simulator()
+    gate = Gate(sim, opened=True)
+    times = []
+
+    def proc():
+        yield from gate.wait()
+        times.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert times == [0]
+
+
+def test_gate_blocks_until_opened():
+    sim = Simulator()
+    gate = Gate(sim)
+    times = []
+
+    def waiter():
+        yield from gate.wait()
+        times.append(sim.now)
+
+    def opener():
+        yield 30
+        gate.open()
+
+    sim.spawn(waiter())
+    sim.spawn(opener())
+    sim.run()
+    assert times == [30]
+
+
+def test_gate_reusable_after_close():
+    sim = Simulator()
+    gate = Gate(sim, opened=True)
+    times = []
+
+    def waiter(delay):
+        yield delay
+        yield from gate.wait()
+        times.append(sim.now)
+
+    def controller():
+        yield 5
+        gate.close()
+        yield 20
+        gate.open()
+
+    sim.spawn(waiter(0))   # passes at t=0 while open
+    sim.spawn(waiter(10))  # arrives closed, released at t=25
+    sim.spawn(controller())
+    sim.run()
+    assert times == [0, 25]
+
+
+def test_gate_closed_between_wakeup_reblocks():
+    # A gate that opens then immediately closes must not leak a waiter through.
+    sim = Simulator()
+    gate = Gate(sim)
+    times = []
+
+    def waiter():
+        yield from gate.wait()
+        times.append(sim.now)
+
+    def flicker():
+        yield 10
+        gate.open()
+        gate.close()  # closed again before the waiter's resume runs
+        yield 10
+        gate.open()
+
+    sim.spawn(waiter())
+    sim.spawn(flicker())
+    sim.run()
+    assert times == [20]
+
+
+def test_semaphore_limits_concurrency():
+    sim = Simulator()
+    sem = Semaphore(sim, capacity=2)
+    active = []
+    peak = []
+
+    def worker(i):
+        yield from sem.acquire()
+        active.append(i)
+        peak.append(len(active))
+        yield 10
+        active.remove(i)
+        sem.release()
+
+    for i in range(5):
+        sim.spawn(worker(i))
+    sim.run()
+    assert max(peak) == 2
+    assert sim.now == 30  # 5 workers, 2 at a time, 10 cycles each
+
+
+def test_semaphore_try_acquire():
+    sim = Simulator()
+    sem = Semaphore(sim, capacity=1)
+    assert sem.try_acquire()
+    assert not sem.try_acquire()
+    sem.release()
+    assert sem.try_acquire()
+
+
+def test_semaphore_over_release_raises():
+    sim = Simulator()
+    sem = Semaphore(sim, capacity=1)
+    with pytest.raises(RuntimeError):
+        sem.release()
+
+
+def test_semaphore_fifo_fairness():
+    sim = Simulator()
+    sem = Semaphore(sim, capacity=1)
+    order = []
+
+    def worker(i, start):
+        yield start
+        yield from sem.acquire()
+        order.append(i)
+        yield 5
+        sem.release()
+
+    sim.spawn(worker(0, 0))
+    sim.spawn(worker(1, 1))
+    sim.spawn(worker(2, 2))
+    sim.run()
+    assert order == [0, 1, 2]
+
+
+def test_semaphore_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Semaphore(sim, capacity=0)
+
+
+def test_barrier_releases_all_parties_together():
+    sim = Simulator()
+    barrier = Barrier(sim, parties=3)
+    release_times = []
+
+    def thread(delay):
+        yield delay
+        yield from barrier.wait()
+        release_times.append(sim.now)
+
+    sim.spawn(thread(5))
+    sim.spawn(thread(15))
+    sim.spawn(thread(25))
+    sim.run()
+    assert release_times == [25, 25, 25]
+    assert barrier.epoch == 1
+
+
+def test_barrier_reusable_across_epochs():
+    sim = Simulator()
+    barrier = Barrier(sim, parties=2)
+    log = []
+
+    def thread(name, work):
+        for layer in range(3):
+            yield work
+            yield from barrier.wait()
+            log.append((name, layer, sim.now))
+
+    sim.spawn(thread("fast", 1))
+    sim.spawn(thread("slow", 10))
+    sim.run()
+    assert barrier.epoch == 3
+    # Both threads see each layer end at the slow thread's pace.
+    layer_times = sorted({t for (_, _, t) in log})
+    assert layer_times == [10, 20, 30]
+
+
+def test_barrier_single_party_never_blocks():
+    sim = Simulator()
+    barrier = Barrier(sim, parties=1)
+    times = []
+
+    def thread():
+        yield 4
+        yield from barrier.wait()
+        times.append(sim.now)
+
+    sim.spawn(thread())
+    sim.run()
+    assert times == [4]
+
+
+def test_barrier_parties_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Barrier(sim, parties=0)
