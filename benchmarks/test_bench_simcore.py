@@ -1,0 +1,177 @@
+"""Simulation-core throughput: the engine perf-regression harness.
+
+Two measurements, both against the preserved seed engine
+(:class:`repro.sim.reference.ReferenceSimulator`) on the same host so
+ratios are machine-independent:
+
+1. **Engine churn** — a synthetic mix of timed yields, zero-delay
+   yields, and process turnover with no model code at all.  This
+   isolates the event loop itself (slot event records, same-cycle ready
+   deque, batch drain, inlined generator stepping), where the fast path
+   is worth 2.5-3x; the floor asserts >= 2x.
+
+2. **Workload mix** — a fig8-sized FPGA-config run (spmv and sdhp,
+   doall and MAPLE decoupling).  Events/sec comes from the engine's own
+   instrumentation (``events_executed`` / ``run_wall_seconds``), which
+   excludes dataset construction and SoC assembly.  Per-cell cycle
+   counts and event totals must match the reference engine exactly, and
+   throughput must not regress below it.  The reference run shares the
+   optimized periphery (counter handles, route memoization, cache
+   probes), so this ratio only reflects the event loop — the recorded
+   whole-stack trajectory against the seed *commit* lives in
+   ``BENCH_simcore.json`` (~88k -> ~205k ev/s, 2.3x, on the dev host).
+
+``SIMCORE_SMOKE=1`` shrinks both measurements for CI smoke runs.
+"""
+
+import gc
+import json
+import os
+from pathlib import Path
+
+from conftest import run_once
+
+import repro.system.soc as soc_module
+from repro.harness.techniques import run_workload
+from repro.sim.engine import Simulator
+from repro.sim.reference import ReferenceSimulator
+
+SMOKE = os.environ.get("SIMCORE_SMOKE") == "1"
+
+#: (app, technique, threads) cells of the fig8-sized mix (34,396 engine
+#: events at scale=1, 68,825 at scale=2, across the four cells).
+CELLS = (
+    [("spmv", "maple-decouple", 4)]
+    if SMOKE
+    else [
+        ("spmv", "maple-decouple", 4),
+        ("spmv", "doall", 4),
+        ("sdhp", "maple-decouple", 8),
+        ("sdhp", "doall", 8),
+    ]
+)
+
+#: Dataset scale: the full run doubles fig8's default so each timing
+#: window is long enough that host scheduling noise stays well inside
+#: the ratio margin.
+MIX_SCALE = 1 if SMOKE else 2
+
+#: Synthetic churn size (processes x steps); measured ~2.7-3.0x over the
+#: seed engine, so a 2x floor leaves real margin for host noise.
+CHURN_PROCS, CHURN_STEPS = (20, 500) if SMOKE else (50, 4000)
+CHURN_RATIO_FLOOR = 1.5 if SMOKE else 2.0
+
+#: The workload mix shares the optimized periphery between both engines,
+#: so only the event loop differs (~1.1-1.2x); the floor just catches
+#: the fast path ever losing to the seed loop outright.
+MIX_RATIO_FLOOR = 0.9 if SMOKE else 1.0
+
+BENCH_RECORD = Path(__file__).resolve().parent.parent / "BENCH_simcore.json"
+
+
+def _run_mix():
+    """Run every cell; return engine-level totals and per-cell cycles."""
+    events = 0
+    wall = 0.0
+    cycles = []
+    for app, technique, threads in CELLS:
+        result = run_workload(app, technique, threads=threads,
+                              scale=MIX_SCALE)
+        sim = result.soc.sim
+        events += sim.events_executed
+        wall += sim.run_wall_seconds
+        cycles.append(result.cycles)
+    return {
+        "events": events,
+        "wall_seconds": wall,
+        "cycles": cycles,
+        "events_per_sec": events / wall,
+    }
+
+
+def _run_churn(sim_cls):
+    """Pure engine stress: timed yields, zero-delay yields, spawn/finish."""
+    sim = sim_cls()
+
+    def worker():
+        for step in range(CHURN_STEPS):
+            yield 1
+            if step & 3 == 0:
+                yield 0
+
+    for _ in range(CHURN_PROCS):
+        sim.spawn(worker())
+    sim.run()
+    return {
+        "events": sim.events_executed,
+        "final_cycle": sim.now,
+        "events_per_sec": sim.events_executed / sim.run_wall_seconds,
+    }
+
+
+def test_bench_simcore_events_per_sec(benchmark, monkeypatch):
+    _run_mix()  # warm imports and per-module setup before timing
+
+    gc.collect()
+    fast = run_once(benchmark, _run_mix)
+
+    monkeypatch.setattr(soc_module, "Simulator", ReferenceSimulator)
+    gc.collect()
+    seed = _run_mix()
+
+    # The fast path must be invisible at the simulation level: identical
+    # final cycle counts per cell and identical executed-event totals.
+    assert fast["cycles"] == seed["cycles"]
+    assert fast["events"] == seed["events"]
+
+    ratio = fast["events_per_sec"] / seed["events_per_sec"]
+    print(
+        f"\nsimcore mix: {fast['events']} events"
+        f" | optimized {fast['events_per_sec']:,.0f} ev/s"
+        f" | reference-engine {seed['events_per_sec']:,.0f} ev/s"
+        f" | ratio {ratio:.2f}x (floor {MIX_RATIO_FLOOR}x)"
+    )
+    if BENCH_RECORD.exists():
+        record = json.loads(BENCH_RECORD.read_text())
+        for point in record["trajectory"]:
+            print(
+                f"  recorded: {point['label']}: "
+                f"{point['events_per_sec']:,.0f} ev/s"
+            )
+        # The recorded whole-stack trajectory on this mix (seed commit vs
+        # optimized, same host, engine-run time only) is the >=2x claim;
+        # the live same-host enforcement of the event loop itself is
+        # test_bench_simcore_engine_churn.
+        assert record["speedup_over_seed"] >= 2.0
+
+    assert ratio >= MIX_RATIO_FLOOR, (
+        f"engine throughput regressed on the workload mix: {ratio:.2f}x "
+        f"vs the reference engine (floor {MIX_RATIO_FLOOR}x); see "
+        "tools/profile_run.py to find the hot spot"
+    )
+
+
+def test_bench_simcore_engine_churn(benchmark):
+    # Warm both engines (imports, allocator) before timing.
+    _run_churn(Simulator)
+    _run_churn(ReferenceSimulator)
+
+    gc.collect()
+    fast = run_once(benchmark, _run_churn, Simulator)
+    gc.collect()
+    seed = _run_churn(ReferenceSimulator)
+
+    assert fast["events"] == seed["events"]
+    assert fast["final_cycle"] == seed["final_cycle"]
+
+    ratio = fast["events_per_sec"] / seed["events_per_sec"]
+    print(
+        f"\nengine churn: {fast['events']} events"
+        f" | fast {fast['events_per_sec']:,.0f} ev/s"
+        f" | seed {seed['events_per_sec']:,.0f} ev/s"
+        f" | speedup {ratio:.2f}x (floor {CHURN_RATIO_FLOOR}x)"
+    )
+    assert ratio >= CHURN_RATIO_FLOOR, (
+        f"event-loop fast path regressed: {ratio:.2f}x over the seed "
+        f"engine (floor {CHURN_RATIO_FLOOR}x)"
+    )

@@ -350,10 +350,14 @@ def interpret(kernel: Kernel, runtime: Runtime, role: Role):
 
 
 def _exec_body(body, env: dict, role: Role, runtime: Runtime):
+    # Exact-class dispatch: Stmt is a closed union (see ir.Stmt), so
+    # ``type(stmt)`` comparisons replace the isinstance chain on the
+    # per-statement hot path with identical behavior.
     for stmt in body:
         if not role.includes(stmt):
             continue
-        if isinstance(stmt, ForStmt):
+        cls = stmt.__class__
+        if cls is ForStmt:
             lo = int(eval_expr(stmt.lo, env))
             hi = int(eval_expr(stmt.hi, env))
             yield from role.on_loop_enter(stmt, lo, hi, env, runtime)
@@ -361,19 +365,19 @@ def _exec_body(body, env: dict, role: Role, runtime: Runtime):
                 env[stmt.var] = index
                 yield from role.on_iteration(stmt, index, hi, env, runtime)
                 yield from _exec_body(stmt.body, env, role, runtime)
-        elif isinstance(stmt, LoadStmt):
+        elif cls is LoadStmt:
             yield from _exec_load(stmt, env, role, runtime)
-        elif isinstance(stmt, ComputeStmt):
+        elif cls is ComputeStmt:
             env[stmt.dest] = eval_expr(stmt.expr, env)
             yield isa.Alu(stmt.cycles)
-        elif isinstance(stmt, StoreStmt):
+        elif cls is StoreStmt:
             array = runtime.array(stmt.array)
             addr = array.addr(int(eval_expr(stmt.index, env)))
             yield from role.store(addr, eval_expr(stmt.value, env))
-        elif isinstance(stmt, IfStmt):
+        elif cls is IfStmt:
             if eval_expr(stmt.cond, env):
                 yield from _exec_body(stmt.body, env, role, runtime)
-        elif isinstance(stmt, FetchAddStmt):
+        elif cls is FetchAddStmt:
             array = runtime.array(stmt.array)
             addr = array.addr(int(eval_expr(stmt.index, env)))
             amount = eval_expr(stmt.amount, env)

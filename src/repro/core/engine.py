@@ -53,6 +53,17 @@ class Maple:
         self._network = network
         self.config = config
         self.stats = stats.scoped(f"maple{instance_id}")
+        # Bound handles for the per-request pipelines (see sim.stats).
+        self._c_consumes = self.stats.counter("consumes")
+        self._c_consumes_packed = self.stats.counter("consumes_packed")
+        self._c_consume_stalls = self.stats.counter("consume_stalls")
+        self._c_produces = self.stats.counter("produces")
+        self._c_produce_ptrs = self.stats.counter("produce_ptrs")
+        self._c_produce_backpressure = self.stats.counter("produce_backpressure")
+        self._h_fetch_mlp = self.stats.histogram("fetch_mlp")
+        # Per-request pipeline constants, hoisted out of _handle.
+        self._mmio_path_latency = config.mmio_path_latency
+        self._pipeline_latency = config.maple_pipeline_latency
         self.page_paddr = mmio_base + instance_id * PAGE_SIZE
 
         self.scratchpad = Scratchpad(
@@ -99,20 +110,23 @@ class Maple:
         """Generator: the MMIORegion handler — one MMIO load or store."""
         opcode, queue_id = decode_offset(paddr - self.page_paddr)
         core_tile = self.core_tiles.get(core_id, core_id)
+        is_load = op == "load"
+        kind, resp_kind = (("mmio_load", "mmio_load_resp") if is_load
+                           else ("mmio_store", "mmio_store_resp"))
         # Outbound: core pipeline -> L1 -> L1.5 -> request NoC (Fig. 14).
-        yield self.config.mmio_path_latency
+        yield self._mmio_path_latency
         yield from self._network.transfer(
-            Packet(core_tile, self.tile_id, f"mmio_{op}"), Plane.REQUEST)
-        yield self.config.maple_pipeline_latency  # decode + pipeline stages
-        if op == "load":
+            Packet(core_tile, self.tile_id, kind), Plane.REQUEST)
+        yield self._pipeline_latency  # decode + pipeline stages
+        if is_load:
             result = yield from self._dispatch_load(LoadOp(opcode), queue_id, core_id)
         else:
             result = yield from self._dispatch_store(StoreOp(opcode), queue_id,
                                                      value, core_id)
         # Response: NoC back plus the L1.5/L1 return path into the core.
         yield from self._network.transfer(
-            Packet(self.tile_id, core_tile, f"mmio_{op}_resp"), Plane.RESPONSE)
-        yield self.config.mmio_path_latency
+            Packet(self.tile_id, core_tile, resp_kind), Plane.RESPONSE)
+        yield self._mmio_path_latency
         return result
 
     # -- Consume pipeline ----------------------------------------------------------
@@ -120,12 +134,12 @@ class Maple:
     def _dispatch_load(self, opcode: LoadOp, queue_id: int, core_id: int):
         queue = self.scratchpad.queue(queue_id)
         if opcode == LoadOp.CONSUME:
-            self.stats.bump("consumes")
+            self._c_consumes.value += 1
             return (yield from self._consume(queue, count=1))
         if opcode == LoadOp.CONSUME_PACKED:
             if self.config.queue_entry_bytes != 4:
                 raise MapleError("packed consume requires 4-byte queue entries")
-            self.stats.bump("consumes_packed")
+            self._c_consumes_packed.value += 1
             return (yield from self._consume(queue, count=2))
         if opcode == LoadOp.OPEN:
             return self._open_queue(queue, core_id)
@@ -146,10 +160,11 @@ class Maple:
     def _consume(self, queue: HwQueue, count: int):
         """Pop ``count`` entries in order; buffered while the queue is empty."""
         mutex = self._consume_mutexes[queue.queue_id]
-        yield from mutex.acquire()
+        if not mutex.try_acquire():
+            yield from mutex.acquire()
         try:
             if not queue.head_ready():
-                self.stats.bump("consume_stalls")
+                self._c_consume_stalls.value += 1
             values = []
             for _ in range(count):
                 value = yield from queue.pop()
@@ -217,14 +232,14 @@ class Maple:
         queue = self.scratchpad.queue(queue_id)
         buffer = self._produce_buffers[queue_id]
         if buffer.available == 0:
-            self.stats.bump("produce_backpressure")
+            self._c_produce_backpressure.value += 1
         yield from buffer.acquire()
         if opcode == StoreOp.PRODUCE:
-            self.stats.bump("produces")
+            self._c_produces.value += 1
             self._sim.spawn(self._produce_data_worker(queue, buffer, value),
                             name=f"maple{self.instance_id}.produce")
         else:
-            self.stats.bump("produce_ptrs")
+            self._c_produce_ptrs.value += 1
             via_llc = opcode == StoreOp.PRODUCE_PTR_LLC
             self._sim.spawn(
                 self._produce_ptr_worker(queue, buffer, value, via_llc=via_llc),
@@ -249,10 +264,11 @@ class Maple:
         memory transaction ID, so out-of-order DRAM responses land in the
         right place and the queue still delivers in program order.
         """
-        yield from self._inflight.acquire()
+        if not self._inflight.try_acquire():
+            yield from self._inflight.acquire()
         try:
             queue.ptr_fetches += 1
-            self.stats.observe("fetch_mlp", self._inflight.in_use)
+            self._h_fetch_mlp.add(self._inflight.in_use)
             paddr = yield from self.mmu.translate(ptr)
             if via_llc:
                 data = yield from self._memsys.load_llc(paddr)

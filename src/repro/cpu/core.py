@@ -45,6 +45,15 @@ class Core:
         self._os = os
         self.config = config
         self.stats = stats.scoped(f"core{core_id}")
+        # Pre-resolved stat handles for the per-instruction hot path.
+        self._c_instructions = self.stats.counter("instructions")
+        self._c_alu_ops = self.stats.counter("alu_ops")
+        self._c_loads = self.stats.counter("loads")
+        self._c_stores = self.stats.counter("stores")
+        self._c_prefetches = self.stats.counter("prefetches")
+        self._c_amos = self.stats.counter("amos")
+        self._c_syncs = self.stats.counter("syncs")
+        self._h_load_latency = self.stats.histogram("load_latency")
         self.tlb = Tlb(config.core_tlb_entries, self.stats, name=f"tlb{core_id}")
         self._ptw = PageTableWalker(memsys, self.stats, name=f"ptw{core_id}")
         #: Outstanding-L1-miss budget shared by demand loads and software
@@ -52,6 +61,9 @@ class Core:
         self._mshrs = Semaphore(sim, config.core_mshrs, name=f"mshr{core_id}")
         self._store_buffer = Semaphore(sim, config.store_buffer_entries,
                                        name=f"stb{core_id}")
+        # Spawn names, built once (stores/prefetches spawn per instruction).
+        self._stb_name = f"core{core_id}.stb"
+        self._prefetch_name = f"core{core_id}.prefetch"
         os.register_tlb(self.tlb)
 
     def run(self, thread: Thread):
@@ -71,21 +83,21 @@ class Core:
             to_send = yield from self._perform(inst, thread.aspace)
 
     def _perform(self, inst, aspace: AddressSpace):
-        if isinstance(inst, int) or hasattr(inst, "_add_waiter") or hasattr(inst, "_add_joiner"):
-            # A raw simulation wait (delay / Signal / Process join) from a
-            # hardware-model backend the thread is blocked on: the core
-            # stalls until it resolves. Not an architectural instruction.
-            result = yield inst
-            return result
-        self.stats.bump("instructions")
-        if isinstance(inst, Alu):
-            self.stats.bump("alu_ops")
+        # Exact-class dispatch for the per-instruction hot path; anything
+        # unusual (raw simulation waits, isa subclasses) falls through to
+        # the general chain in _perform_slow with unchanged semantics.
+        kind = inst.__class__
+        if kind is Load:
+            self._c_instructions.value += 1
+            return (yield from self._do_load(inst.vaddr, aspace))
+        if kind is Alu:
+            self._c_instructions.value += 1
+            self._c_alu_ops.value += 1
             yield inst.cycles
             return None
-        if isinstance(inst, Load):
-            return (yield from self._do_load(inst.vaddr, aspace))
-        if isinstance(inst, Store):
-            self.stats.bump("stores")
+        if kind is Store:
+            self._c_instructions.value += 1
+            self._c_stores.value += 1
             paddr = yield from self._translate(aspace, inst.vaddr)
             if self._memsys.is_mmio(paddr):
                 # MMIO stores (MAPLE produces) are synchronous: the store
@@ -96,45 +108,95 @@ class Core:
             # architecturally visible now; cache/coherence work completes
             # in the background, stalling only when the buffer is full.
             self._memsys.mem.write_word(paddr, inst.value)
+            if not self._store_buffer.try_acquire():
+                yield from self._store_buffer.acquire()
+            self._sim.spawn(self._drain_store(paddr, inst.value),
+                            name=self._stb_name)
+            yield 1
+            return None
+        if kind is Prefetch:
+            self._c_instructions.value += 1
+            self._c_prefetches.value += 1
+            paddr = yield from self._translate(aspace, inst.vaddr)
+            self._sim.spawn(self._prefetch_through_mshr(paddr),
+                            name=self._prefetch_name)
+            yield 1  # issue slot
+            return None
+        if kind is Amo:
+            self._c_instructions.value += 1
+            self._c_amos.value += 1
+            paddr = yield from self._translate(aspace, inst.vaddr)
+            old = yield from self._memsys.amo(self.core_id, paddr, inst.op)
+            return old
+        if kind is Sync:
+            self._c_instructions.value += 1
+            self._c_syncs.value += 1
+            yield from inst.barrier.wait()
+            return None
+        return (yield from self._perform_slow(inst, aspace))
+
+    def _perform_slow(self, inst, aspace: AddressSpace):
+        """The original dispatch chain, for everything off the fast path."""
+        if isinstance(inst, int) or hasattr(inst, "_add_waiter") or hasattr(inst, "_add_joiner"):
+            # A raw simulation wait (delay / Signal / Process join) from a
+            # hardware-model backend the thread is blocked on: the core
+            # stalls until it resolves. Not an architectural instruction.
+            result = yield inst
+            return result
+        self._c_instructions.value += 1
+        if isinstance(inst, Alu):
+            self._c_alu_ops.value += 1
+            yield inst.cycles
+            return None
+        if isinstance(inst, Load):
+            return (yield from self._do_load(inst.vaddr, aspace))
+        if isinstance(inst, Store):
+            self._c_stores.value += 1
+            paddr = yield from self._translate(aspace, inst.vaddr)
+            if self._memsys.is_mmio(paddr):
+                yield from self._memsys.store(self.core_id, paddr, inst.value)
+                return None
+            self._memsys.mem.write_word(paddr, inst.value)
             yield from self._store_buffer.acquire()
             self._sim.spawn(self._drain_store(paddr, inst.value),
-                            name=f"core{self.core_id}.stb")
+                            name=self._stb_name)
             yield 1
             return None
         if isinstance(inst, Prefetch):
-            self.stats.bump("prefetches")
+            self._c_prefetches.value += 1
             paddr = yield from self._translate(aspace, inst.vaddr)
             self._sim.spawn(self._prefetch_through_mshr(paddr),
-                            name=f"core{self.core_id}.prefetch")
+                            name=self._prefetch_name)
             yield 1  # issue slot
             return None
         if isinstance(inst, Amo):
-            self.stats.bump("amos")
+            self._c_amos.value += 1
             paddr = yield from self._translate(aspace, inst.vaddr)
             old = yield from self._memsys.amo(self.core_id, paddr, inst.op)
             return old
         if isinstance(inst, Sync):
-            self.stats.bump("syncs")
+            self._c_syncs.value += 1
             yield from inst.barrier.wait()
             return None
         raise TypeError(f"core {self.core_id}: unknown instruction {inst!r}")
 
     def _do_load(self, vaddr: int, aspace: AddressSpace):
-        self.stats.bump("loads")
+        self._c_loads.value += 1
         start = self._sim.now
         paddr = yield from self._translate(aspace, vaddr)
         if (self._memsys._mmio_region(paddr) is None
                 and not self._memsys.l1_would_hit(self.core_id, paddr)):
             # A demand miss takes an MSHR — and waits if software
             # prefetches already occupy them (the blocking-cache effect).
-            yield from self._mshrs.acquire()
+            if not self._mshrs.try_acquire():
+                yield from self._mshrs.acquire()
             try:
                 value = yield from self._memsys.load(self.core_id, paddr)
             finally:
                 self._mshrs.release()
         else:
             value = yield from self._memsys.load(self.core_id, paddr)
-        self.stats.observe("load_latency", self._sim.now - start)
+        self._h_load_latency.add(self._sim.now - start)
         return value
 
     def _drain_store(self, paddr: int, value):
@@ -145,7 +207,8 @@ class Core:
             self._store_buffer.release()
 
     def _prefetch_through_mshr(self, paddr: int):
-        yield from self._mshrs.acquire()
+        if not self._mshrs.try_acquire():
+            yield from self._mshrs.acquire()
         try:
             yield from self._memsys.prefetch_fill(self.core_id, paddr)
         finally:

@@ -22,11 +22,14 @@ class PhysicalMemory:
         self._words: Dict[int, Any] = {}
 
     def read_word(self, paddr: int) -> Any:
-        self._check(paddr)
+        # Inlined alignment check (read_word runs once per simulated load).
+        if paddr & 7 or paddr < 0:
+            self._check(paddr)
         return self._words.get(paddr, 0)
 
     def write_word(self, paddr: int, value: Any) -> None:
-        self._check(paddr)
+        if paddr & 7 or paddr < 0:
+            self._check(paddr)
         self._words[paddr] = value
 
     def read_line(self, line_addr: int, line_size: int) -> list:

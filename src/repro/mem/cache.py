@@ -14,6 +14,10 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 
+#: Sentinel distinguishing "absent" from a stored False dirty bit.
+_ABSENT = object()
+
+
 @dataclass
 class EvictedLine:
     """What :meth:`Cache.insert` displaced."""
@@ -34,6 +38,11 @@ class Cache:
         self.line_size = line_size
         self.num_sets = size // (ways * line_size)
         self._line_shift = line_size.bit_length() - 1
+        # Set-index mask, precomputed: geometries here always yield a
+        # power-of-two set count, so indexing is a shift + AND (the modulo
+        # fallback covers exotic configs).
+        self._set_mask = self.num_sets - 1 if not (self.num_sets &
+                                                   (self.num_sets - 1)) else None
         # Each set maps line -> dirty flag; OrderedDict order is LRU order
         # (least recent first).
         self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
@@ -41,15 +50,18 @@ class Cache:
     def _set_for(self, line: int) -> OrderedDict:
         # ``line`` is a line-aligned byte address; the set index comes from
         # the bits just above the offset, as in real tag arrays.
+        if self._set_mask is not None:
+            return self._sets[(line >> self._line_shift) & self._set_mask]
         return self._sets[(line >> self._line_shift) % self.num_sets]
 
     def lookup(self, line: int) -> bool:
         """Probe for a line; a hit refreshes its LRU position."""
-        entry = self._set_for(line)
-        if line in entry:
-            entry.move_to_end(line)
+        # Single-probe fast path: move_to_end does the presence check.
+        try:
+            self._set_for(line).move_to_end(line)
             return True
-        return False
+        except KeyError:
+            return False
 
     def contains(self, line: int) -> bool:
         """Probe without disturbing LRU state (for assertions/snoops)."""
@@ -62,9 +74,11 @@ class Cache:
         the dirty bit (a fill never cleans a dirty line).
         """
         entry = self._set_for(line)
-        if line in entry:
-            entry[line] = entry[line] or dirty
-            entry.move_to_end(line)
+        # Collapsed present-probe: pop-and-reappend both tests residency
+        # and refreshes LRU in one dict operation each.
+        prev = entry.pop(line, _ABSENT)
+        if prev is not _ABSENT:
+            entry[line] = prev or dirty
             return None
         victim = None
         if len(entry) >= self.ways:

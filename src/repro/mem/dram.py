@@ -24,6 +24,10 @@ class DramChannel:
         self.latency = latency
         self._slots = Semaphore(sim, max_inflight, name="dram.slots")
         self._stats = stats
+        # Bound handles: access() fires once per line fill.
+        self._c_reads = stats.counter("reads")
+        self._c_writes = stats.counter("writes")
+        self._h_occupancy = stats.histogram("occupancy")
 
     @property
     def inflight(self) -> int:
@@ -35,9 +39,10 @@ class DramChannel:
         Blocks while the channel is saturated, then waits the access
         latency.  Reads and writes cost the same (row activation dominates).
         """
-        yield from self._slots.acquire()
-        self._stats.bump("writes" if write else "reads")
-        self._stats.observe("occupancy", self._slots.in_use)
+        if not self._slots.try_acquire():
+            yield from self._slots.acquire()
+        (self._c_writes if write else self._c_reads).value += 1
+        self._h_occupancy.add(self._slots.in_use)
         try:
             yield self.latency
         finally:

@@ -25,7 +25,7 @@ from repro.mem.cache import Cache
 from repro.mem.dram import DramChannel
 from repro.params import SoCConfig
 from repro.sim import Signal, Simulator
-from repro.sim.stats import Stats
+from repro.sim.stats import Counter, Stats
 
 
 @dataclass
@@ -58,6 +58,25 @@ class MemorySystem:
         )
         self.l2 = Cache(config.l2_size, config.l2_ways, config.line_size, name="l2")
         self.l1s: Dict[int, Cache] = {}
+        # Hot-path constants, hoisted out of the per-access attribute chains.
+        self._line_mask = ~(config.line_size - 1)
+        self._l1_latency = config.l1_latency
+        self._l2_latency = config.l2_latency
+        # Pre-resolved counter handles: the hot paths below fire these per
+        # access and must never rebuild dotted stat keys (see sim.stats).
+        self._c_l2_hits = stats.counter("l2.hits")
+        self._c_l2_misses = stats.counter("l2.misses")
+        self._c_l2_merged = stats.counter("l2.merged_misses")
+        self._c_l2_prefetches = stats.counter("l2.prefetches")
+        self._c_l2_writebacks = stats.counter("l2.writebacks")
+        self._c_coh_forwards = stats.counter("coherence.forwards")
+        self._c_coh_invalidations = stats.counter("coherence.invalidations")
+        self._c_coh_recalls = stats.counter("coherence.recalls")
+        self._c_l1_hits: Dict[int, Counter] = {}
+        self._c_l1_misses: Dict[int, Counter] = {}
+        self._c_l1_amos: Dict[int, Counter] = {}
+        self._c_l1_prefetches: Dict[int, Counter] = {}
+        self._c_l1_writebacks: Dict[int, Counter] = {}
         self._sharers: Dict[int, Set[int]] = {}
         self._l2_inflight: Dict[int, Signal] = {}
         self._l1_inflight: Dict[Tuple[int, int], Signal] = {}
@@ -76,6 +95,13 @@ class MemorySystem:
         cfg = self.config
         self.l1s[core_id] = Cache(cfg.l1_size, cfg.l1_ways, cfg.line_size,
                                   name=f"l1.{core_id}")
+        self._c_l1_hits[core_id] = self.stats.counter(f"l1.{core_id}.hits")
+        self._c_l1_misses[core_id] = self.stats.counter(f"l1.{core_id}.misses")
+        self._c_l1_amos[core_id] = self.stats.counter(f"l1.{core_id}.amos")
+        self._c_l1_prefetches[core_id] = self.stats.counter(
+            f"l1.{core_id}.prefetches")
+        self._c_l1_writebacks[core_id] = self.stats.counter(
+            f"l1.{core_id}.writebacks")
 
     def register_mmio(self, region: MMIORegion) -> None:
         if region.end <= region.start:
@@ -96,7 +122,7 @@ class MemorySystem:
         return None
 
     def _line_of(self, paddr: int) -> int:
-        return paddr & ~(self.config.line_size - 1)
+        return paddr & self._line_mask
 
     # -- core-facing accesses ------------------------------------------------
 
@@ -106,13 +132,13 @@ class MemorySystem:
         if region is not None:
             value = yield from region.handler("load", paddr, None, core_id)
             return value
-        line = self._line_of(paddr)
+        line = paddr & self._line_mask
         l1 = self.l1s[core_id]
-        yield self.config.l1_latency
+        yield self._l1_latency
         if l1.lookup(line):
-            self.stats.bump(f"l1.{core_id}.hits")
+            self._c_l1_hits[core_id].value += 1
         else:
-            self.stats.bump(f"l1.{core_id}.misses")
+            self._c_l1_misses[core_id].value += 1
             yield from self._l1_fill(core_id, line)
         return self.mem.read_word(paddr)
 
@@ -127,17 +153,17 @@ class MemorySystem:
         if region is not None:
             result = yield from region.handler("store", paddr, value, core_id)
             return result
-        line = self._line_of(paddr)
+        line = paddr & self._line_mask
         l1 = self.l1s[core_id]
-        yield self.config.l1_latency
+        yield self._l1_latency
         if l1.lookup(line):
-            self.stats.bump(f"l1.{core_id}.hits")
+            self._c_l1_hits[core_id].value += 1
         else:
-            self.stats.bump(f"l1.{core_id}.misses")
+            self._c_l1_misses[core_id].value += 1
             yield from self._l1_fill(core_id, line)
         yield from self._upgrade_for_store(core_id, line)
-        if self.l1s[core_id].contains(line):
-            self.l1s[core_id].mark_dirty(line)
+        if l1.contains(line):
+            l1.mark_dirty(line)
         if apply:
             self.mem.write_word(paddr, value)
         return None
@@ -151,35 +177,34 @@ class MemorySystem:
         Atomicity holds because the functional update happens at a single
         point in simulated time (no yields between read and write).
         """
-        line = self._line_of(paddr)
-        yield self.config.l1_latency
+        line = paddr & self._line_mask
+        yield self._l1_latency
         l1 = self.l1s[core_id]
         if l1.lookup(line):
-            self.stats.bump(f"l1.{core_id}.hits")
+            self._c_l1_hits[core_id].value += 1
         else:
-            self.stats.bump(f"l1.{core_id}.misses")
+            self._c_l1_misses[core_id].value += 1
             yield from self._l1_fill(core_id, line)
         yield from self._upgrade_for_store(core_id, line)
         old = self.mem.read_word(paddr)
         self.mem.write_word(paddr, op(old))
-        if self.l1s[core_id].contains(line):
-            self.l1s[core_id].mark_dirty(line)
-        self.stats.bump(f"l1.{core_id}.amos")
+        if l1.contains(line):
+            l1.mark_dirty(line)
+        self._c_l1_amos[core_id].value += 1
         return old
 
     def prefetch_fill(self, core_id: int, paddr: int):
         """Generator: fill a core's L1 for a software prefetch (the core
         wraps this in its MSHR discipline)."""
         line = self._line_of(paddr)
-        self.stats.bump(f"l1.{core_id}.prefetches")
+        self._c_l1_prefetches[core_id].value += 1
         if not self.l1s[core_id].contains(line):
             yield from self._l1_fill(core_id, line)
 
     def prefetch_l1(self, core_id: int, paddr: int) -> None:
         """Fire-and-forget software prefetch into a core's L1 (unbounded;
         cores apply their MSHR limit via :meth:`prefetch_fill`)."""
-        self._sim.spawn(self.prefetch_fill(core_id, paddr),
-                        name=f"pf.l1.{core_id}")
+        self._sim.spawn(self.prefetch_fill(core_id, paddr), name="pf.l1")
 
     def l1_would_hit(self, core_id: int, paddr: int) -> bool:
         """Peek whether a load would hit the L1 (no LRU update)."""
@@ -191,7 +216,7 @@ class MemorySystem:
         DROPLET).  ``on_complete`` lets prefetchers track occupancy of
         their request queues."""
         line = self._line_of(paddr)
-        self.stats.bump("l2.prefetches")
+        self._c_l2_prefetches.value += 1
 
         def _run():
             try:
@@ -234,7 +259,7 @@ class MemorySystem:
         if pending is not None:
             yield pending
             return
-        signal = Signal(self._sim, name=f"l1fill.{core_id}.{line:#x}")
+        signal = Signal(self._sim, name="l1fill")
         self._l1_inflight[key] = signal
         try:
             yield from self._snoop_dirty_elsewhere(core_id, line)
@@ -243,7 +268,7 @@ class MemorySystem:
             if victim is not None:
                 self._drop_sharer(victim.line, core_id)
                 if victim.dirty:
-                    self.stats.bump(f"l1.{core_id}.writebacks")
+                    self._c_l1_writebacks[core_id].value += 1
             self._sharers.setdefault(line, set()).add(core_id)
         finally:
             del self._l1_inflight[key]
@@ -251,10 +276,13 @@ class MemorySystem:
 
     def _snoop_dirty_elsewhere(self, core_id: int, line: int):
         """If another L1 holds the line dirty, pay a forwarding round trip."""
-        for other in list(self._sharers.get(line, set())):
+        sharers = self._sharers.get(line)
+        if not sharers:
+            return
+        for other in list(sharers):
             if other != core_id and self.l1s[other].is_dirty(line):
-                yield self.config.l2_latency
-                self.stats.bump("coherence.forwards")
+                yield self._l2_latency
+                self._c_coh_forwards.value += 1
                 # The owner's copy is downgraded to shared-clean — unless
                 # it was evicted/invalidated during the forwarding delay.
                 if self.l1s[other].contains(line):
@@ -263,31 +291,32 @@ class MemorySystem:
 
     def _upgrade_for_store(self, core_id: int, line: int):
         """Invalidate other sharers before a store (directory upgrade)."""
+        sharers = self._sharers.get(line)
+        if not sharers or (core_id in sharers and len(sharers) == 1):
+            return
+        yield self._l2_latency
+        # Re-read after the round trip: sharers may have changed.
         others = self._sharers.get(line, set()) - {core_id}
-        if others:
-            yield self.config.l2_latency
-            # Re-read after the round trip: sharers may have changed.
-            others = self._sharers.get(line, set()) - {core_id}
-            self.stats.bump("coherence.invalidations", len(others))
-            for other in others:
-                self.l1s[other].invalidate(line)
-                self._drop_sharer(line, other)
+        self._c_coh_invalidations.value += len(others)
+        for other in others:
+            self.l1s[other].invalidate(line)
+            self._drop_sharer(line, other)
 
     def _ensure_l2(self, line: int):
         if self.l2.lookup(line):
-            yield self.config.l2_latency
-            self.stats.bump("l2.hits")
+            yield self._l2_latency
+            self._c_l2_hits.value += 1
             return
         pending = self._l2_inflight.get(line)
         if pending is not None:
-            self.stats.bump("l2.merged_misses")
+            self._c_l2_merged.value += 1
             yield pending
             return
-        signal = Signal(self._sim, name=f"l2fill.{line:#x}")
+        signal = Signal(self._sim, name="l2fill")
         self._l2_inflight[line] = signal
         try:
-            self.stats.bump("l2.misses")
-            yield self.config.l2_latency
+            self._c_l2_misses.value += 1
+            yield self._l2_latency
             yield from self.dram.access(line)
             victim = self.l2.insert(line)
             if victim is not None:
@@ -303,9 +332,9 @@ class MemorySystem:
         """Inclusive L2: an eviction recalls the line from every L1."""
         for core_id in self._sharers.pop(line, set()):
             self.l1s[core_id].invalidate(line)
-            self.stats.bump("coherence.recalls")
+            self._c_coh_recalls.value += 1
         if dirty:
-            self.stats.bump("l2.writebacks")
+            self._c_l2_writebacks.value += 1
 
     def _drop_sharer(self, line: int, core_id: int) -> None:
         sharers = self._sharers.get(line)

@@ -36,6 +36,9 @@ class Mesh:
             tile_id: Tile(tile_id, (tile_id % cols, tile_id // cols))
             for tile_id in range(cols * rows)
         }
+        # Geometry is immutable after construction, so hop counts memoize
+        # cleanly; the NoC asks for the same (src, dst) pairs per packet.
+        self._hops_cache: Dict[Tuple[int, int], int] = {}
 
     @property
     def size(self) -> int:
@@ -63,7 +66,12 @@ class Mesh:
         raise KeyError(f"no tile hosts {occupant}")
 
     def hops(self, src_tile: int, dst_tile: int) -> int:
-        return hop_count(self.coord_of(src_tile), self.coord_of(dst_tile))
+        key = (src_tile, dst_tile)
+        hops = self._hops_cache.get(key)
+        if hops is None:
+            hops = self._hops_cache[key] = hop_count(
+                self.coord_of(src_tile), self.coord_of(dst_tile))
+        return hops
 
     def nearest(self, src_tile: int, prefix: str) -> int:
         """The closest tile whose occupant name starts with ``prefix``.

@@ -10,7 +10,7 @@ core-to-MAPLE latency is varied as a free parameter.
 from __future__ import annotations
 
 import enum
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from repro.noc.mesh import Mesh
 from repro.noc.packet import Packet
@@ -39,22 +39,40 @@ class Network:
         self._hop_latency = (
             config.hop_latency if hop_latency_override is None else hop_latency_override
         )
+        # (src, dst) -> (one-way latency, hops).  The cache is strictly
+        # per-Network: a Fig. 15 sweep builds one Network per sweep point,
+        # each binding its own hop latency, so entries can never leak
+        # between hop_latency_override values.
+        self._route_cache: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        self._plane_counters = {
+            plane: (stats.counter(f"noc.{plane.name.lower()}.packets"),
+                    stats.counter(f"noc.{plane.name.lower()}.hops"))
+            for plane in Plane
+        }
+
+    def _route(self, src_tile: int, dst_tile: int) -> Tuple[int, int]:
+        key = (src_tile, dst_tile)
+        route = self._route_cache.get(key)
+        if route is None:
+            hops = self.mesh.hops(src_tile, dst_tile)
+            route = self._route_cache[key] = (
+                self.config.noc_encode_latency
+                + hops * self._hop_latency
+                + self.config.noc_decode_latency,
+                hops,
+            )
+        return route
 
     def one_way_latency(self, src_tile: int, dst_tile: int) -> int:
         """Encode + per-hop + decode cost for one packet."""
-        hops = self.mesh.hops(src_tile, dst_tile)
-        return (
-            self.config.noc_encode_latency
-            + hops * self._hop_latency
-            + self.config.noc_decode_latency
-        )
+        return self._route(src_tile, dst_tile)[0]
 
     def transfer(self, packet: Packet, plane: Plane):
         """Generator: move a packet across the mesh, charging latency."""
-        latency = self.one_way_latency(packet.src, packet.dst)
-        self._stats.bump(f"noc.{plane.name.lower()}.packets")
-        self._stats.bump(f"noc.{plane.name.lower()}.hops",
-                         self.mesh.hops(packet.src, packet.dst))
+        latency, hops = self._route(packet.src, packet.dst)
+        packets_c, hops_c = self._plane_counters[plane]
+        packets_c.value += 1
+        hops_c.value += hops
         yield latency
         return packet
 

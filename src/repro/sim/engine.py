@@ -1,8 +1,8 @@
 """The discrete-event simulator core.
 
-The engine keeps a priority queue of (time, sequence, callback) entries and a
-notion of *processes*.  A process wraps a generator; whatever the generator
-yields decides when it is resumed:
+The engine keeps a priority queue of event records and a notion of
+*processes*.  A process wraps a generator; whatever the generator yields
+decides when it is resumed:
 
 ``int``
     Resume after that many cycles (0 is legal: resume later this cycle).
@@ -13,11 +13,36 @@ yields decides when it is resumed:
 
 Exceptions raised inside a process propagate out of :meth:`Simulator.run`,
 so a broken model fails loudly instead of silently dropping events.
+
+Hot-path design (the engine executes millions of events per figure):
+
+- Event records are plain 4-tuples ``(time, seq, proc, payload)`` — no
+  per-event lambda closures.  ``proc is None`` marks a bare callback from
+  :meth:`Simulator.schedule`; otherwise the record is a pending generator
+  step and ``payload`` is the value to send.  Tuples double as heap
+  entries: ``heapq`` compares ``(time, seq)`` at C speed and never
+  reaches the payload fields because ``seq`` is unique.
+- Same-cycle work (``spawn``, ``_resume``, ``yield 0``) bypasses the heap
+  entirely through a FIFO *ready* deque.  Events the heap delivers for a
+  timestamp are batch-drained into the same deque, which preserves the
+  global (time, seq) execution order: delay-0 events are always created
+  *while executing* an event at the current cycle, so they sequence after
+  every already-queued event of that cycle.
+- The generator step (send / StopIteration / dispatch-on-yield) is
+  inlined into :meth:`Simulator.run` with the dominant ``yield <int>``
+  case handled in-loop; only non-int yields take the out-of-line
+  :meth:`_dispatch` path.
+
+The scheduling *semantics* are identical to the original engine, which is
+preserved as :mod:`repro.sim.reference` and checked against this one by
+the golden determinism test.
 """
 
 from __future__ import annotations
 
-import heapq
+import time as _walltime
+from collections import deque
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Optional
 
 
@@ -32,6 +57,8 @@ class Process:
     to wait for completion, and :attr:`result` carries the generator's
     return value afterwards.
     """
+
+    __slots__ = ("_sim", "_gen", "name", "finished", "result", "_joiners")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = "proc"):
         self._sim = sim
@@ -54,8 +81,9 @@ class Process:
         self.finished = True
         self.result = result
         joiners, self._joiners = self._joiners, []
+        ready = self._sim._ready
         for joiner in joiners:
-            self._sim._resume(joiner, result)
+            ready.append((0, 0, joiner, result))
 
 
 class Simulator:
@@ -69,8 +97,16 @@ class Simulator:
     def __init__(self) -> None:
         self._now = 0
         self._seq = 0
-        self._queue: list[tuple[int, int, Callable[[], None]]] = []
+        #: Future events: ``(time, seq, proc, payload)`` heap entries.
+        self._queue: list = []
+        #: Current-cycle events in execution order; same record layout
+        #: (the first two fields are ignored for delay-0 appends).
+        self._ready: deque = deque()
         self._live_processes = 0
+        #: Cumulative events executed / wall-clock seconds spent inside
+        #: :meth:`run` — the raw material for the simcore perf harness.
+        self.events_executed = 0
+        self.run_wall_seconds = 0.0
 
     @property
     def now(self) -> int:
@@ -84,16 +120,19 @@ class Simulator:
 
     def schedule(self, delay: int, callback: Callable[[], None]) -> None:
         """Run ``callback`` after ``delay`` cycles (0 = later this cycle)."""
-        if delay < 0:
-            raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(self._queue, (self._now + delay, self._seq, callback))
-        self._seq += 1
+        if delay:
+            if delay < 0:
+                raise SimulationError(f"cannot schedule into the past (delay={delay})")
+            heappush(self._queue, (self._now + delay, self._seq, None, callback))
+            self._seq += 1
+        else:
+            self._ready.append((0, 0, None, callback))
 
     def spawn(self, gen: Generator, name: str = "proc") -> Process:
         """Register a generator as a process and start it this cycle."""
         proc = Process(self, gen, name)
         self._live_processes += 1
-        self.schedule(0, lambda: self._step(proc, None))
+        self._ready.append((0, 0, proc, None))
         return proc
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
@@ -101,47 +140,93 @@ class Simulator:
 
         Stops when the queue is empty, when simulated time would pass
         ``until``, or after ``max_events`` events (a runaway-model backstop).
-        Returns the final simulation time.
+        Returns the final simulation time; when ``until`` is given the
+        clock always ends at ``until``, whether or not the queue drained
+        before reaching it.
         """
+        queue = self._queue
+        ready = self._ready
         events = 0
-        while self._queue:
-            time, _seq, callback = self._queue[0]
-            if until is not None and time > until:
-                self._now = until
-                break
-            heapq.heappop(self._queue)
-            self._now = time
-            callback()
-            events += 1
-            if max_events is not None and events >= max_events:
-                raise SimulationError(f"exceeded max_events={max_events} at cycle {self._now}")
+        start = _walltime.perf_counter()
+        try:
+            while True:
+                if not ready:
+                    if not queue:
+                        break
+                    time = queue[0][0]
+                    if until is not None and time > until:
+                        self._now = until
+                        return until
+                    self._now = time
+                    # Batch-drain every event sharing this timestamp.  New
+                    # heap entries for this cycle cannot appear afterwards
+                    # (a delay-0 schedule goes to ``ready``, any other
+                    # delay lands strictly later), so this move is safe.
+                    ready.append(heappop(queue))
+                    while queue and queue[0][0] == time:
+                        ready.append(heappop(queue))
+                _t, _s, proc, payload = ready.popleft()
+                events += 1
+                if proc is None:
+                    payload()
+                else:
+                    # Inlined generator step: the per-event hot path.
+                    try:
+                        yielded = proc._gen.send(payload)
+                    except StopIteration as stop:
+                        self._live_processes -= 1
+                        proc._finish(stop.value)
+                    else:
+                        if yielded.__class__ is int:
+                            if yielded > 0:
+                                heappush(queue, (self._now + yielded,
+                                                 self._seq, proc, None))
+                                self._seq += 1
+                            elif yielded == 0:
+                                ready.append((0, 0, proc, None))
+                            else:
+                                raise SimulationError(
+                                    f"cannot schedule into the past "
+                                    f"(delay={yielded})")
+                        else:
+                            self._dispatch(proc, yielded)
+                if max_events is not None and events >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} at cycle {self._now}")
+        finally:
+            self.events_executed += events
+            self.run_wall_seconds += _walltime.perf_counter() - start
+        if until is not None and until > self._now:
+            # The queue drained before the horizon: the clock still
+            # advances to it, matching the early-stop path above.
+            self._now = until
         return self._now
 
     # -- process machinery -------------------------------------------------
 
     def _resume(self, proc: Process, value: Any) -> None:
-        self.schedule(0, lambda: self._step(proc, value))
-
-    def _step(self, proc: Process, value: Any) -> None:
-        try:
-            yielded = proc._gen.send(value)
-        except StopIteration as stop:
-            self._live_processes -= 1
-            proc._finish(stop.value)
-            return
-        self._dispatch(proc, yielded)
+        self._ready.append((0, 0, proc, value))
 
     def _dispatch(self, proc: Process, yielded: Any) -> None:
+        """Route a non-int yield (Signal, Process, int subclasses)."""
         if isinstance(yielded, int):
-            self.schedule(yielded, lambda: self._step(proc, None))
+            # bool or other int subclass that missed the exact-type fast
+            # path; same delay rules as the inline case.
+            if yielded < 0:
+                raise SimulationError(f"cannot schedule into the past (delay={yielded})")
+            if yielded:
+                heappush(self._queue, (self._now + yielded, self._seq, proc, None))
+                self._seq += 1
+            else:
+                self._ready.append((0, 0, proc, None))
         elif hasattr(yielded, "_add_waiter"):  # Signal-like
             if yielded.fired:
-                self._resume(proc, yielded.value)
+                self._ready.append((0, 0, proc, yielded.value))
             else:
                 yielded._add_waiter(proc)
         elif isinstance(yielded, Process):
             if yielded.finished:
-                self._resume(proc, yielded.result)
+                self._ready.append((0, 0, proc, yielded.result))
             else:
                 yielded._add_joiner(proc)
         else:

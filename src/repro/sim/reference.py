@@ -1,0 +1,138 @@
+"""The original (pre-fast-path) discrete-event engine, kept as an oracle.
+
+This is the seed implementation of :mod:`repro.sim.engine`, preserved
+verbatim so the optimized engine can be checked against it: the golden
+determinism test runs the same workload under both engines and asserts
+bit-identical final cycle counts and statistics, and the simcore
+benchmark uses it as the same-host baseline for its speedup ratio.
+
+Do not optimize this module — its entire value is staying slow and
+obviously correct.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim.engine import SimulationError
+
+
+class ReferenceProcess:
+    """Handle for a spawned generator process (reference semantics)."""
+
+    def __init__(self, sim: "ReferenceSimulator", gen: Generator,
+                 name: str = "proc"):
+        self._sim = sim
+        self._gen = gen
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+        self._joiners: list[ReferenceProcess] = []
+
+    def __repr__(self) -> str:
+        state = "done" if self.finished else "running"
+        return f"<ReferenceProcess {self.name} {state}>"
+
+    def _add_joiner(self, proc: "ReferenceProcess") -> None:
+        if self.finished:
+            raise SimulationError("joining a finished process must be immediate")
+        self._joiners.append(proc)
+
+    def _finish(self, result: Any) -> None:
+        self.finished = True
+        self.result = result
+        joiners, self._joiners = self._joiners, []
+        for joiner in joiners:
+            self._sim._resume(joiner, result)
+
+
+class ReferenceSimulator:
+    """The seed `(time, seq, lambda)` heapq event loop, unmodified."""
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._seq = 0
+        self._queue: list[tuple[int, int, Callable[[], None]]] = []
+        self._live_processes = 0
+        self.events_executed = 0
+        self.run_wall_seconds = 0.0
+
+    @property
+    def now(self) -> int:
+        return self._now
+
+    @property
+    def live_processes(self) -> int:
+        return self._live_processes
+
+    def schedule(self, delay: int, callback: Callable[[], None]) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, self._seq, callback))
+        self._seq += 1
+
+    def spawn(self, gen: Generator, name: str = "proc") -> ReferenceProcess:
+        proc = ReferenceProcess(self, gen, name)
+        self._live_processes += 1
+        self.schedule(0, lambda: self._step(proc, None))
+        return proc
+
+    def run(self, until: Optional[int] = None,
+            max_events: Optional[int] = None) -> int:
+        import time as _time
+
+        start = _time.perf_counter()
+        events = 0
+        try:
+            while self._queue:
+                time, _seq, callback = self._queue[0]
+                if until is not None and time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._queue)
+                self._now = time
+                callback()
+                events += 1
+                if max_events is not None and events >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} at cycle {self._now}")
+        finally:
+            self.events_executed += events
+            self.run_wall_seconds += _time.perf_counter() - start
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    # -- process machinery -------------------------------------------------
+
+    def _resume(self, proc: ReferenceProcess, value: Any) -> None:
+        self.schedule(0, lambda: self._step(proc, value))
+
+    def _step(self, proc: ReferenceProcess, value: Any) -> None:
+        try:
+            yielded = proc._gen.send(value)
+        except StopIteration as stop:
+            self._live_processes -= 1
+            proc._finish(stop.value)
+            return
+        self._dispatch(proc, yielded)
+
+    def _dispatch(self, proc: ReferenceProcess, yielded: Any) -> None:
+        if isinstance(yielded, int):
+            self.schedule(yielded, lambda: self._step(proc, None))
+        elif hasattr(yielded, "_add_waiter"):  # Signal-like
+            if yielded.fired:
+                self._resume(proc, yielded.value)
+            else:
+                yielded._add_waiter(proc)
+        elif isinstance(yielded, ReferenceProcess):
+            if yielded.finished:
+                self._resume(proc, yielded.result)
+            else:
+                yielded._add_joiner(proc)
+        else:
+            raise SimulationError(
+                f"process {proc.name} yielded unsupported value {yielded!r}; "
+                "yield an int delay, a Signal, or a Process"
+            )

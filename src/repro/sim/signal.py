@@ -22,6 +22,8 @@ class Signal:
     and double-completion is invariably a model bug worth failing on.
     """
 
+    __slots__ = ("_sim", "name", "fired", "value", "_waiters")
+
     def __init__(self, sim: "Simulator", name: str = "signal"):
         self._sim = sim
         self.name = name
@@ -58,6 +60,7 @@ class Gate:
     def __init__(self, sim: "Simulator", opened: bool = False, name: str = "gate"):
         self._sim = sim
         self.name = name
+        self._wait_name = f"{name}.wait"
         self._opened = opened
         self._pending: list[Signal] = []
 
@@ -77,7 +80,7 @@ class Gate:
     def wait(self):
         """Generator: block until the gate is (or becomes) open."""
         while not self._opened:
-            signal = Signal(self._sim, name=f"{self.name}.wait")
+            signal = Signal(self._sim, name=self._wait_name)
             self._pending.append(signal)
             yield signal
 
@@ -100,6 +103,7 @@ class Semaphore:
             raise ValueError("semaphore capacity must be >= 1")
         self._sim = sim
         self.name = name
+        self._acquire_name = f"{name}.acquire"
         self.capacity = capacity
         self._available = capacity
         self._waiters: deque[Signal] = deque()
@@ -120,7 +124,7 @@ class Semaphore:
         handoff is already in flight).
         """
         if self._waiters or self._available == 0:
-            signal = Signal(self._sim, name=f"{self.name}.acquire")
+            signal = Signal(self._sim, name=self._acquire_name)
             self._waiters.append(signal)
             yield signal
             # The releasing side handed its unit directly to us.

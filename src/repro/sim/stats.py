@@ -3,6 +3,14 @@
 Components register counters and histograms in a shared :class:`Stats`
 registry; the harness reads them to regenerate the paper's figures
 (e.g. load counts for Fig. 10, load-latency averages for Fig. 11).
+
+Hot-path protocol: a component resolves its counters **once** at
+construction time — ``self._hits = stats.counter("l2.hits")`` — and then
+increments the bound :class:`Counter` handle (``self._hits.value += 1``)
+per event.  Handles keep the registry's dotted-key namespace for
+reporting while removing every per-event f-string build and dict probe.
+The string-keyed :meth:`Stats.bump` / :meth:`Stats.get` API remains for
+cold paths and tests.
 """
 
 from __future__ import annotations
@@ -11,12 +19,34 @@ import math
 from typing import Dict, Iterable, List
 
 
+class Counter:
+    """A single named statistic, bound to one slot in a :class:`Stats`.
+
+    ``value`` is public on purpose: hot paths do ``counter.value += n``
+    with no function call.  :meth:`bump` exists for symmetry with the
+    registry API.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0):
+        self.value = value
+
+    def bump(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.value}>"
+
+
 class Histogram:
     """Streaming histogram tracking count / sum / min / max and samples.
 
     Samples are retained (the runs here are small) so tests can assert on
     distributions; ``keep_samples=False`` switches to summary-only mode.
     """
+
+    __slots__ = ("count", "total", "min", "max", "_keep_samples", "samples")
 
     def __init__(self, keep_samples: bool = True):
         self.count = 0
@@ -55,14 +85,30 @@ class Stats:
     """
 
     def __init__(self) -> None:
-        self.counters: Dict[str, int] = {}
+        self._counters: Dict[str, Counter] = {}
         self.histograms: Dict[str, Histogram] = {}
 
+    def counter(self, key: str) -> Counter:
+        """The bound handle for ``key`` (created at zero if absent)."""
+        handle = self._counters.get(key)
+        if handle is None:
+            handle = self._counters[key] = Counter()
+        return handle
+
     def bump(self, key: str, amount: int = 1) -> None:
-        self.counters[key] = self.counters.get(key, 0) + amount
+        handle = self._counters.get(key)
+        if handle is None:
+            handle = self._counters[key] = Counter()
+        handle.value += amount
 
     def get(self, key: str) -> int:
-        return self.counters.get(key, 0)
+        handle = self._counters.get(key)
+        return handle.value if handle is not None else 0
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Plain ``{key: value}`` view of every registered counter."""
+        return {key: handle.value for key, handle in self._counters.items()}
 
     def observe(self, key: str, value: float) -> None:
         hist = self.histograms.get(key)
@@ -82,7 +128,7 @@ class Stats:
 
     def snapshot(self) -> Dict[str, float]:
         """Flat dict of all counters and histogram means (for reports)."""
-        out: Dict[str, float] = dict(self.counters)
+        out: Dict[str, float] = self.counters
         for key, hist in self.histograms.items():
             out[f"{key}.mean"] = hist.mean
             out[f"{key}.count"] = hist.count
@@ -95,6 +141,9 @@ class ScopedStats:
     def __init__(self, stats: Stats, prefix: str):
         self._stats = stats
         self._prefix = prefix
+
+    def counter(self, key: str) -> Counter:
+        return self._stats.counter(f"{self._prefix}.{key}")
 
     def bump(self, key: str, amount: int = 1) -> None:
         self._stats.bump(f"{self._prefix}.{key}", amount)

@@ -15,7 +15,8 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.mem.backing import PhysicalMemory
-from repro.vm.address import ENTRIES_PER_TABLE, PAGE_SHIFT, PAGE_SIZE, vpn_indices
+from repro.vm.address import (ENTRIES_PER_TABLE, PAGE_SHIFT, PAGE_SIZE,
+                              page_offset, vpn_indices)
 
 PTE_V = 0x1  # valid
 PTE_R = 0x2  # readable (leaf)
@@ -57,6 +58,12 @@ class PageTable:
         self.mem = mem
         self.root_paddr = root_paddr
         self._alloc_frame = alloc_frame
+        # vpn -> leaf PTE address.  Intermediate tables are allocated once
+        # and never freed, so a leaf slot's address is stable; only the PTE
+        # *word* changes, and that is still read from memory on every
+        # lookup.  Negative results are not cached (map_page can create the
+        # missing intermediate levels at any time).
+        self._leaf_addr_cache: dict = {}
         self._zero_table(root_paddr)
 
     def _zero_table(self, table_paddr: int) -> None:
@@ -106,10 +113,13 @@ class PageTable:
         pte = self.mem.read_word(leaf_addr)
         if not pte_is_valid(pte) or not pte_is_leaf(pte):
             return None
-        from repro.vm.address import page_offset
         return (pte_ppn(pte) << PAGE_SHIFT) | page_offset(vaddr)
 
     def _leaf_entry_addr(self, vaddr: int) -> Optional[int]:
+        vpn = vaddr >> PAGE_SHIFT
+        cached = self._leaf_addr_cache.get(vpn)
+        if cached is not None:
+            return cached
         vpn2, vpn1, vpn0 = vpn_indices(vaddr)
         table = self.root_paddr
         for index in (vpn2, vpn1):
@@ -117,4 +127,6 @@ class PageTable:
             if not pte_is_valid(pte) or pte_is_leaf(pte):
                 return None
             table = pte_ppn(pte) << PAGE_SHIFT
-        return self._entry_addr(table, vpn0)
+        leaf_addr = self._entry_addr(table, vpn0)
+        self._leaf_addr_cache[vpn] = leaf_addr
+        return leaf_addr

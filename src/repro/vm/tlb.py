@@ -26,18 +26,21 @@ class Tlb:
         self.capacity = entries
         self._entries: "OrderedDict[int, Tuple[int, int]]" = OrderedDict()
         self._stats = stats
+        # Bound handles: translate() runs once per memory instruction.
+        self._c_hits = stats.counter("hits") if stats else None
+        self._c_misses = stats.counter("misses") if stats else None
 
     def translate(self, vaddr: int) -> Optional[Tuple[int, int]]:
         """(paddr, flags) on a hit, None on a miss. Hits refresh LRU."""
         vpn = vaddr >> PAGE_SHIFT
         entry = self._entries.get(vpn)
         if entry is None:
-            if self._stats:
-                self._stats.bump("misses")
+            if self._c_misses is not None:
+                self._c_misses.value += 1
             return None
         self._entries.move_to_end(vpn)
-        if self._stats:
-            self._stats.bump("hits")
+        if self._c_hits is not None:
+            self._c_hits.value += 1
         frame, flags = entry
         return frame | page_offset(vaddr), flags
 

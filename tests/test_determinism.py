@@ -1,0 +1,41 @@
+"""Golden determinism: the fast-path engine changes nothing observable.
+
+The optimized event loop in :mod:`repro.sim.engine` (slot event records,
+same-cycle ready deque, batch drain) must execute the exact event order
+of the seed ``(time, seq, lambda)`` heapq engine, which is preserved
+verbatim as :class:`repro.sim.reference.ReferenceSimulator`.  This runs
+a small fig8 workload twice on the fast engine (run-to-run determinism)
+and once on the reference engine (cross-engine equivalence), comparing
+final cycle counts, executed-event totals, and the full statistics dump.
+"""
+
+import repro.system.soc as soc_module
+from repro.harness.techniques import run_workload
+from repro.sim.reference import ReferenceSimulator
+
+
+def _run_golden():
+    result = run_workload("spmv", "maple-decouple", threads=4)
+    sim = result.soc.sim
+    return result.cycles, sim.events_executed, result.soc.stats.snapshot()
+
+
+def test_fast_engine_is_deterministic_run_to_run():
+    cycles_a, events_a, stats_a = _run_golden()
+    cycles_b, events_b, stats_b = _run_golden()
+    assert cycles_a == cycles_b
+    assert events_a == events_b
+    assert stats_a == stats_b
+
+
+def test_fast_engine_matches_reference_engine(monkeypatch):
+    cycles_fast, events_fast, stats_fast = _run_golden()
+
+    monkeypatch.setattr(soc_module, "Simulator", ReferenceSimulator)
+    cycles_ref, events_ref, stats_ref = _run_golden()
+
+    assert cycles_fast == cycles_ref
+    assert events_fast == events_ref
+    # The whole Stats dump — every counter and histogram across cores,
+    # caches, NoC planes, and MAPLE units — must be bit-identical.
+    assert stats_fast == stats_ref

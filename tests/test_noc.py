@@ -156,6 +156,46 @@ def test_hop_latency_override_for_sensitivity_sweep():
     assert slow.one_way_latency(0, 3) > net.one_way_latency(0, 3)
 
 
+def test_route_memoization_is_consistent_and_per_instance():
+    # one_way_latency memoizes (src, dst) routes; repeated queries must
+    # return the cached value unchanged and populate the cache once.
+    _, net, _ = make_network()
+    first = net.one_way_latency(0, 3)
+    assert net.one_way_latency(0, 3) == first
+    assert net._route_cache[(0, 3)][0] == first
+
+    # The cache must be per-Network: a second fabric over the same mesh
+    # starts cold and fills with its own entries.
+    cfg = SoCConfig().with_overrides(mesh_cols=2, mesh_rows=2)
+    other = Network(Simulator(), net.mesh, cfg, Stats())
+    assert (0, 3) not in other._route_cache
+    assert other.one_way_latency(0, 3) == first
+
+
+def test_route_cache_never_leaks_across_hop_latency_overrides():
+    # The Fig. 15 sweep builds one Network per hop-latency point over a
+    # shared mesh; memoized routes must reflect each Network's own hop
+    # latency, never a previously-built sweep point's.
+    cfg = SoCConfig().with_overrides(mesh_cols=2, mesh_rows=2)
+    mesh = Mesh(2, 2)
+    sweep = {
+        override: Network(Simulator(), mesh, cfg, Stats(),
+                          hop_latency_override=override)
+        for override in (1, 4, 16)
+    }
+    # Warm every cache, then re-query in a different order: each Network
+    # must keep answering with its own override.
+    expected = {
+        override: cfg.noc_encode_latency + 2 * override + cfg.noc_decode_latency
+        for override in sweep
+    }
+    for override, net in sweep.items():
+        assert net.one_way_latency(0, 3) == expected[override]
+    for override in (16, 1, 4):
+        assert sweep[override].one_way_latency(0, 3) == expected[override]
+        assert sweep[override].one_way_latency(3, 0) == expected[override]
+
+
 def test_planes_tracked_independently():
     sim, net, stats = make_network()
 

@@ -211,3 +211,55 @@ def test_zero_delay_yield_resumes_same_cycle():
     sim.spawn(proc())
     sim.run()
     assert times == [0, 0]
+
+
+def test_run_until_advances_clock_when_queue_drains_early():
+    # Regression: run(until=N) used to leave the clock at the last event
+    # time when the queue emptied before N; it must land exactly on N.
+    sim = Simulator()
+    done = []
+
+    def proc():
+        yield 5
+        done.append(sim.now)
+
+    sim.spawn(proc())
+    assert sim.run(until=100) == 100
+    assert done == [5]
+    assert sim.now == 100
+
+
+def test_run_until_now_when_queue_already_empty():
+    sim = Simulator()
+    assert sim.run(until=42) == 42
+    assert sim.now == 42
+
+
+def test_same_cycle_events_run_in_schedule_order():
+    # Pins the (time, seq) execution order the batch-drain fast path must
+    # preserve: both 5-cycle callbacks were queued before cycle 5, so a
+    # zero-delay event created *during* cycle 5 runs after both of them.
+    sim = Simulator()
+    order = []
+
+    def first_at_5():
+        order.append("first")
+        sim.schedule(0, lambda: order.append("child-of-first"))
+
+    sim.schedule(5, first_at_5)
+    sim.schedule(5, lambda: order.append("second"))
+    sim.run()
+    assert order == ["first", "second", "child-of-first"]
+
+
+def test_reference_engine_matches_on_until_semantics():
+    # The preserved seed engine carries the same until-drain fix so the
+    # golden determinism comparison runs under identical semantics.
+    from repro.sim.reference import ReferenceSimulator
+
+    ref = ReferenceSimulator()
+    fired = []
+    ref.schedule(5, lambda: fired.append(ref.now))
+    assert ref.run(until=100) == 100
+    assert fired == [5]
+    assert ref.now == 100

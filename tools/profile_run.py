@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Profile one experiment cell under cProfile.
+
+The companion to ``benchmarks/test_bench_simcore.py``: when the
+throughput floor trips, this shows where the cycles went.  Runs a single
+``run_workload`` cell with the profiler attached and prints the hottest
+functions plus the engine's own events/sec.
+
+Usage (from the repo root):
+
+    PYTHONPATH=src python tools/profile_run.py --app spmv \\
+        --technique maple-decouple --threads 4
+    PYTHONPATH=src python tools/profile_run.py --app bfs --technique doall \\
+        --sort tottime --top 40
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--app", default="spmv",
+                        help="workload name (default: spmv)")
+    parser.add_argument("--technique", default="maple-decouple",
+                        help="execution technique (default: maple-decouple)")
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--scale", type=int, default=1,
+                        help="dataset scale factor (default: 1)")
+    parser.add_argument("--sort", default="cumulative",
+                        choices=["cumulative", "tottime", "ncalls"],
+                        help="pstats sort key (default: cumulative)")
+    parser.add_argument("--top", type=int, default=30,
+                        help="rows of profile output (default: 30)")
+    parser.add_argument("--outfile", default=None,
+                        help="also dump raw pstats data to this path")
+    args = parser.parse_args(argv)
+
+    from repro.harness.techniques import run_workload
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run_workload(args.app, args.technique, threads=args.threads,
+                          scale=args.scale)
+    profiler.disable()
+
+    sim = result.soc.sim
+    rate = (sim.events_executed / sim.run_wall_seconds
+            if sim.run_wall_seconds else float("nan"))
+    print(f"{args.app}/{args.technique} threads={args.threads} "
+          f"scale={args.scale}: {result.cycles} cycles, "
+          f"{sim.events_executed} events, "
+          f"{sim.run_wall_seconds:.3f}s in Simulator.run -> {rate:,.0f} ev/s")
+    print()
+
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    if args.outfile:
+        stats.dump_stats(args.outfile)
+        print(f"raw profile written to {args.outfile}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
