@@ -6,13 +6,13 @@ doall on in-order cores without hardware support.  The reproduction
 asserts those shape claims.
 """
 
-from conftest import run_once
+from conftest import harness_orchestrator, run_once
 
 from repro.harness.figures import fig8
 
 
 def test_bench_fig08_decoupling(benchmark):
-    result = run_once(benchmark, fig8)
+    result = run_once(benchmark, fig8, orch=harness_orchestrator())
     print("\n" + result.render())
 
     maple = result.series_by_label("maple-decoupling")

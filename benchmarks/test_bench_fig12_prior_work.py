@@ -7,13 +7,13 @@ decoupling-friendly SPMV/SDHP (MAPLE stays within the paper's "at least
 prefetches still leave the core paying the L1-miss path per element.
 """
 
-from conftest import run_once
+from conftest import harness_orchestrator, run_once
 
 from repro.harness.figures import fig12
 
 
 def test_bench_fig12_prior_work(benchmark):
-    result = run_once(benchmark, fig12)
+    result = run_once(benchmark, fig12, orch=harness_orchestrator())
     print("\n" + result.render())
 
     maple = result.series_by_label("maple")

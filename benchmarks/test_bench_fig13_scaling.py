@@ -5,13 +5,13 @@ from 2 to 4 and 8 threads all sharing a single MAPLE — the engine's
 queues and pipelines have the headroom to supply multiple pairs.
 """
 
-from conftest import run_once
+from conftest import harness_orchestrator, run_once
 
 from repro.harness.figures import fig13
 
 
 def test_bench_fig13_scaling(benchmark):
-    result = run_once(benchmark, fig13)
+    result = run_once(benchmark, fig13, orch=harness_orchestrator())
     print("\n" + result.render())
 
     geomeans = {s.label: s.geomean() for s in result.series}

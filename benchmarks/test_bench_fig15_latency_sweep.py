@@ -5,13 +5,13 @@ monotonically as the consume round trip grows, since every queue
 operation pays it.
 """
 
-from conftest import run_once
+from conftest import harness_orchestrator, run_once
 
 from repro.harness.figures import fig15
 
 
 def test_bench_fig15_latency_sweep(benchmark):
-    result = run_once(benchmark, fig15)
+    result = run_once(benchmark, fig15, orch=harness_orchestrator())
     print("\n" + result.render())
 
     geomeans = [s.geomean() for s in result.series]  # ordered by latency

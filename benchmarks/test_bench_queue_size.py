@@ -5,13 +5,13 @@ hide latency — 32 entries per queue (the tapeout configuration) are
 sufficient, and smaller queues start costing runahead.
 """
 
-from conftest import run_once
+from conftest import harness_orchestrator, run_once
 
 from repro.harness.figures import queue_sweep
 
 
 def test_bench_queue_size(benchmark):
-    result = run_once(benchmark, queue_sweep)
+    result = run_once(benchmark, queue_sweep, orch=harness_orchestrator())
     print("\n" + result.render())
 
     by_entries = {s.label: s.geomean() for s in result.series}

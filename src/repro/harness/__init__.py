@@ -3,10 +3,22 @@
 :mod:`repro.harness.techniques` runs one (workload, technique) cell —
 building a fresh SoC, compiling/slicing the kernel, wiring MAPLE or a
 baseline, executing, and validating results against the reference.
-:mod:`repro.harness.figures` composes cells into every figure of the
-paper's evaluation; :mod:`repro.harness.tables` renders the three tables.
+:mod:`repro.harness.orchestrator` shards independent cells across worker
+processes with an on-disk result cache (every cell is deterministic, so
+job count never changes a number).  :mod:`repro.harness.figures`
+composes cells into every figure of the paper's evaluation;
+:mod:`repro.harness.tables` renders the three tables.
 """
 
+from repro.harness.orchestrator import (
+    DiskCache,
+    Orchestrator,
+    RunResult,
+    RunSpec,
+    execute_spec,
+    make_orchestrator,
+    spec_key,
+)
 from repro.harness.techniques import (
     ExperimentResult,
     HARNESS_TECHNIQUES,
@@ -14,5 +26,6 @@ from repro.harness.techniques import (
 )
 from repro.harness import figures, tables
 
-__all__ = ["ExperimentResult", "HARNESS_TECHNIQUES", "figures", "run_workload",
-           "tables"]
+__all__ = ["DiskCache", "ExperimentResult", "HARNESS_TECHNIQUES",
+           "Orchestrator", "RunResult", "RunSpec", "execute_spec", "figures",
+           "make_orchestrator", "run_workload", "spec_key", "tables"]

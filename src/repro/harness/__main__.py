@@ -5,7 +5,16 @@ Usage::
     python -m repro.harness fig8
     python -m repro.harness fig12 --scale 1
     python -m repro.harness fig14 table1 table2 table3 area
-    python -m repro.harness all          # everything (several minutes)
+    python -m repro.harness all --jobs 4   # shard cells across 4 workers
+    python -m repro.harness all --no-cache # force re-simulation
+
+Every figure decomposes into independent, deterministic simulation
+cells, so ``--jobs N`` executes them on a worker pool without changing a
+single rendered byte (see ``repro/harness/orchestrator.py``).  Results
+are cached on disk under ``~/.cache/repro-harness`` (override with
+``--cache-dir`` or ``$REPRO_CACHE_DIR``) keyed by the full SoC
+configuration, so re-renders after unrelated edits are instant;
+``--no-cache`` disables both read and write.
 """
 
 from __future__ import annotations
@@ -13,30 +22,33 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
 from repro.harness import figures, tables
+from repro.harness.orchestrator import Orchestrator, make_orchestrator
 
 _TARGETS = ("fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
             "fig15", "queue-sweep", "area", "table1", "table2", "table3")
 
 
-def _render(target: str, scale: int) -> str:
+def _render(target: str, scale: int,
+             orch: Orchestrator | None = None) -> str:
     if target == "fig8":
-        return figures.fig8(scale=scale).render()
+        return figures.fig8(scale=scale, orch=orch).render()
     if target in ("fig9", "fig10", "fig11"):
-        trio = figures.prefetch_study(scale=scale)
+        trio = figures.prefetch_study(scale=scale, orch=orch)
         index = {"fig9": 0, "fig10": 1, "fig11": 2}[target]
         return trio[index].render()
     if target == "fig12":
-        return figures.fig12(scale=scale).render()
+        return figures.fig12(scale=scale, orch=orch).render()
     if target == "fig13":
-        return figures.fig13(scale=scale).render()
+        return figures.fig13(scale=scale, orch=orch).render()
     if target == "fig14":
         return figures.fig14().render()
     if target == "fig15":
-        return figures.fig15(scale=scale).render()
+        return figures.fig15(scale=scale, orch=orch).render()
     if target == "queue-sweep":
-        return figures.queue_sweep(scale=scale).render()
+        return figures.queue_sweep(scale=scale, orch=orch).render()
     if target == "area":
         report = figures.area_analysis()
         lines = ["area analysis (12 nm model, §5.4)"]
@@ -53,6 +65,27 @@ def _render(target: str, scale: int) -> str:
     raise ValueError(f"unknown target {target!r}")
 
 
+def _progress_printer(event: dict) -> None:
+    """Structured progress on stderr (stdout stays byte-stable output)."""
+    kind = event.get("event")
+    if kind == "start":
+        print(f"[orchestrator] {event['total']} cells on "
+              f"{event['jobs']} worker(s)", file=sys.stderr)
+    elif kind == "done":
+        src = "cache" if event["cached"] else f"{event['wall_seconds']:.2f}s"
+        print(f"[orchestrator]   {event['label']:48s} {src}",
+              file=sys.stderr)
+    elif kind == "timeout":
+        print(f"[orchestrator]   {event['label']:48s} TIMEOUT "
+              f"(attempt {event['attempt']})", file=sys.stderr)
+    elif kind == "finish":
+        print(f"[orchestrator] done: {event['executed']} simulated, "
+              f"{event['cached']} cached, {event['timeouts']} timeouts, "
+              f"{event['wall_seconds']:.1f}s wall "
+              f"({event['sim_seconds']:.1f}s of simulation)",
+              file=sys.stderr)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
@@ -61,6 +94,19 @@ def main(argv=None) -> int:
                         help=f"one of {', '.join(_TARGETS)}, or 'all'")
     parser.add_argument("--scale", type=int, default=1,
                         help="dataset scale factor (default 1)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for simulation cells "
+                             "(default 1 = serial in-process)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk experiment result cache")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="cache location (default ~/.cache/repro-harness "
+                             "or $REPRO_CACHE_DIR)")
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="per-cell seconds before a hung worker is "
+                             "retried (parallel runs only; default 600)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-cell progress lines on stderr")
     args = parser.parse_args(argv)
 
     targets = list(args.targets)
@@ -69,11 +115,21 @@ def main(argv=None) -> int:
     unknown = [t for t in targets if t not in _TARGETS]
     if unknown:
         parser.error(f"unknown target(s): {', '.join(unknown)}")
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+
+    orch = make_orchestrator(
+        jobs=args.jobs, use_cache=not args.no_cache,
+        cache_dir=args.cache_dir, timeout=args.timeout,
+        progress=None if args.quiet else _progress_printer)
 
     for target in targets:
         start = time.time()
-        print(_render(target, args.scale))
-        print(f"[{target}: {time.time() - start:.1f}s]\n")
+        print(_render(target, args.scale, orch))
+        print()
+        # Timing goes to stderr so stdout stays byte-identical across
+        # serial/sharded/cached runs.
+        print(f"[{target}: {time.time() - start:.1f}s]", file=sys.stderr)
     return 0
 
 

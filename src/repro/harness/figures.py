@@ -1,11 +1,16 @@
 """Regenerate every figure of the paper's evaluation (§5).
 
-Each ``figN`` function runs the experiments that figure plots and returns
-a :class:`FigureResult` with the same series the paper reports (per-app
-bars plus geomeans).  Absolute cycle counts come from this repository's
-simulator, so the *shapes* — who wins, by roughly what factor — are the
-reproduction target, not the paper's absolute numbers (see
-EXPERIMENTS.md for the side-by-side).
+Each ``figN`` function decomposes its figure into independent
+:class:`~repro.harness.orchestrator.RunSpec` cells, executes them through
+an :class:`~repro.harness.orchestrator.Orchestrator` (serial by default;
+pass ``orch=`` or use ``--jobs N`` on the CLI to shard across worker
+processes), and assembles a :class:`FigureResult` with the same series
+the paper reports (per-app bars plus geomeans).  Because every cell is
+deterministic, the rendered figure is byte-identical at any job count.
+Absolute cycle counts come from this repository's simulator, so the
+*shapes* — who wins, by roughly what factor — are the reproduction
+target, not the paper's absolute numbers (see EXPERIMENTS.md for the
+side-by-side).
 """
 
 from __future__ import annotations
@@ -14,6 +19,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.area import estimate_area
+from repro.harness.orchestrator import (
+    Orchestrator,
+    RunResult,
+    RunSpec,
+    freeze_dataset_kwargs,
+)
 from repro.harness.techniques import ExperimentResult, run_workload
 from repro.params import FPGA_CONFIG, MOSAIC_CONFIG, SoCConfig
 from repro.sim.stats import geomean
@@ -61,30 +72,40 @@ class FigureResult:
         return "\n".join(lines)
 
 
-def _cycles(app: str, technique: str, threads: int, config: SoCConfig,
-            scale: int, **kwargs) -> ExperimentResult:
-    return run_workload(app, technique, threads=threads, config=config,
-                        scale=scale, **kwargs)
+def _gather(specs: Sequence[RunSpec],
+            orch: Optional[Orchestrator]) -> List[RunResult]:
+    """Execute a figure's cells (serial in-process unless ``orch`` shards).
+
+    Within one batch the orchestrator dedupes identical specs, so figure
+    code may list the same doall baseline against several techniques and
+    still simulate it once.
+    """
+    return (orch or Orchestrator()).run(specs)
 
 
-def _dataset_speedups(app: str, technique: str, threads: int,
-                      config: SoCConfig, scale: int,
-                      variants: Optional[Sequence[dict]]) -> float:
-    """Speedup over same-thread doall, geomeaned across dataset variants.
+def _speedup_specs(app: str, technique: str, threads: int, config: SoCConfig,
+                   scale: int,
+                   variants: Optional[Sequence[dict]]) -> List[RunSpec]:
+    """(doall, technique) spec pairs, one pair per dataset variant.
 
     The paper computes each application's bar as the geomean across its
     datasets (§5.2); ``variants`` is a list of ``dataset_kwargs`` dicts
     (None = the app's single default dataset).
     """
-    speedups = []
+    specs = []
     for kwargs in (variants or [None]):
-        dataset_kwargs = kwargs or {}
-        base = _cycles(app, "doall", threads, config, scale,
-                       dataset_kwargs=dataset_kwargs)
-        other = _cycles(app, technique, threads, config, scale,
-                        dataset_kwargs=dataset_kwargs)
-        speedups.append(base.cycles / other.cycles)
-    return geomean(speedups)
+        frozen = freeze_dataset_kwargs(kwargs)
+        specs.append(RunSpec(app, "doall", threads=threads, scale=scale,
+                             config=config, dataset_kwargs=frozen))
+        specs.append(RunSpec(app, technique, threads=threads, scale=scale,
+                             config=config, dataset_kwargs=frozen))
+    return specs
+
+
+def _speedup_from(results: List[RunResult]) -> float:
+    """Geomean speedup over paired (doall, technique) results."""
+    return geomean([base.cycles / other.cycles
+                    for base, other in zip(results[::2], results[1::2])])
 
 
 # -- Fig. 8: decoupling on the FPGA config -------------------------------------
@@ -105,7 +126,8 @@ PAPER_DATASETS = {
 
 def fig8(scale: int = 1, apps: Sequence[str] = DEFAULT_APPS,
          config: Optional[SoCConfig] = None,
-         datasets: Optional[dict] = None) -> FigureResult:
+         datasets: Optional[dict] = None,
+         orch: Optional[Orchestrator] = None) -> FigureResult:
     """Decoupling (1 Access + 1 Execute) vs 2-thread doall, plus the
     shared-memory software-decoupling baseline.
 
@@ -115,14 +137,21 @@ def fig8(scale: int = 1, apps: Sequence[str] = DEFAULT_APPS,
     """
     cfg = config or FPGA_CONFIG
     datasets = datasets or {}
-    maple = Series("maple-decoupling")
-    sw = Series("sw-decoupling")
+    cells = {}
+    specs: List[RunSpec] = []
     for app in apps:
         variants = datasets.get(app)
-        maple.values[app] = _dataset_speedups(
-            app, "maple-decouple", 2, cfg, scale, variants)
-        sw.values[app] = _dataset_speedups(
-            app, "sw-decouple", 2, cfg, scale, variants)
+        for technique in ("maple-decouple", "sw-decouple"):
+            cells[app, technique] = _speedup_specs(
+                app, technique, 2, cfg, scale, variants)
+            specs += cells[app, technique]
+    results = iter(_gather(specs, orch))
+    maple = Series("maple-decoupling")
+    sw = Series("sw-decoupling")
+    for (app, technique), chunk in cells.items():
+        series = maple if technique == "maple-decouple" else sw
+        series.values[app] = _speedup_from([next(results)
+                                            for _ in chunk])
     return FigureResult(
         "fig8", "Decoupling speedup over 2-thread doall (FPGA config)",
         apps, [maple, sw],
@@ -133,7 +162,8 @@ def fig8(scale: int = 1, apps: Sequence[str] = DEFAULT_APPS,
 
 
 def prefetch_study(scale: int = 1, apps: Sequence[str] = DEFAULT_APPS,
-                   config: Optional[SoCConfig] = None
+                   config: Optional[SoCConfig] = None,
+                   orch: Optional[Orchestrator] = None
                    ) -> Tuple[FigureResult, FigureResult, FigureResult]:
     """One pass producing Figs. 9 (speedup), 10 (load-instruction overhead)
     and 11 (average load latency), all single-thread, normalized to the
@@ -152,18 +182,20 @@ def prefetch_study(scale: int = 1, apps: Sequence[str] = DEFAULT_APPS,
     latency = {"maple-lima": Series("maple-lima"),
                "sw-prefetch": Series("sw-prefetch"),
                "no-prefetch": Series("no-prefetch")}
+    specs = [RunSpec(app, technique, threads=1, scale=scale, config=cfg)
+             for app in apps
+             for technique in ("doall", "lima", "sw-prefetch")]
+    results = iter(_gather(specs, orch))
     for app in apps:
-        base = _cycles(app, "doall", 1, cfg, scale)
-        lima = _cycles(app, "lima", 1, cfg, scale)
-        swpf = _cycles(app, "sw-prefetch", 1, cfg, scale)
+        base, lima, swpf = next(results), next(results), next(results)
         speedup["maple-lima"].values[app] = base.cycles / lima.cycles
         speedup["sw-prefetch"].values[app] = base.cycles / swpf.cycles
         loads["no-prefetch"].values[app] = 1.0
-        loads["maple-lima"].values[app] = lima.total_loads() / base.total_loads()
-        loads["sw-prefetch"].values[app] = swpf.total_loads() / base.total_loads()
-        latency["no-prefetch"].values[app] = base.avg_load_latency()
-        latency["maple-lima"].values[app] = lima.avg_load_latency()
-        latency["sw-prefetch"].values[app] = swpf.avg_load_latency()
+        loads["maple-lima"].values[app] = lima.total_loads / base.total_loads
+        loads["sw-prefetch"].values[app] = swpf.total_loads / base.total_loads
+        latency["no-prefetch"].values[app] = base.avg_load_latency
+        latency["maple-lima"].values[app] = lima.avg_load_latency
+        latency["sw-prefetch"].values[app] = swpf.avg_load_latency
     fig9 = FigureResult(
         "fig9", "Prefetching speedup over no prefetching (1 thread)",
         apps, [speedup["maple-lima"], speedup["sw-prefetch"]],
@@ -179,16 +211,19 @@ def prefetch_study(scale: int = 1, apps: Sequence[str] = DEFAULT_APPS,
     return fig9, fig10, fig11
 
 
-def fig9(scale: int = 1, apps: Sequence[str] = DEFAULT_APPS) -> FigureResult:
-    return prefetch_study(scale, apps)[0]
+def fig9(scale: int = 1, apps: Sequence[str] = DEFAULT_APPS,
+         orch: Optional[Orchestrator] = None) -> FigureResult:
+    return prefetch_study(scale, apps, orch=orch)[0]
 
 
-def fig10(scale: int = 1, apps: Sequence[str] = DEFAULT_APPS) -> FigureResult:
-    return prefetch_study(scale, apps)[1]
+def fig10(scale: int = 1, apps: Sequence[str] = DEFAULT_APPS,
+          orch: Optional[Orchestrator] = None) -> FigureResult:
+    return prefetch_study(scale, apps, orch=orch)[1]
 
 
-def fig11(scale: int = 1, apps: Sequence[str] = DEFAULT_APPS) -> FigureResult:
-    return prefetch_study(scale, apps)[2]
+def fig11(scale: int = 1, apps: Sequence[str] = DEFAULT_APPS,
+          orch: Optional[Orchestrator] = None) -> FigureResult:
+    return prefetch_study(scale, apps, orch=orch)[2]
 
 
 # -- Fig. 12: prior hardware techniques (MosaicSim config) --------------------------
@@ -196,7 +231,8 @@ def fig11(scale: int = 1, apps: Sequence[str] = DEFAULT_APPS) -> FigureResult:
 
 def fig12(scale: int = 1, apps: Sequence[str] = DEFAULT_APPS,
           config: Optional[SoCConfig] = None,
-          datasets: Optional[dict] = None) -> FigureResult:
+          datasets: Optional[dict] = None,
+          orch: Optional[Orchestrator] = None) -> FigureResult:
     """MAPLE vs DeSC decoupling vs DROPLET prefetching, 2 threads.
 
     Paper: MAPLE 1.96x geomean over doall (up to 3x on BFS), 1.72x over
@@ -207,13 +243,21 @@ def fig12(scale: int = 1, apps: Sequence[str] = DEFAULT_APPS,
     """
     cfg = config or MOSAIC_CONFIG
     datasets = datasets or {}
-    series = {name: Series(name) for name in ("maple", "desc", "droplet")}
+    pairs = (("maple", "maple-decouple"), ("desc", "desc"),
+             ("droplet", "droplet"))
+    cells = {}
+    specs: List[RunSpec] = []
     for app in apps:
         variants = datasets.get(app)
-        for label, technique in (("maple", "maple-decouple"),
-                                 ("desc", "desc"), ("droplet", "droplet")):
-            series[label].values[app] = _dataset_speedups(
+        for label, technique in pairs:
+            cells[app, label] = _speedup_specs(
                 app, technique, 2, cfg, scale, variants)
+            specs += cells[app, label]
+    results = iter(_gather(specs, orch))
+    series = {name: Series(name) for name in ("maple", "desc", "droplet")}
+    for (app, label), chunk in cells.items():
+        series[label].values[app] = _speedup_from([next(results)
+                                                   for _ in chunk])
     return FigureResult(
         "fig12", "Speedup over 2-thread doall (simulator config)",
         apps, list(series.values()))
@@ -224,19 +268,24 @@ def fig12(scale: int = 1, apps: Sequence[str] = DEFAULT_APPS,
 
 def fig13(scale: int = 1, apps: Sequence[str] = SCALING_APPS,
           thread_counts: Sequence[int] = (2, 4, 8),
-          config: Optional[SoCConfig] = None) -> FigureResult:
+          config: Optional[SoCConfig] = None,
+          orch: Optional[Orchestrator] = None) -> FigureResult:
     """Decoupling speedup over doall at matched thread counts, with every
     Access/Execute pair sharing a single MAPLE instance.
 
     Paper: the speedup is maintained from 2 to 8 threads.
     """
     cfg = (config or FPGA_CONFIG).with_overrides(maple_instances=1)
+    specs = [RunSpec(app, technique, threads=threads, scale=scale, config=cfg)
+             for threads in thread_counts
+             for app in apps
+             for technique in ("doall", "maple-decouple")]
+    results = iter(_gather(specs, orch))
     series = []
     for threads in thread_counts:
         s = Series(f"{threads}-threads")
         for app in apps:
-            base = _cycles(app, "doall", threads, cfg, scale)
-            dec = _cycles(app, "maple-decouple", threads, cfg, scale)
+            base, dec = next(results), next(results)
             s.values[app] = base.cycles / dec.cycles
         series.append(s)
     return FigureResult(
@@ -327,19 +376,24 @@ def roundtrip_config(base: SoCConfig, target: int) -> SoCConfig:
 
 def fig15(scale: int = 1, apps: Sequence[str] = SCALING_APPS,
           targets: Sequence[int] = (11, 25, 51, 101),
-          config: Optional[SoCConfig] = None) -> FigureResult:
+          config: Optional[SoCConfig] = None,
+          orch: Optional[Orchestrator] = None) -> FigureResult:
     """Decoupling speedup as the core<->MAPLE round trip grows.
 
     Paper: speedups are greater with a lower NoC delay.
     """
     base = config or FPGA_CONFIG
+    specs = [RunSpec(app, technique, threads=2, scale=scale,
+                     config=roundtrip_config(base, target))
+             for target in targets
+             for app in apps
+             for technique in ("doall", "maple-decouple")]
+    results = iter(_gather(specs, orch))
     series = []
     for target in targets:
-        cfg = roundtrip_config(base, target)
         s = Series(f"maple-{target}cy")
         for app in apps:
-            doall = _cycles(app, "doall", 2, cfg, scale)
-            dec = _cycles(app, "maple-decouple", 2, cfg, scale)
+            doall, dec = next(results), next(results)
             s.values[app] = doall.cycles / dec.cycles
         series.append(s)
     return FigureResult(
@@ -352,21 +406,27 @@ def fig15(scale: int = 1, apps: Sequence[str] = SCALING_APPS,
 
 def queue_sweep(scale: int = 1, apps: Sequence[str] = SCALING_APPS,
                 entries: Sequence[int] = (8, 16, 32, 64),
-                config: Optional[SoCConfig] = None) -> FigureResult:
+                config: Optional[SoCConfig] = None,
+                orch: Optional[Orchestrator] = None) -> FigureResult:
     """Decoupling speedup vs per-queue entry count.
 
     Paper: 32 entries suffice; 16 cost 5-10%; performance is stable once
     the queue covers the latency."""
     base = config or FPGA_CONFIG
+    configs = {count: base.with_overrides(
+        scratchpad_bytes=count * base.maple_num_queues
+        * base.queue_entry_bytes) for count in entries}
+    specs = [RunSpec(app, technique, threads=2, scale=scale,
+                     config=configs[count])
+             for count in entries
+             for app in apps
+             for technique in ("doall", "maple-decouple")]
+    results = iter(_gather(specs, orch))
     series = []
     for count in entries:
-        cfg = base.with_overrides(
-            scratchpad_bytes=count * base.maple_num_queues
-            * base.queue_entry_bytes)
         s = Series(f"{count}-entries")
         for app in apps:
-            doall = _cycles(app, "doall", 2, cfg, scale)
-            dec = _cycles(app, "maple-decouple", 2, cfg, scale)
+            doall, dec = next(results), next(results)
             s.values[app] = doall.cycles / dec.cycles
         series.append(s)
     return FigureResult(

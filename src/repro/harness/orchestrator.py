@@ -1,0 +1,511 @@
+"""Sharded parallel experiment orchestration.
+
+The evaluation surface (Figs. 8-15, the tables, the queue/latency
+sweeps) is a bag of *independent, deterministic* simulations: every cell
+builds a fresh :class:`~repro.system.Soc`, runs one (workload,
+technique) pair, and reports plain numbers.  That independence is the
+host-side analogue of the parallelism MAPLE itself exploits — so this
+module shards cells across worker processes the same way the engine
+shards outstanding loads across queue slots.
+
+The moving parts:
+
+:class:`RunSpec`
+    A frozen, picklable description of one experiment cell.  Its
+    :func:`spec_key` is a stable hash over the full :class:`SoCConfig`
+    plus technique/kernel/scale/seed, so identical cells dedupe within a
+    batch, hit the on-disk cache across runs, and seed their workers
+    deterministically.
+
+:class:`RunResult`
+    The measurements a cell produces (cycles, load counts, latencies,
+    the full stats dump) plus execution metadata (wall time, attempts,
+    cache provenance).  Metadata never feeds figure rendering, which is
+    what makes parallel output byte-identical to serial output.
+
+:class:`DiskCache`
+    One JSON file per spec key.  Corrupt or stale-schema files read as
+    misses; writes are atomic (tmp + rename) so a killed run never
+    poisons the cache.
+
+:class:`Orchestrator`
+    ``run(specs)`` returns results **in submission order** regardless of
+    completion order.  ``jobs=1`` is a pure in-process serial loop (no
+    pool, no pickling); ``jobs>1`` fans out over a ``multiprocessing``
+    pool with a per-job timeout and bounded retry, falling back to an
+    in-process attempt so a hung worker can stall but never sink a run.
+
+Determinism contract: a :class:`RunSpec` fully determines its
+:class:`RunResult` (the simulator is single-threaded and seeded), so
+``--jobs N`` changes wall-clock only — never a number.  The
+parallel-equals-serial test in ``tests/test_orchestrator.py`` and the
+differential fuzz suite pin this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import random
+import time
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+from typing import (
+    Any, Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple,
+)
+
+from repro.params import SoCConfig
+
+#: Bump when RunResult's serialized shape changes: old cache files then
+#: read as misses instead of mis-parsing.
+CACHE_SCHEMA = 1
+
+ProgressFn = Callable[[Dict[str, Any]], None]
+
+
+# -- job specification -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One experiment cell: everything ``run_workload`` needs, picklable.
+
+    ``dataset_kwargs`` is a sorted tuple of ``(key, value)`` pairs (use
+    :func:`freeze_dataset_kwargs`) so specs stay hashable and their JSON
+    form is canonical.  ``config=None`` means the harness default
+    :class:`SoCConfig`.
+    """
+
+    workload: str
+    technique: str
+    threads: int = 2
+    scale: int = 1
+    seed: int = 0
+    prefetch_distance: int = 4
+    hop_latency_override: Optional[int] = None
+    dataset_kwargs: Tuple[Tuple[str, Any], ...] = ()
+    lima_packed: bool = True
+    check: bool = True
+    config: Optional[SoCConfig] = None
+
+    def label(self) -> str:
+        extra = "".join(f" {k}={v}" for k, v in self.dataset_kwargs)
+        cfg = self.config.name if self.config is not None else "default"
+        return (f"{self.workload}/{self.technique} x{self.threads} "
+                f"[{cfg}]{extra}")
+
+    def run_kwargs(self) -> Dict[str, Any]:
+        """Keyword arguments for ``run_workload`` (minus workload/technique)."""
+        return {
+            "config": self.config,
+            "threads": self.threads,
+            "scale": self.scale,
+            "seed": self.seed,
+            "prefetch_distance": self.prefetch_distance,
+            "hop_latency_override": self.hop_latency_override,
+            "dataset_kwargs": dict(self.dataset_kwargs),
+            "lima_packed": self.lima_packed,
+            "check": self.check,
+        }
+
+
+def freeze_dataset_kwargs(kwargs: Optional[dict]) -> Tuple[Tuple[str, Any], ...]:
+    """Canonical (sorted, hashable) form of a dataset_kwargs dict."""
+    return tuple(sorted((kwargs or {}).items()))
+
+
+def spec_key(spec: RunSpec) -> str:
+    """Stable hex digest identifying a spec across processes and runs.
+
+    Hashes the canonical JSON of every spec field with the config
+    expanded to its full :meth:`SoCConfig.stable_dict` — so any knob
+    change (queue depth, cache geometry, hop latency, ...) is a new key.
+    """
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "workload": spec.workload,
+        "technique": spec.technique,
+        "threads": spec.threads,
+        "scale": spec.scale,
+        "seed": spec.seed,
+        "prefetch_distance": spec.prefetch_distance,
+        "hop_latency_override": spec.hop_latency_override,
+        "dataset_kwargs": list(list(pair) for pair in spec.dataset_kwargs),
+        "lima_packed": spec.lima_packed,
+        "check": spec.check,
+        "config": (spec.config.stable_dict()
+                   if spec.config is not None else None),
+    }
+    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode()).hexdigest()
+
+
+# -- job result -------------------------------------------------------------------
+
+
+@dataclass
+class RunResult:
+    """Measurements of one cell plus execution metadata.
+
+    Only :meth:`identity` fields are determined by the spec; the
+    metadata (``wall_seconds``, ``attempts``, ``from_cache``,
+    ``worker_pid``) varies run to run and must never feed rendering.
+    """
+
+    workload: str
+    technique: str
+    threads: int
+    cycles: int
+    fallback_doall: bool
+    total_loads: int
+    avg_load_latency: float
+    events_executed: int
+    stats: Dict[str, float]
+    key: str = ""
+    wall_seconds: float = 0.0
+    attempts: int = 1
+    from_cache: bool = False
+    worker_pid: int = 0
+
+    def identity(self) -> Dict[str, Any]:
+        """The deterministic payload (what caching/equality compare)."""
+        return {
+            "workload": self.workload,
+            "technique": self.technique,
+            "threads": self.threads,
+            "cycles": self.cycles,
+            "fallback_doall": self.fallback_doall,
+            "total_loads": self.total_loads,
+            "avg_load_latency": self.avg_load_latency,
+            "events_executed": self.events_executed,
+            "stats": self.stats,
+        }
+
+    def to_json(self) -> Dict[str, Any]:
+        payload = self.identity()
+        payload["schema"] = CACHE_SCHEMA
+        payload["key"] = self.key
+        payload["wall_seconds"] = self.wall_seconds
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "RunResult":
+        if payload.get("schema") != CACHE_SCHEMA:
+            raise ValueError("cache schema mismatch")
+        return cls(
+            workload=payload["workload"],
+            technique=payload["technique"],
+            threads=payload["threads"],
+            cycles=payload["cycles"],
+            fallback_doall=payload["fallback_doall"],
+            total_loads=payload["total_loads"],
+            avg_load_latency=payload["avg_load_latency"],
+            events_executed=payload["events_executed"],
+            stats=dict(payload["stats"]),
+            key=payload.get("key", ""),
+            wall_seconds=payload.get("wall_seconds", 0.0),
+            from_cache=True,
+        )
+
+
+def execute_spec(spec: RunSpec) -> RunResult:
+    """Run one cell in the current process (the picklable entry point).
+
+    Seeds the global RNGs from the spec key first: the simulator itself
+    never consults them, but this insulates dataset generation (and any
+    future component) from whatever the host process did before us —
+    worker N's result cannot depend on which jobs it ran earlier.
+    """
+    from repro.harness.techniques import run_workload
+
+    derived = int(spec_key(spec)[:16], 16)
+    random.seed(derived)
+    try:
+        import numpy
+        numpy.random.seed(derived & 0xFFFFFFFF)
+    except ImportError:  # pragma: no cover - numpy is a hard dep today
+        pass
+
+    start = time.perf_counter()
+    result = run_workload(spec.workload, spec.technique, **spec.run_kwargs())
+    summary = result.summary()
+    return RunResult(
+        workload=summary["workload"],
+        technique=summary["technique"],
+        threads=summary["threads"],
+        cycles=summary["cycles"],
+        fallback_doall=summary["fallback_doall"],
+        total_loads=summary["total_loads"],
+        avg_load_latency=summary["avg_load_latency"],
+        events_executed=summary["events_executed"],
+        stats=summary["stats"],
+        key=spec_key(spec),
+        wall_seconds=time.perf_counter() - start,
+        worker_pid=os.getpid(),
+    )
+
+
+def _pool_worker(payload) -> RunResult:
+    """Module-level pool target (picklable under fork and spawn starts).
+
+    ``hang_keys`` is the fault-injection hook the timeout/retry tests
+    use: listed specs sleep through their deadline on their *first*
+    attempt only, so a retry then succeeds deterministically.
+    """
+    spec, attempt, hang_keys, hang_seconds = payload
+    if attempt == 0 and spec_key(spec) in hang_keys:
+        time.sleep(hang_seconds)
+    result = execute_spec(spec)
+    result.attempts = attempt + 1
+    return result
+
+
+# -- on-disk result cache ---------------------------------------------------------
+
+
+class DiskCache:
+    """One JSON file per spec key under ``root`` (atomic writes).
+
+    Unreadable, corrupt, or schema-mismatched files count as misses —
+    the cache can only ever cost a re-simulation, never a wrong number.
+    """
+
+    def __init__(self, root: Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[RunResult]:
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+            result = RunResult.from_json(payload)
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: RunResult) -> None:
+        path = self._path(key)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(result.to_json(), sort_keys=True))
+        tmp.replace(path)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-harness``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-harness"
+
+
+# -- the orchestrator -------------------------------------------------------------
+
+
+class Orchestrator:
+    """Shard independent :class:`RunSpec` cells across worker processes.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (the default) runs everything serially
+        in-process — no pool, no pickling, bit-identical results.
+    cache:
+        A :class:`DiskCache` (or ``None`` to disable).  Cells found in
+        the cache are not re-simulated.
+    timeout:
+        Per-job seconds before a worker is presumed hung and the cell is
+        retried (``None`` = wait forever).  Only meaningful for
+        ``jobs > 1``.
+    retries:
+        Pool resubmissions after a timeout before the final in-process
+        fallback attempt.
+    progress:
+        Optional callback receiving structured event dicts
+        (``start`` / ``done`` / ``timeout`` / ``finish``).
+    inject_hang:
+        Test hook: spec keys whose first attempt sleeps through the
+        deadline (see :func:`_pool_worker`).
+    """
+
+    def __init__(self, jobs: int = 1, cache: Optional[DiskCache] = None,
+                 timeout: Optional[float] = None, retries: int = 1,
+                 progress: Optional[ProgressFn] = None,
+                 inject_hang: FrozenSet[str] = frozenset()):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.jobs = jobs
+        self.cache = cache
+        self.timeout = timeout
+        self.retries = retries
+        self.progress = progress
+        self.inject_hang = frozenset(inject_hang)
+        self.report: Dict[str, Any] = {}
+
+    # -- public API ---------------------------------------------------------------
+
+    def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        """Execute every spec; results come back in submission order.
+
+        Identical specs (same key) within one batch are simulated once
+        and fanned out — the figure code can stay naive about shared
+        baselines.
+        """
+        started = time.perf_counter()
+        keys = [spec_key(spec) for spec in specs]
+        self._emit({"event": "start", "total": len(specs),
+                    "jobs": self.jobs})
+
+        results: Dict[str, RunResult] = {}
+        timeouts = 0
+        retried = 0
+
+        # Cache probe + in-batch dedup: `pending` keeps first-occurrence
+        # order, which is the deterministic submission order workers see.
+        pending: List[Tuple[str, RunSpec]] = []
+        seen = set()
+        for key, spec in zip(keys, specs):
+            if key in seen:
+                continue
+            seen.add(key)
+            if self.cache is not None:
+                hit = self.cache.get(key)
+                if hit is not None:
+                    results[key] = hit
+                    self._emit({"event": "done", "label": spec.label(),
+                                "key": key[:12], "cached": True,
+                                "wall_seconds": 0.0, "attempts": 0})
+                    continue
+            pending.append((key, spec))
+
+        if pending:
+            if self.jobs == 1:
+                executed = self._run_serial(pending)
+            else:
+                executed, timeouts, retried = self._run_pool(pending)
+            for key, result in executed.items():
+                results[key] = result
+                if self.cache is not None:
+                    self.cache.put(key, result)
+
+        wall = time.perf_counter() - started
+        self.report = {
+            "total": len(specs),
+            "unique": len(seen),
+            "cached": sum(1 for r in results.values() if r.from_cache),
+            "executed": len(pending),
+            "timeouts": timeouts,
+            "retries": retried,
+            "jobs": self.jobs,
+            "wall_seconds": wall,
+            "sim_seconds": sum(r.wall_seconds for r in results.values()),
+            "per_job": [
+                {"label": spec.label(), "key": key[:12],
+                 "wall_seconds": results[key].wall_seconds,
+                 "attempts": results[key].attempts,
+                 "cached": results[key].from_cache}
+                for key, spec in zip(keys, specs)
+            ],
+        }
+        self._emit({"event": "finish", **{k: v for k, v in self.report.items()
+                                          if k != "per_job"}})
+        return [results[key] for key in keys]
+
+    # -- execution strategies -----------------------------------------------------
+
+    def _run_serial(self, pending) -> Dict[str, RunResult]:
+        executed: Dict[str, RunResult] = {}
+        for key, spec in pending:
+            result = execute_spec(spec)
+            executed[key] = result
+            self._emit({"event": "done", "label": spec.label(),
+                        "key": key[:12], "cached": False,
+                        "wall_seconds": result.wall_seconds, "attempts": 1})
+        return executed
+
+    def _run_pool(self, pending):
+        """Fan out over a process pool; collect in submission order.
+
+        A cell that misses its deadline is resubmitted up to
+        ``retries`` times (fault injection only fires on attempt 0, and
+        a genuinely hung worker just keeps sleeping in its slot), then
+        run in-process as the final fallback.  The pool is terminated —
+        not joined — when any worker was presumed hung.
+        """
+        hang_seconds = min((self.timeout or 1.0) * 10, 60.0)
+        ctx = multiprocessing.get_context()
+        executed: Dict[str, RunResult] = {}
+        timeouts = 0
+        retried = 0
+        pool = ctx.Pool(processes=min(self.jobs, len(pending)))
+        try:
+            futures = [
+                (key, spec, pool.apply_async(
+                    _pool_worker, ((spec, 0, self.inject_hang, hang_seconds),)))
+                for key, spec in pending
+            ]
+            for key, spec, future in futures:
+                attempt = 0
+                while True:
+                    try:
+                        result = future.get(self.timeout)
+                        break
+                    except multiprocessing.TimeoutError:
+                        timeouts += 1
+                        attempt += 1
+                        self._emit({"event": "timeout", "label": spec.label(),
+                                    "key": key[:12], "attempt": attempt})
+                        if attempt <= self.retries:
+                            retried += 1
+                            future = pool.apply_async(
+                                _pool_worker,
+                                ((spec, attempt, self.inject_hang,
+                                  hang_seconds),))
+                            continue
+                        # Last resort: guaranteed-progress local attempt.
+                        result = execute_spec(spec)
+                        result.attempts = attempt + 1
+                        break
+                executed[key] = result
+                self._emit({"event": "done", "label": spec.label(),
+                            "key": key[:12], "cached": False,
+                            "wall_seconds": result.wall_seconds,
+                            "attempts": result.attempts})
+        finally:
+            if timeouts:
+                pool.terminate()  # a hung worker would block close/join
+            else:
+                pool.close()
+            pool.join()
+        return executed, timeouts, retried
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def _emit(self, event: Dict[str, Any]) -> None:
+        if self.progress is not None:
+            self.progress(event)
+
+
+def make_orchestrator(jobs: int = 1, use_cache: bool = False,
+                      cache_dir: Optional[Path] = None,
+                      timeout: Optional[float] = None, retries: int = 1,
+                      progress: Optional[ProgressFn] = None) -> Orchestrator:
+    """CLI/benchmark convenience constructor."""
+    cache = None
+    if use_cache:
+        cache = DiskCache(cache_dir or default_cache_dir())
+    return Orchestrator(jobs=jobs, cache=cache, timeout=timeout,
+                        retries=retries, progress=progress)

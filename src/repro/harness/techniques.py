@@ -83,6 +83,25 @@ class ExperimentResult:
             total += hist.total
         return total / count if count else 0.0
 
+    def summary(self) -> Dict[str, object]:
+        """Everything the figures consume, as a plain picklable dict.
+
+        This is the worker-process boundary: a :class:`Soc` holds live
+        generators and cannot cross it, but the orchestrator only needs
+        the measurements.
+        """
+        return {
+            "workload": self.workload,
+            "technique": self.technique,
+            "threads": self.threads,
+            "cycles": self.cycles,
+            "fallback_doall": self.fallback_doall,
+            "total_loads": self.total_loads(),
+            "avg_load_latency": self.avg_load_latency(),
+            "events_executed": self.soc.sim.events_executed,
+            "stats": self.soc.stats_snapshot(),
+        }
+
 
 def run_workload(workload_name: str, technique: str, *,
                  config: Optional[SoCConfig] = None,

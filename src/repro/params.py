@@ -14,8 +14,10 @@ cycles, and 300-cycle DRAM.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Tuple
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, Tuple
 
 
 @dataclass(frozen=True)
@@ -99,6 +101,22 @@ class SoCConfig:
     def with_overrides(self, **kwargs) -> "SoCConfig":
         """A copy with some fields replaced (used by sensitivity sweeps)."""
         return replace(self, **kwargs)
+
+    # -- stable identity (experiment caching) ----------------------------------
+
+    def stable_dict(self) -> Dict[str, object]:
+        """Every field as plain JSON-able values, in declaration order.
+
+        This is the canonical form the experiment cache hashes, so two
+        configs hash equal iff every structural and timing knob matches.
+        """
+        return asdict(self)
+
+    def stable_hash(self) -> str:
+        """Hex digest identifying this exact configuration."""
+        payload = json.dumps(self.stable_dict(), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()
 
 
 #: Table 2 — the FPGA-emulated SoC prototype.

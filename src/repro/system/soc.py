@@ -106,3 +106,13 @@ class Soc:
         if len(finish) != len(assignments):
             raise RuntimeError("a thread never finished (deadlock in the model)")
         return max(finish.values()) if finish else 0
+
+    # -- reporting ------------------------------------------------------------------
+
+    def stats_snapshot(self) -> Dict[str, float]:
+        """Flat, picklable dump of every counter and histogram summary.
+
+        This is the stats-dict form experiment results cross process
+        boundaries in (the orchestrator's workers return it verbatim).
+        """
+        return self.stats.snapshot()

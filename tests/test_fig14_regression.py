@@ -1,0 +1,51 @@
+"""Tier-1 pin for the Fig. 14 headline: the ~25-cycle consume round trip.
+
+EXPERIMENTS.md's headline row — "Consume round trip (Fig. 14): ~25
+cycles + 1/hop, 25 cycles exactly (analytic == measured)" — was
+previously guarded only by the benchmark suite.  This fast test pins it
+in tier 1 so any change to the MMIO path, NoC encode/decode, hop
+latency, or the MAPLE pipeline that moves the headline number fails
+immediately, not at the next benchmark run.
+"""
+
+from repro.harness.figures import fig14, roundtrip_config
+from repro.params import FPGA_CONFIG
+
+
+def test_roundtrip_analytic_budget_is_25_cycles():
+    result = fig14()
+    # The paper's headline figure, segment by segment.
+    assert result.total == 25
+    segments = dict(result.segments)
+    assert segments["core pipeline -> L1 -> L1.5 (request path)"] == 8
+    assert segments["MAPLE decode + pipeline + queue pop"] == 3
+    assert len(result.segments) == 5
+
+
+def test_roundtrip_measured_on_live_model_equals_budget():
+    result = fig14()
+    assert result.measured == result.total == 25
+
+
+def test_roundtrip_comparisons_from_the_paper_hold():
+    result = fig14()
+    # Similar to an L2 access, an order of magnitude below DRAM.
+    assert abs(result.total - FPGA_CONFIG.l2_latency) <= 10
+    assert result.total * 10 <= FPGA_CONFIG.dram_latency + 50
+
+
+def test_roundtrip_scales_one_cycle_per_extra_hop():
+    """"~25 cycles plus one per hop": stretching the request and response
+    NoC traversal by one hop each costs exactly two cycles."""
+    base = fig14()
+    slower = fig14(FPGA_CONFIG.with_overrides(hop_latency=2))
+    assert slower.measured == base.measured + 2
+
+
+def test_fig15_sweep_configs_reproduce_their_targets():
+    """The Fig. 15 sweep points are exact round-trip targets, so the
+    25-cycle point of the sweep is the same machine as Fig. 14."""
+    from repro.system import Soc
+    for target in (11, 25, 51, 101):
+        soc = Soc(roundtrip_config(FPGA_CONFIG, target))
+        assert soc.maples[0].round_trip_cycles(core_tile=0) == target

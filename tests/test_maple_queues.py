@@ -182,6 +182,159 @@ def test_fifo_order_preserved_under_random_fill_order(values):
     assert popped == values
 
 
+# -- randomized interleavings vs a deque model ----------------------------------
+#
+# The queue's observable contract, stated against the simplest possible
+# model: reservations append a placeholder to a FIFO, fills complete any
+# reserved placeholder (out of order), pops deliver completed values
+# strictly in reservation order.  Hypothesis drives arbitrary
+# produce/consume/config interleavings; the invariants below must hold
+# after every single operation — FIFO order, wrap-around slot reuse,
+# and the full/empty flags.
+
+
+class DequeModel:
+    """Golden model: a deque of [filled?, value] cells in program order."""
+
+    def __init__(self, capacity):
+        from collections import deque
+        self.capacity = capacity
+        self.cells = deque()  # one per reserved-or-valid slot
+        self.popped = []
+        self.produced = 0
+        self.consumed = 0
+
+    @property
+    def occupied(self):
+        return len(self.cells)
+
+    @property
+    def full(self):
+        return len(self.cells) == self.capacity
+
+    @property
+    def head_ready(self):
+        return bool(self.cells) and self.cells[0][0]
+
+    def reserve(self):
+        assert not self.full
+        self.cells.append([False, None])
+
+    def fill(self, pending_pos, value):
+        pending = [cell for cell in self.cells if not cell[0]]
+        cell = pending[pending_pos]
+        cell[0] = True
+        cell[1] = value
+        self.produced += 1
+
+    def pop(self):
+        assert self.head_ready
+        _, value = self.cells.popleft()
+        self.popped.append(value)
+        self.consumed += 1
+        return value
+
+    def reset_allowed(self):
+        return not any(not filled for filled, _ in self.cells)
+
+    def reset(self):
+        self.cells.clear()
+
+
+OPS = st.lists(
+    st.one_of(
+        st.just(("reserve",)),
+        st.tuples(st.just("fill"), st.integers(0, 7)),
+        st.just(("pop",)),
+        st.just(("reset",)),
+    ),
+    min_size=1, max_size=120)
+
+
+@given(st.integers(min_value=1, max_value=8), OPS)
+@settings(max_examples=120, deadline=None)
+def test_random_interleavings_match_deque_model(capacity, ops):
+    """Arbitrary produce/consume/config interleavings preserve FIFO
+    order, wrap-around slot reuse, and the full/empty invariants."""
+    sim = Simulator()
+    queue = HwQueue(sim, 0, capacity, Stats().scoped("q"))
+    model = DequeModel(capacity)
+    pending = []  # reserved-but-unfilled slot indices, in program order
+    next_value = 0
+
+    for op in ops:
+        if op[0] == "reserve":
+            index = queue.try_reserve()
+            if model.full:
+                assert index is None  # full flag: reserve must refuse
+            else:
+                assert index is not None
+                pending.append(index)
+                model.reserve()
+        elif op[0] == "fill":
+            if not pending:
+                continue
+            pos = op[1] % len(pending)  # out-of-order completion
+            index = pending.pop(pos)
+            queue.fill(index, next_value)
+            model.fill(pos, next_value)
+            next_value += 1
+        elif op[0] == "pop":
+            value = queue.try_pop()
+            if model.head_ready:
+                assert value == model.pop()  # strict program order
+            else:
+                assert value is None  # empty/head-pending flag
+        elif op[0] == "reset":
+            if model.reset_allowed():
+                queue.reset()
+                model.reset()
+                pending.clear()
+            else:
+                with pytest.raises(QueueError):
+                    queue.reset()
+
+        # Invariants after *every* operation.
+        assert queue.occupied == model.occupied
+        assert queue.free_slots == capacity - model.occupied
+        assert (queue.free_slots == 0) == model.full      # full flag
+        assert queue.head_ready() == model.head_ready     # empty/ready flag
+        assert queue.space.available == capacity - model.occupied
+        assert queue.valid_entries() == sum(
+            1 for filled, _ in model.cells if filled)
+
+    # Drain what's drainable and confirm total FIFO order end to end.
+    while pending:
+        index = pending.pop(0)
+        queue.fill(index, next_value)
+        model.fill(0, next_value)
+        next_value += 1
+    while model.head_ready:
+        assert queue.try_pop() == model.pop()
+    assert queue.occupied == 0 == model.occupied
+    assert queue.produced == model.produced
+    assert queue.consumed == model.consumed
+    assert queue.try_pop() is None  # empty flag at quiescence
+
+
+@given(st.integers(min_value=1, max_value=4),
+       st.integers(min_value=2, max_value=40))
+@settings(max_examples=60, deadline=None)
+def test_wraparound_preserves_fifo_across_many_generations(capacity, total):
+    """Slots are reused ``total/capacity`` times over; order still holds."""
+    sim = Simulator()
+    queue = HwQueue(sim, 0, capacity, Stats().scoped("q"))
+    popped = []
+    for value in range(total):
+        index = queue.try_reserve()
+        assert index is not None
+        assert index == value % capacity  # circular slot reuse
+        queue.fill(index, value)
+        popped.append(queue.try_pop())
+    assert popped == list(range(total))
+    assert queue.produced == queue.consumed == total
+
+
 @given(st.integers(min_value=1, max_value=16), st.integers(min_value=1, max_value=100))
 @settings(max_examples=40)
 def test_producer_consumer_conservation(capacity, total):

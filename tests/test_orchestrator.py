@@ -1,0 +1,254 @@
+"""The parallel experiment orchestrator: sharding changes nothing.
+
+The load-bearing guarantee is *parallel equals serial*: a figure-sized
+workload set run at ``jobs=1`` and ``jobs=4`` must render byte-identical
+text and produce identical per-run stats dumps — covering the cache
+hit/miss and retry-after-injected-timeout paths along the way.  The
+rest of the suite pins the orchestration mechanics: stable spec keys,
+submission-order aggregation, in-batch dedup, cache robustness against
+corrupt files, and the structured progress/timing report.
+"""
+
+import json
+
+import pytest
+
+from repro.harness.figures import fig15, queue_sweep
+from repro.harness.orchestrator import (
+    CACHE_SCHEMA,
+    DiskCache,
+    Orchestrator,
+    RunSpec,
+    execute_spec,
+    freeze_dataset_kwargs,
+    make_orchestrator,
+    spec_key,
+)
+from repro.params import FPGA_CONFIG, MOSAIC_CONFIG
+
+#: A cheap mixed bag: shared baselines (dedup), decoupling, prefetching.
+SMALL_SPECS = (
+    RunSpec("spmv", "doall", threads=2),
+    RunSpec("spmv", "maple-decouple", threads=2),
+    RunSpec("spmv", "doall", threads=2),          # duplicate of [0]
+    RunSpec("spmv", "lima", threads=1),
+    RunSpec("sdhp", "doall", threads=2),
+)
+
+
+def identities(results):
+    return [r.identity() for r in results]
+
+
+# -- spec keys --------------------------------------------------------------------
+
+
+def test_spec_key_is_stable_and_collision_sensitive():
+    a = RunSpec("spmv", "doall", threads=2)
+    assert spec_key(a) == spec_key(RunSpec("spmv", "doall", threads=2))
+    # Any knob change — spec-level or config-level — must change the key.
+    assert spec_key(a) != spec_key(RunSpec("spmv", "doall", threads=4))
+    assert spec_key(a) != spec_key(RunSpec("spmv", "lima", threads=2))
+    assert spec_key(a) != spec_key(
+        RunSpec("spmv", "doall", threads=2, config=FPGA_CONFIG))
+    assert spec_key(RunSpec("spmv", "doall", config=FPGA_CONFIG)) != spec_key(
+        RunSpec("spmv", "doall", config=MOSAIC_CONFIG))
+    assert spec_key(RunSpec("spmv", "doall", config=FPGA_CONFIG)) != spec_key(
+        RunSpec("spmv", "doall",
+                config=FPGA_CONFIG.with_overrides(hop_latency=2)))
+    assert spec_key(a) != spec_key(
+        RunSpec("spmv", "doall", threads=2,
+                dataset_kwargs=freeze_dataset_kwargs({"kind": "kronecker"})))
+
+
+def test_config_name_participates_via_stable_dict():
+    # stable_dict covers every dataclass field, in particular the knobs
+    # sweeps override; sanity-check a couple.
+    d = FPGA_CONFIG.stable_dict()
+    assert d["scratchpad_bytes"] == 1024 and d["hop_latency"] == 1
+    assert FPGA_CONFIG.stable_hash() != MOSAIC_CONFIG.stable_hash()
+    assert FPGA_CONFIG.stable_hash() == FPGA_CONFIG.with_overrides().stable_hash()
+
+
+def test_freeze_dataset_kwargs_is_order_insensitive():
+    assert (freeze_dataset_kwargs({"a": 1, "b": 2})
+            == freeze_dataset_kwargs({"b": 2, "a": 1}))
+    assert freeze_dataset_kwargs(None) == ()
+
+
+# -- serial/parallel equivalence ----------------------------------------------------
+
+
+def test_parallel_equals_serial_on_spec_batch():
+    serial = Orchestrator(jobs=1).run(SMALL_SPECS)
+    parallel = Orchestrator(jobs=4, timeout=120).run(SMALL_SPECS)
+    assert identities(serial) == identities(parallel)
+
+
+def test_parallel_equals_serial_on_figure_workload(tmp_path):
+    """A figure-sized set at jobs=1 vs jobs=4: byte-identical rendering,
+    identical per-run stats, and the cache hit path on a third pass."""
+    apps = ("spmv",)
+    serial_orch = Orchestrator(jobs=1)
+    serial = fig15(apps=apps, orch=serial_orch).render()
+
+    cache = DiskCache(tmp_path / "cache")
+    parallel_orch = Orchestrator(jobs=4, cache=cache, timeout=120)
+    parallel = fig15(apps=apps, orch=parallel_orch).render()
+    assert serial == parallel  # byte-identical figure text
+    assert parallel_orch.report["executed"] == parallel_orch.report["unique"]
+
+    cached_orch = Orchestrator(jobs=4, cache=cache, timeout=120)
+    rerendered = fig15(apps=apps, orch=cached_orch).render()
+    assert rerendered == serial
+    assert cached_orch.report["executed"] == 0  # every cell from cache
+    assert cached_orch.report["cached"] == cached_orch.report["unique"]
+
+
+def test_queue_sweep_parallel_matches_serial():
+    apps = ("spmv",)
+    entries = (8, 32)
+    serial = queue_sweep(apps=apps, entries=entries).render()
+    parallel = queue_sweep(apps=apps, entries=entries,
+                           orch=Orchestrator(jobs=2, timeout=120)).render()
+    assert serial == parallel
+
+
+def test_submission_order_preserved_and_duplicates_deduped():
+    orch = Orchestrator(jobs=1)
+    results = orch.run(SMALL_SPECS)
+    assert [r.technique for r in results] == [
+        "doall", "maple-decouple", "doall", "lima", "doall"]
+    assert [r.workload for r in results] == [
+        "spmv", "spmv", "spmv", "spmv", "sdhp"]
+    # Duplicate spec simulated once, result fanned out.
+    assert orch.report["total"] == 5
+    assert orch.report["unique"] == 4
+    assert results[0].identity() == results[2].identity()
+
+
+# -- determinism of the worker entry point ------------------------------------------
+
+
+def test_execute_spec_is_deterministic():
+    spec = RunSpec("spmv", "maple-decouple", threads=2)
+    a, b = execute_spec(spec), execute_spec(spec)
+    assert a.identity() == b.identity()
+    assert a.key == spec_key(spec)
+    assert a.cycles > 0 and a.total_loads > 0 and a.events_executed > 0
+    assert a.stats  # the full dump crossed the boundary
+
+
+# -- cache ---------------------------------------------------------------------------
+
+
+def test_cache_roundtrip_hit_and_miss(tmp_path):
+    cache = DiskCache(tmp_path)
+    spec = RunSpec("spmv", "doall", threads=2)
+    key = spec_key(spec)
+    assert cache.get(key) is None  # miss
+
+    result = execute_spec(spec)
+    cache.put(key, result)
+    assert len(cache) == 1
+    hit = cache.get(key)
+    assert hit is not None and hit.from_cache
+    assert hit.identity() == result.identity()
+
+
+def test_cache_ignores_corrupt_and_stale_schema_files(tmp_path):
+    cache = DiskCache(tmp_path)
+    spec = RunSpec("spmv", "doall", threads=2)
+    key = spec_key(spec)
+
+    (tmp_path / f"{key}.json").write_text("{not json")
+    assert cache.get(key) is None
+
+    payload = execute_spec(spec).to_json()
+    payload["schema"] = CACHE_SCHEMA + 1
+    (tmp_path / f"{key}.json").write_text(json.dumps(payload))
+    assert cache.get(key) is None
+
+    # A corrupt entry self-heals: the orchestrator re-simulates and
+    # overwrites it.
+    orch = Orchestrator(jobs=1, cache=cache)
+    results = orch.run([spec])
+    assert not results[0].from_cache
+    rerun = orch.run([spec])
+    assert rerun[0].from_cache
+    assert rerun[0].identity() == results[0].identity()
+
+
+def test_cached_result_render_path_matches_fresh(tmp_path):
+    """Figure values computed from cached results equal fresh ones even
+    through the JSON float round trip."""
+    cache = DiskCache(tmp_path)
+    fresh = fig15(apps=("spmv",), targets=(25,),
+                  orch=Orchestrator(jobs=1, cache=cache)).render()
+    cached = fig15(apps=("spmv",), targets=(25,),
+                   orch=Orchestrator(jobs=1, cache=cache)).render()
+    assert fresh == cached
+
+
+# -- timeout / retry ------------------------------------------------------------------
+
+
+def test_retry_after_injected_timeout_recovers_identical_result():
+    specs = [RunSpec("spmv", "doall", threads=2),
+             RunSpec("spmv", "maple-decouple", threads=2)]
+    baseline = identities(Orchestrator(jobs=1).run(specs))
+
+    events = []
+    orch = Orchestrator(jobs=2, timeout=2.0, retries=2,
+                        inject_hang=frozenset({spec_key(specs[0])}),
+                        progress=events.append)
+    results = orch.run(specs)
+    assert identities(results) == baseline
+    # The injected hang guarantees at least one timeout+retry; a loaded
+    # host may add more (the non-hung cell can also miss its deadline),
+    # and the injection only fires on attempt 0, so retries always land.
+    assert orch.report["timeouts"] >= 1
+    assert orch.report["retries"] >= 1
+    assert results[0].attempts >= 2  # first attempt hung, retry landed
+    assert any(e["event"] == "timeout" for e in events)
+
+
+def test_exhausted_retries_fall_back_to_in_process():
+    spec = RunSpec("spmv", "doall", threads=2)
+    orch = Orchestrator(jobs=2, timeout=2.0, retries=0,
+                        inject_hang=frozenset({spec_key(spec)}))
+    results = orch.run([spec])
+    assert orch.report["timeouts"] >= 1
+    assert orch.report["retries"] == 0
+    assert results[0].identity() == execute_spec(spec).identity()
+
+
+# -- progress / reporting --------------------------------------------------------------
+
+
+def test_progress_events_and_timing_report():
+    events = []
+    orch = Orchestrator(jobs=1, progress=events.append)
+    orch.run(SMALL_SPECS)
+    kinds = [e["event"] for e in events]
+    assert kinds[0] == "start" and kinds[-1] == "finish"
+    assert kinds.count("done") == 4  # unique cells only
+
+    report = orch.report
+    assert report["total"] == 5 and report["unique"] == 4
+    assert report["wall_seconds"] > 0
+    assert len(report["per_job"]) == 5
+    assert all(job["wall_seconds"] >= 0 for job in report["per_job"])
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        Orchestrator(jobs=0)
+    with pytest.raises(ValueError):
+        Orchestrator(retries=-1)
+
+
+def test_make_orchestrator_wires_cache(tmp_path):
+    orch = make_orchestrator(jobs=2, use_cache=True, cache_dir=tmp_path)
+    assert orch.cache is not None and orch.cache.root == tmp_path
+    assert make_orchestrator(jobs=1, use_cache=False).cache is None
