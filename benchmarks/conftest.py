@@ -12,7 +12,6 @@ assertions don't care.
 
 import os
 
-import pytest
 
 from repro.harness.orchestrator import Orchestrator
 

@@ -17,13 +17,12 @@ Answers the questions DeSC's compiler asks (§3.3):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.compiler.ir import (
     Bin,
     ComputeStmt,
-    Const,
     Expr,
     FetchAddStmt,
     ForStmt,
@@ -35,7 +34,6 @@ from repro.compiler.ir import (
     Var,
     expr_equal,
     expr_vars,
-    walk,
 )
 
 #: Use categories a temp's value can flow into.

@@ -11,7 +11,7 @@ trips, queue backpressure, cache behaviour — is the real model's.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.compiler.analysis import ImaChain
 from repro.compiler.ir import (

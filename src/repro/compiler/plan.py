@@ -35,7 +35,6 @@ from typing import Dict, List, Set
 
 from repro.compiler.analysis import (
     ADDRESS,
-    BOUND,
     ImaChain,
     KernelAnalysis,
 )

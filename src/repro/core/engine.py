@@ -29,9 +29,9 @@ from repro.core.mmu import MapleMmu
 from repro.core.opcodes import LoadOp, StoreOp, decode_offset
 from repro.core.queues import HwQueue, Scratchpad
 from repro.mem.hierarchy import MemorySystem, MMIORegion
-from repro.noc import Network, Packet, Plane
+from repro.noc import Network, Plane
 from repro.params import SoCConfig
-from repro.sim import Semaphore, Simulator
+from repro.sim import Message, PortRegistry, Semaphore, Simulator
 from repro.sim.stats import Stats
 from repro.vm.address import PAGE_SIZE
 
@@ -45,11 +45,10 @@ class Maple:
 
     def __init__(self, instance_id: int, tile_id: int, sim: Simulator,
                  memsys: MemorySystem, network: Network, config: SoCConfig,
-                 stats: Stats, mmio_base: int):
+                 stats: Stats, mmio_base: int, ports: Optional[PortRegistry] = None):
         self.instance_id = instance_id
         self.tile_id = tile_id
         self._sim = sim
-        self._memsys = memsys
         self._network = network
         self.config = config
         self.stats = stats.scoped(f"maple{instance_id}")
@@ -61,16 +60,29 @@ class Maple:
         self._c_produce_ptrs = self.stats.counter("produce_ptrs")
         self._c_produce_backpressure = self.stats.counter("produce_backpressure")
         self._h_fetch_mlp = self.stats.histogram("fetch_mlp")
-        # Per-request pipeline constants, hoisted out of _handle.
-        self._mmio_path_latency = config.mmio_path_latency
+        # Per-request pipeline constant, hoisted out of _serve_mmio.
         self._pipeline_latency = config.maple_pipeline_latency
         self.page_paddr = mmio_base + instance_id * PAGE_SIZE
+
+        # Port wiring: one memory port for every fetch MAPLE issues
+        # (pointer fetches, LIMA chunks, PTE walks, LLC prefetch posts)
+        # and one NoC-transported MMIO port pair that carries every core
+        # access.  A standalone registry keeps direct construction (tests)
+        # working outside a Soc.
+        if ports is None:
+            ports = PortRegistry(sim)
+        self.ports = ports
+        # Depth bound: fetch workers hold the in-flight semaphore and LIMA
+        # runs one drain per queue, so this can never be the constraint.
+        self.mem_port = memsys.connect_device_port(
+            ports, f"maple{instance_id}", tile_id,
+            depth=config.maple_max_inflight + config.maple_num_queues + 2)
 
         self.scratchpad = Scratchpad(
             sim, config.scratchpad_bytes, config.maple_num_queues,
             config.queue_entry_bytes, self.stats,
         )
-        self.mmu = MapleMmu(memsys, config, self.stats,
+        self.mmu = MapleMmu(self.mem_port, config, self.stats,
                             name=f"maple{instance_id}.mmu")
         self.lima = LimaUnit(self)
 
@@ -89,8 +101,26 @@ class Maple:
         #: core_id -> tile_id, provided by the SoC builder for NoC routing.
         self.core_tiles: Dict[int, int] = {}
 
+        # The MMIO seam: the dispatch side sits at the memory system's
+        # uncacheable decode, the device side at this tile; the request
+        # link charges the core-side private-cache path plus the request
+        # NoC, the response link the response NoC plus the return path —
+        # the exact Fig. 14 segments, now derivable from the port trace.
+        self.mmio_port = ports.port(f"maple{instance_id}.mmio", tile=tile_id)
+        self._mmio_dispatch = ports.port(
+            f"maple{instance_id}.mmio.dispatch", tile=-1,
+            depth=config.num_cores + 2)
+        self.mmio_port.bind(self._serve_mmio)
+        ports.connect(
+            self._mmio_dispatch, self.mmio_port,
+            request_link=network.link(Plane.REQUEST,
+                                      pre=config.mmio_path_latency),
+            response_link=network.link(Plane.RESPONSE,
+                                       post=config.mmio_path_latency),
+        )
+
         memsys.register_mmio(MMIORegion(
-            self.page_paddr, self.page_paddr + PAGE_SIZE, self._handle,
+            self.page_paddr, self.page_paddr + PAGE_SIZE, self._mmio_entry,
             name=f"maple{instance_id}",
         ))
 
@@ -106,28 +136,26 @@ class Maple:
             + self._network.one_way_latency(self.tile_id, core_tile)
         )
 
-    def _handle(self, op: str, paddr: int, value, core_id: int):
-        """Generator: the MMIORegion handler — one MMIO load or store."""
-        opcode, queue_id = decode_offset(paddr - self.page_paddr)
+    def _mmio_entry(self, op: str, paddr: int, value, core_id: int):
+        """The MMIORegion handler: forward the access onto the MMIO port
+        pair (returns the transaction generator).  The request link pays
+        core pipeline -> L1 -> L1.5 -> request NoC; the response link the
+        response NoC plus the return path (Fig. 14)."""
         core_tile = self.core_tiles.get(core_id, core_id)
-        is_load = op == "load"
-        kind, resp_kind = (("mmio_load", "mmio_load_resp") if is_load
-                           else ("mmio_store", "mmio_store_resp"))
-        # Outbound: core pipeline -> L1 -> L1.5 -> request NoC (Fig. 14).
-        yield self._mmio_path_latency
-        yield from self._network.transfer(
-            Packet(core_tile, self.tile_id, kind), Plane.REQUEST)
+        kind = "mmio_load" if op == "load" else "mmio_store"
+        return self._mmio_dispatch.request(kind, (paddr, value, core_id),
+                                           src=core_tile)
+
+    def _serve_mmio(self, msg: Message):
+        """Generator: decode + dispatch one MMIO transaction (device side)."""
+        paddr, value, core_id = msg.payload
+        opcode, queue_id = decode_offset(paddr - self.page_paddr)
         yield self._pipeline_latency  # decode + pipeline stages
-        if is_load:
-            result = yield from self._dispatch_load(LoadOp(opcode), queue_id, core_id)
-        else:
-            result = yield from self._dispatch_store(StoreOp(opcode), queue_id,
-                                                     value, core_id)
-        # Response: NoC back plus the L1.5/L1 return path into the core.
-        yield from self._network.transfer(
-            Packet(self.tile_id, core_tile, resp_kind), Plane.RESPONSE)
-        yield self._mmio_path_latency
-        return result
+        if msg.kind == "mmio_load":
+            return (yield from self._dispatch_load(LoadOp(opcode), queue_id,
+                                                   core_id))
+        return (yield from self._dispatch_store(StoreOp(opcode), queue_id,
+                                                value, core_id))
 
     # -- Consume pipeline ----------------------------------------------------------
 
@@ -271,9 +299,9 @@ class Maple:
             self._h_fetch_mlp.add(self._inflight.in_use)
             paddr = yield from self.mmu.translate(ptr)
             if via_llc:
-                data = yield from self._memsys.load_llc(paddr)
+                data = yield from self.mem_port.request("llc_load", paddr)
             else:
-                data = yield from self._memsys.load_dram(paddr)
+                data = yield from self.mem_port.request("dram_load", paddr)
         finally:
             self._inflight.release()
         queue.fill(index, data)
@@ -285,4 +313,4 @@ class Maple:
             paddr = yield from self.mmu.translate(ptr)
         finally:
             self._inflight.release()
-        self._memsys.prefetch_l2(paddr)
+        self.mem_port.post("l2_prefetch", paddr)

@@ -94,7 +94,7 @@ class LimaUnit:
 
     def _run(self, queue_id: int, config: LimaConfig, mode: str):
         maple = self._maple
-        memsys = maple._memsys
+        mem_port = maple.mem_port
         line_size = maple.config.line_size
         queue = maple.scratchpad.queue(queue_id)
         maple.stats.bump("lima_started")
@@ -106,7 +106,7 @@ class LimaUnit:
             line = paddr_b & ~(line_size - 1)
             if line != current_line:
                 # Fetch the next 64 B chunk of B into the scratchpad.
-                line_words = yield from memsys.load_dram_line(line)
+                line_words = yield from mem_port.request("dram_line", line)
                 current_line = line
                 maple.stats.bump("lima_chunks")
             index = line_words[(paddr_b - line) // WORD_BYTES]
@@ -124,6 +124,6 @@ class LimaUnit:
                 )
             else:
                 paddr_a = yield from maple.mmu.translate(target)
-                memsys.prefetch_l2(paddr_a)
+                mem_port.post("l2_prefetch", paddr_a)
             maple.stats.bump("lima_elements")
         self.active -= 1

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.mem.hierarchy import MemorySystem
 from repro.params import SoCConfig
 from repro.sim.stats import ScopedStats
 from repro.vm.ptw import PageTableWalker, TranslationFault
@@ -21,16 +20,20 @@ from repro.vm.tlb import Tlb
 
 
 class MapleMmu:
-    """Translation front-end shared by the Produce pipeline and LIMA."""
+    """Translation front-end shared by the Produce pipeline and LIMA.
 
-    def __init__(self, memsys: MemorySystem, config: SoCConfig,
+    ``mem`` is the engine's memory :class:`~repro.sim.port.Port` (walk
+    reads become ``ptw_read`` transactions on it); a bare
+    :class:`~repro.mem.hierarchy.MemorySystem` also works standalone.
+    """
+
+    def __init__(self, mem, config: SoCConfig,
                  stats: ScopedStats, name: str = "maple-mmu"):
         self.name = name
-        self._memsys = memsys
         self._config = config
         self._stats = stats
         self.tlb = Tlb(config.maple_tlb_entries, stats, name=f"{name}.tlb")
-        self._ptw = PageTableWalker(memsys, stats, name=f"{name}.ptw")
+        self._ptw = PageTableWalker(mem, stats, name=f"{name}.ptw")
         self.root_paddr: Optional[int] = None
         self.last_fault_vaddr: Optional[int] = None
         self._fault_handler = None  # installed by the driver

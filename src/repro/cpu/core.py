@@ -7,16 +7,23 @@ retry.  Per-core statistics feed Figs. 10 (load counts) and 11 (average
 load latency): every load-class instruction, including MMIO consumes from
 MAPLE, lands in the same counters, exactly as the paper's hardware
 counters measure.
+
+All memory traffic — loads, stores, AMOs, software prefetches, and the
+page-table walker's PTE reads — leaves the core through a single
+:class:`~repro.sim.port.Port` into the memory system.  The core never
+touches :class:`~repro.mem.hierarchy.MemorySystem` directly: uncacheable
+(MMIO) checks and L1 peeks are zero-time port probes, functional store
+data is a port post, and every timed access is a port transaction, so one
+telemetry tap sees the core's whole memory-side behavior.
 """
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Generator
 
 from repro.cpu.isa import Alu, Amo, Load, Prefetch, Store, Sync
-from repro.mem.hierarchy import MemorySystem
 from repro.params import SoCConfig
-from repro.sim import Semaphore, Simulator
+from repro.sim import Port, Semaphore, Simulator
 from repro.sim.stats import Stats
 from repro.vm.os_model import AddressSpace, SimOS
 from repro.vm.ptw import PageTableWalker, TranslationFault
@@ -36,12 +43,12 @@ class Core:
     """One in-order core at a mesh tile."""
 
     def __init__(self, core_id: int, tile_id: int, sim: Simulator,
-                 memsys: MemorySystem, os: SimOS, config: SoCConfig,
+                 mem_port: Port, os: SimOS, config: SoCConfig,
                  stats: Stats):
         self.core_id = core_id
         self.tile_id = tile_id
         self._sim = sim
-        self._memsys = memsys
+        self._mem_port = mem_port
         self._os = os
         self.config = config
         self.stats = stats.scoped(f"core{core_id}")
@@ -55,7 +62,7 @@ class Core:
         self._c_syncs = self.stats.counter("syncs")
         self._h_load_latency = self.stats.histogram("load_latency")
         self.tlb = Tlb(config.core_tlb_entries, self.stats, name=f"tlb{core_id}")
-        self._ptw = PageTableWalker(memsys, self.stats, name=f"ptw{core_id}")
+        self._ptw = PageTableWalker(mem_port, self.stats, name=f"ptw{core_id}")
         #: Outstanding-L1-miss budget shared by demand loads and software
         #: prefetches (Ariane's blocking cache: 1).
         self._mshrs = Semaphore(sim, config.core_mshrs, name=f"mshr{core_id}")
@@ -97,23 +104,7 @@ class Core:
             return None
         if kind is Store:
             self._c_instructions.value += 1
-            self._c_stores.value += 1
-            paddr = yield from self._translate(aspace, inst.vaddr)
-            if self._memsys.is_mmio(paddr):
-                # MMIO stores (MAPLE produces) are synchronous: the store
-                # retires only once the device acknowledges it (§3.6).
-                yield from self._memsys.store(self.core_id, paddr, inst.value)
-                return None
-            # Ordinary stores retire into the store buffer: the value is
-            # architecturally visible now; cache/coherence work completes
-            # in the background, stalling only when the buffer is full.
-            self._memsys.mem.write_word(paddr, inst.value)
-            if not self._store_buffer.try_acquire():
-                yield from self._store_buffer.acquire()
-            self._sim.spawn(self._drain_store(paddr, inst.value),
-                            name=self._stb_name)
-            yield 1
-            return None
+            return (yield from self._do_store(inst.vaddr, inst.value, aspace))
         if kind is Prefetch:
             self._c_instructions.value += 1
             self._c_prefetches.value += 1
@@ -126,7 +117,7 @@ class Core:
             self._c_instructions.value += 1
             self._c_amos.value += 1
             paddr = yield from self._translate(aspace, inst.vaddr)
-            old = yield from self._memsys.amo(self.core_id, paddr, inst.op)
+            old = yield from self._mem_port.request("amo", (paddr, inst.op))
             return old
         if kind is Sync:
             self._c_instructions.value += 1
@@ -151,17 +142,7 @@ class Core:
         if isinstance(inst, Load):
             return (yield from self._do_load(inst.vaddr, aspace))
         if isinstance(inst, Store):
-            self._c_stores.value += 1
-            paddr = yield from self._translate(aspace, inst.vaddr)
-            if self._memsys.is_mmio(paddr):
-                yield from self._memsys.store(self.core_id, paddr, inst.value)
-                return None
-            self._memsys.mem.write_word(paddr, inst.value)
-            yield from self._store_buffer.acquire()
-            self._sim.spawn(self._drain_store(paddr, inst.value),
-                            name=self._stb_name)
-            yield 1
-            return None
+            return (yield from self._do_store(inst.vaddr, inst.value, aspace))
         if isinstance(inst, Prefetch):
             self._c_prefetches.value += 1
             paddr = yield from self._translate(aspace, inst.vaddr)
@@ -172,7 +153,7 @@ class Core:
         if isinstance(inst, Amo):
             self._c_amos.value += 1
             paddr = yield from self._translate(aspace, inst.vaddr)
-            old = yield from self._memsys.amo(self.core_id, paddr, inst.op)
+            old = yield from self._mem_port.request("amo", (paddr, inst.op))
             return old
         if isinstance(inst, Sync):
             self._c_syncs.value += 1
@@ -184,25 +165,45 @@ class Core:
         self._c_loads.value += 1
         start = self._sim.now
         paddr = yield from self._translate(aspace, vaddr)
-        if (self._memsys._mmio_region(paddr) is None
-                and not self._memsys.l1_would_hit(self.core_id, paddr)):
+        port = self._mem_port
+        if (not port.probe("is_uncacheable", paddr)
+                and not port.probe("l1_would_hit", paddr)):
             # A demand miss takes an MSHR — and waits if software
             # prefetches already occupy them (the blocking-cache effect).
             if not self._mshrs.try_acquire():
                 yield from self._mshrs.acquire()
             try:
-                value = yield from self._memsys.load(self.core_id, paddr)
+                value = yield from port.request("load", paddr)
             finally:
                 self._mshrs.release()
         else:
-            value = yield from self._memsys.load(self.core_id, paddr)
+            value = yield from port.request("load", paddr)
         self._h_load_latency.add(self._sim.now - start)
         return value
 
+    def _do_store(self, vaddr: int, value, aspace: AddressSpace):
+        """One store, plain or fenced — the single retire path."""
+        self._c_stores.value += 1
+        paddr = yield from self._translate(aspace, vaddr)
+        port = self._mem_port
+        if port.probe("is_uncacheable", paddr):
+            # MMIO stores (MAPLE produces) are synchronous: the store
+            # retires only once the device acknowledges it (§3.6).
+            yield from port.request("store", (paddr, value, True))
+            return None
+        # Ordinary stores retire into the store buffer: the value is
+        # architecturally visible now; cache/coherence work completes
+        # in the background, stalling only when the buffer is full.
+        port.post("write_word", (paddr, value))
+        if not self._store_buffer.try_acquire():
+            yield from self._store_buffer.acquire()
+        self._sim.spawn(self._drain_store(paddr, value), name=self._stb_name)
+        yield 1
+        return None
+
     def _drain_store(self, paddr: int, value):
         try:
-            yield from self._memsys.store(self.core_id, paddr, value,
-                                          apply=False)
+            yield from self._mem_port.request("store", (paddr, value, False))
         finally:
             self._store_buffer.release()
 
@@ -210,7 +211,7 @@ class Core:
         if not self._mshrs.try_acquire():
             yield from self._mshrs.acquire()
         try:
-            yield from self._memsys.prefetch_fill(self.core_id, paddr)
+            yield from self._mem_port.request("prefetch_fill", paddr)
         finally:
             self._mshrs.release()
 

@@ -25,7 +25,6 @@ from repro.harness.orchestrator import (
     RunSpec,
     freeze_dataset_kwargs,
 )
-from repro.harness.techniques import ExperimentResult, run_workload
 from repro.params import FPGA_CONFIG, MOSAIC_CONFIG, SoCConfig
 from repro.sim.stats import geomean
 

@@ -50,7 +50,7 @@ import multiprocessing
 import os
 import random
 import time
-from dataclasses import asdict, dataclass, field, replace
+from dataclasses import dataclass
 from pathlib import Path
 from typing import (
     Any, Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple,

@@ -22,8 +22,8 @@ records the fallback.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
 
 from repro.baselines.desc import DescBackend
 from repro.baselines.droplet import DropletPrefetcher
@@ -42,7 +42,7 @@ from repro.compiler.plan import Technique, plan_for
 from repro.core.api import QueueHandle
 from repro.cpu.core import Thread
 from repro.kernels import ALL_WORKLOADS
-from repro.kernels.base import LoopWorkload, WorkloadBinding
+from repro.kernels.base import WorkloadBinding
 from repro.params import SoCConfig
 from repro.system import Soc
 

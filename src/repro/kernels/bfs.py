@@ -15,7 +15,7 @@ distances — the epoch-barrier argument of §3.6.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.compiler.interp import Role, Runtime, interpret
 from repro.compiler.ir import (
@@ -30,7 +30,7 @@ from repro.compiler.ir import (
     Var,
 )
 from repro.cpu import isa
-from repro.datasets.graphs import Graph, reference_bfs, wikipedia_surrogate
+from repro.datasets.graphs import Graph, reference_bfs
 from repro.kernels.base import LoopWorkload
 
 UNVISITED = -1

@@ -25,6 +25,7 @@ from repro.mem.cache import Cache
 from repro.mem.dram import DramChannel
 from repro.params import SoCConfig
 from repro.sim import Signal, Simulator
+from repro.sim.port import Message, Port, PortRegistry
 from repro.sim.stats import Counter, Stats
 
 
@@ -124,6 +125,87 @@ class MemorySystem:
     def _line_of(self, paddr: int) -> int:
         return paddr & self._line_mask
 
+    # -- port endpoints ------------------------------------------------------
+
+    def connect_core_port(self, registry: PortRegistry, core_id: int,
+                          tile: int) -> Port:
+        """Wire the core↔memory seam for ``core_id``; returns the core's
+        client port.
+
+        Channel depth is 1 (the blocking execute slot) + MSHRs + store-
+        buffer entries: every concurrent requester in the core model holds
+        one of those resources first, so the bound is provably never the
+        binding constraint and the port adds zero cycles.
+        """
+        cfg = self.config
+        depth = 1 + cfg.core_mshrs + cfg.store_buffer_entries
+        client = registry.port(f"core{core_id}.mem", tile=tile, depth=depth)
+        server = registry.port(f"mem.core{core_id}", tile=tile)
+
+        def handler(msg: Message):
+            kind = msg.kind
+            if kind == "load":
+                return self.load(core_id, msg.payload)
+            if kind == "store":
+                paddr, value, apply = msg.payload
+                return self.store(core_id, paddr, value, apply=apply)
+            if kind == "amo":
+                paddr, op = msg.payload
+                return self.amo(core_id, paddr, op)
+            if kind == "prefetch_fill":
+                return self.prefetch_fill(core_id, msg.payload)
+            if kind == "ptw_read":
+                return self.load_llc(msg.payload)
+            raise ValueError(f"core mem port: unknown request kind {kind!r}")
+
+        def posts(kind: str, payload: Any) -> None:
+            if kind == "write_word":
+                paddr, value = payload
+                self.mem.write_word(paddr, value)
+                return None
+            raise ValueError(f"core mem port: unknown post kind {kind!r}")
+
+        def probes(kind: str, paddr: int):
+            if kind == "is_uncacheable":
+                return self.is_uncacheable(paddr)
+            if kind == "l1_would_hit":
+                return self.l1_would_hit(core_id, paddr)
+            raise ValueError(f"core mem port: unknown probe kind {kind!r}")
+
+        server.bind(handler, posts=posts, probes=probes)
+        registry.connect(client, server)
+        return client
+
+    def connect_device_port(self, registry: PortRegistry, name: str,
+                            tile: int, depth: Optional[int] = None) -> Port:
+        """Wire the memory seam for a device (MAPLE): coherent LLC loads,
+        non-coherent DRAM word/line fetches, PTE reads, and LLC-prefetch
+        posts.  Returns the device's client port."""
+        client = registry.port(f"{name}.mem", tile=tile, depth=depth)
+        server = registry.port(f"mem.{name}", tile=tile)
+
+        def handler(msg: Message):
+            kind = msg.kind
+            if kind == "llc_load":
+                return self.load_llc(msg.payload)
+            if kind == "dram_load":
+                return self.load_dram(msg.payload)
+            if kind == "dram_line":
+                return self.load_dram_line(msg.payload)
+            if kind == "ptw_read":
+                return self.load_llc(msg.payload)
+            raise ValueError(f"device mem port: unknown request kind {kind!r}")
+
+        def posts(kind: str, payload: Any) -> None:
+            if kind == "l2_prefetch":
+                self.prefetch_l2(payload)
+                return None
+            raise ValueError(f"device mem port: unknown post kind {kind!r}")
+
+        server.bind(handler, posts=posts)
+        registry.connect(client, server)
+        return client
+
     # -- core-facing accesses ------------------------------------------------
 
     def load(self, core_id: int, paddr: int):
@@ -168,8 +250,14 @@ class MemorySystem:
             self.mem.write_word(paddr, value)
         return None
 
-    def is_mmio(self, paddr: int) -> bool:
+    def is_uncacheable(self, paddr: int) -> bool:
+        """Public predicate: True when ``paddr`` falls in a registered
+        MMIO region (device-owned, bypasses the caches entirely)."""
         return self._mmio_region(paddr) is not None
+
+    def is_mmio(self, paddr: int) -> bool:
+        """Alias of :meth:`is_uncacheable` (historical name)."""
+        return self.is_uncacheable(paddr)
 
     def amo(self, core_id: int, paddr: int, op: Callable[[Any], Any]):
         """Generator: atomic read-modify-write. Returns the old value.

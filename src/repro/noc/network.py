@@ -5,6 +5,14 @@ traffic cannot deadlock each other.  :class:`Network.transfer` charges
 encode + hops + decode cycles and records per-plane statistics; an optional
 ``latency_override`` supports the Fig. 15 sensitivity sweep, where the
 core-to-MAPLE latency is varied as a free parameter.
+
+The network is also the transport for inter-tile port pairs:
+:meth:`Network.link` returns a link generator that a
+:class:`~repro.sim.port.Port` connection installs per direction, so every
+cross-tile transaction (e.g. a core's MMIO access to MAPLE) pays the mesh
+traversal here and shows up in the per-plane counters — and the Fig. 14
+latency breakdown falls out of the port trace instead of hand-placed
+instrumentation.
 """
 
 from __future__ import annotations
@@ -15,7 +23,7 @@ from typing import Dict, Optional, Tuple
 from repro.noc.mesh import Mesh
 from repro.noc.packet import Packet
 from repro.params import SoCConfig
-from repro.sim import Simulator
+from repro.sim import Message, Simulator
 from repro.sim.stats import Stats
 
 
@@ -75,6 +83,33 @@ class Network:
         hops_c.value += hops
         yield latency
         return packet
+
+    def transfer_msg(self, msg: Message, plane: Plane):
+        """Generator: move one port :class:`Message` across the mesh —
+        same cost and per-plane accounting as a :class:`Packet`."""
+        latency, hops = self._route(msg.src, msg.dst)
+        packets_c, hops_c = self._plane_counters[plane]
+        packets_c.value += 1
+        hops_c.value += hops
+        yield latency
+        return msg
+
+    def link(self, plane: Plane, pre: int = 0, post: int = 0):
+        """A port-link generator function over this network.
+
+        The returned ``link(msg)`` charges ``pre`` endpoint cycles, then
+        the plane's mesh traversal for ``msg.src -> msg.dst``, then
+        ``post`` endpoint cycles.  Install it as a port connection's
+        ``request_link``/``response_link`` to make this network the
+        transport for that seam.
+        """
+        def _link(msg: Message):
+            if pre:
+                yield pre
+            yield from self.transfer_msg(msg, plane)
+            if post:
+                yield post
+        return _link
 
     def round_trip_latency(self, src_tile: int, dst_tile: int) -> int:
         """Request + response network cost (no endpoint processing)."""

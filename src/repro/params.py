@@ -16,8 +16,8 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict, dataclass, field, replace
-from typing import Dict, Tuple
+from dataclasses import asdict, dataclass, replace
+from typing import Dict
 
 
 @dataclass(frozen=True)

@@ -10,6 +10,7 @@ handshakes while staying pure Python.
 """
 
 from repro.sim.engine import Process, Simulator
+from repro.sim.port import Message, Port, PortRegistry, PortTap
 from repro.sim.signal import Barrier, Gate, Semaphore, Signal
 from repro.sim.stats import Histogram, Stats, geomean
 
@@ -17,6 +18,10 @@ __all__ = [
     "Barrier",
     "Gate",
     "Histogram",
+    "Message",
+    "Port",
+    "PortRegistry",
+    "PortTap",
     "Process",
     "Semaphore",
     "Signal",

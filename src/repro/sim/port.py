@@ -1,0 +1,333 @@
+"""Typed Port/Message protocol layer for cross-component traffic.
+
+Every seam in the SoC model — core↔memory hierarchy, core↔MMIO devices
+(MAPLE), device↔memory, page-table walks — is carried by a :class:`Port`
+pair wired through a :class:`PortRegistry`.  A port pair gives every seam
+the same three things:
+
+- **A typed message protocol.**  Each transaction is a request/response
+  :class:`Message` carrying source/destination tile, a payload, and a
+  monotonically assigned transaction id, so traces are self-describing
+  and ordering is checkable.
+
+- **Backpressure.**  A bounded channel depth: once ``depth`` transactions
+  are outstanding, the next sender *yields* until a response frees a slot
+  (strict FIFO, built on the simulation :class:`~repro.sim.signal.Semaphore`'s
+  direct handoff).  SoC wiring chooses depths at least as large as the
+  upstream resource bounds (MSHRs + store-buffer entries for a core,
+  MAPLE's in-flight fetch limit for the device), so the protocol layer
+  adds zero cycles unless a seam is deliberately narrowed.
+
+- **A telemetry tap.**  Per-port counters (requests, responses, posts,
+  probes, stalls, per-kind breakdown) plus an optional bounded ring
+  buffer of ``(cycle, port, msg_kind, txn, phase)`` trace events,
+  exportable as Chrome-trace JSON by ``tools/trace_export.py``.
+
+Timing honesty: the port layer itself never charges cycles.  Latency
+lives in the connected *links* (for example the NoC transport returned by
+:meth:`repro.noc.network.Network.link`) and in the bound service
+handlers — exactly where the modeled hardware pays it.  That is what
+keeps the refactor bit-identical to the pre-port model: the yield
+sequence of a transaction is the links' and the handler's, nothing more.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.sim.signal import Semaphore
+
+#: One trace record: (cycle, port name, message kind, txn id, phase).
+#: Phases: "req" / "done" / "err" on the requesting port, "recv" / "resp"
+#: on the serving port, "post" and "probe" for the synchronous paths.
+TraceEvent = Tuple[int, str, str, int, str]
+
+#: Default ring-buffer capacity when tracing is enabled.
+DEFAULT_TRACE_DEPTH = 1 << 16
+
+
+class Message:
+    """One transaction on a port pair.
+
+    ``kind`` names the operation ("load", "mmio_store", "dram_line", ...);
+    ``src``/``dst`` are mesh tile ids (-1 when a side is not tile-mapped);
+    ``txn`` is assigned monotonically by the issuing port.
+    """
+
+    __slots__ = ("kind", "src", "dst", "payload", "txn")
+
+    def __init__(self, kind: str, src: int, dst: int, payload: Any = None,
+                 txn: int = -1):
+        self.kind = kind
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.txn = txn
+
+    def response(self, payload: Any) -> "Message":
+        """The paired response record: same txn, reversed direction."""
+        return Message(self.kind + ".resp", self.dst, self.src, payload, self.txn)
+
+    def __repr__(self) -> str:
+        return f"<Message #{self.txn} {self.kind} {self.src}->{self.dst}>"
+
+
+class PortTap:
+    """Telemetry for one port: always-on counters, optional trace ring."""
+
+    __slots__ = ("requests", "responses", "served", "posts", "probes",
+                 "stalls", "errors", "by_kind", "trace")
+
+    def __init__(self) -> None:
+        self.trace: Optional[Deque[TraceEvent]] = None
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter; an enabled trace ring is cleared, not removed."""
+        self.requests = 0
+        self.responses = 0
+        self.served = 0
+        self.posts = 0
+        self.probes = 0
+        self.stalls = 0
+        self.errors = 0
+        self.by_kind: Dict[str, int] = {}
+        if self.trace is not None:
+            self.trace.clear()
+
+    def enable_trace(self, limit: int = DEFAULT_TRACE_DEPTH) -> None:
+        self.trace = deque(maxlen=limit)
+
+    def disable_trace(self) -> None:
+        self.trace = None
+
+    def count(self, kind: str) -> None:
+        by_kind = self.by_kind
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A flat, picklable dump (mirrors Stats.snapshot conventions)."""
+        return {
+            "requests": self.requests,
+            "responses": self.responses,
+            "served": self.served,
+            "posts": self.posts,
+            "probes": self.probes,
+            "stalls": self.stalls,
+            "errors": self.errors,
+            "by_kind": dict(self.by_kind),
+        }
+
+
+class Port:
+    """One endpoint of a seam.
+
+    A *client* port issues :meth:`request` / :meth:`post` / :meth:`probe`
+    toward its connected peer; a *server* port :meth:`bind`\\ s the service
+    handlers.  Either side taps its own traffic.
+    """
+
+    def __init__(self, sim, name: str, tile: int = -1,
+                 depth: Optional[int] = None):
+        self._sim = sim
+        self.name = name
+        self.tile = tile
+        self.depth = depth
+        self.tap = PortTap()
+        self.peer: Optional["Port"] = None
+        #: Transactions issued by this port that have not completed.
+        self.outstanding = 0
+        self._next_txn = 0
+        self._credits = (Semaphore(sim, depth, name=f"{name}.credits")
+                         if depth is not None else None)
+        self._handler: Optional[Callable[[Message], Any]] = None
+        self._post_handler: Optional[Callable[[str, Any], Any]] = None
+        self._probe_handler: Optional[Callable[[str, Any], Any]] = None
+        self._request_link = None
+        self._response_link = None
+
+    def __repr__(self) -> str:
+        peer = self.peer.name if self.peer is not None else None
+        return f"<Port {self.name} tile={self.tile} peer={peer}>"
+
+    # -- wiring ------------------------------------------------------------
+
+    def bind(self, handler: Callable[[Message], Any],
+             posts: Optional[Callable[[str, Any], Any]] = None,
+             probes: Optional[Callable[[str, Any], Any]] = None) -> None:
+        """Install the service side: ``handler(msg)`` is a generator (or
+        returns one) whose return value answers the request; ``posts`` and
+        ``probes`` are synchronous ``f(kind, payload)`` callables."""
+        self._handler = handler
+        self._post_handler = posts
+        self._probe_handler = probes
+
+    def connect(self, peer: "Port", request_link=None, response_link=None) -> None:
+        """Pair this (client) port with ``peer`` (server).
+
+        ``request_link(msg)`` / ``response_link(msg)`` are optional
+        generator functions charging transport latency in each direction
+        (e.g. the NoC planes); with no links the transaction is a direct
+        timed call into the peer's handler.
+        """
+        if self.peer is not None or peer.peer is not None:
+            raise ValueError(f"port {self.name} or {peer.name} already connected")
+        self.peer = peer
+        peer.peer = self
+        self._request_link = request_link
+        self._response_link = response_link
+
+    # -- transactions ------------------------------------------------------
+
+    def request(self, kind: str, payload: Any = None,
+                src: Optional[int] = None, dst: Optional[int] = None):
+        """Generator: one request/response transaction with the peer.
+
+        Blocks (yields) while the channel is at depth; otherwise adds no
+        simulated time beyond the links and the peer's handler.  Returns
+        the handler's return value.
+        """
+        peer = self.peer
+        if peer is None or peer._handler is None:
+            raise RuntimeError(f"port {self.name}: request on an unbound port")
+        txn = self._next_txn
+        self._next_txn = txn + 1
+        msg = Message(kind, self.tile if src is None else src,
+                      peer.tile if dst is None else dst, payload, txn)
+        tap = self.tap
+        tap.requests += 1
+        tap.count(kind)
+        credits = self._credits
+        if credits is not None and not credits.try_acquire():
+            tap.stalls += 1
+            yield from credits.acquire()
+        self.outstanding += 1
+        trace = tap.trace
+        if trace is not None:
+            trace.append((self._sim.now, self.name, kind, txn, "req"))
+        try:
+            if self._request_link is not None:
+                yield from self._request_link(msg)
+            peer_tap = peer.tap
+            peer_tap.served += 1
+            peer_trace = peer_tap.trace
+            if peer_trace is not None:
+                peer_trace.append((self._sim.now, peer.name, kind, txn, "recv"))
+            result = yield from peer._handler(msg)
+            if peer_trace is not None:
+                peer_trace.append((self._sim.now, peer.name, kind, txn, "resp"))
+            if self._response_link is not None:
+                yield from self._response_link(msg.response(result))
+            if trace is not None:
+                trace.append((self._sim.now, self.name, kind, txn, "done"))
+            tap.responses += 1
+            return result
+        except BaseException:
+            tap.errors += 1
+            if trace is not None:
+                trace.append((self._sim.now, self.name, kind, txn, "err"))
+            raise
+        finally:
+            self.outstanding -= 1
+            if credits is not None:
+                credits.release()
+
+    def post(self, kind: str, payload: Any = None) -> Any:
+        """Fire-and-forget command: counted and traced here, executed
+        synchronously by the peer (no simulated time at the port)."""
+        peer = self.peer
+        if peer is None or peer._post_handler is None:
+            raise RuntimeError(f"port {self.name}: post on an unbound port")
+        tap = self.tap
+        tap.posts += 1
+        tap.count(kind)
+        txn = self._next_txn
+        self._next_txn = txn + 1
+        trace = tap.trace
+        if trace is not None:
+            trace.append((self._sim.now, self.name, kind, txn, "post"))
+        return peer._post_handler(kind, payload)
+
+    def probe(self, kind: str, payload: Any = None) -> Any:
+        """Zero-time query answered combinationally by the peer (cache
+        peek, uncacheable-range check, ...)."""
+        peer = self.peer
+        if peer is None or peer._probe_handler is None:
+            raise RuntimeError(f"port {self.name}: probe on an unbound port")
+        tap = self.tap
+        tap.probes += 1
+        trace = tap.trace
+        if trace is not None:
+            trace.append((self._sim.now, self.name, kind, -1, "probe"))
+        return peer._probe_handler(kind, payload)
+
+
+class PortRegistry:
+    """Every port of one SoC instance: wiring plus a reset/drain lifecycle.
+
+    ``reset()`` clears telemetry between measurement phases; ``drain()``
+    asserts quiescence (no transaction left in flight) — the SoC calls it
+    after every run, turning a leaked transaction into a loud failure
+    instead of a silently wrong trace.
+    """
+
+    def __init__(self, sim):
+        self._sim = sim
+        self.ports: List[Port] = []
+        self._by_name: Dict[str, Port] = {}
+
+    def port(self, name: str, tile: int = -1,
+             depth: Optional[int] = None) -> Port:
+        if name in self._by_name:
+            raise ValueError(f"duplicate port name {name!r}")
+        port = Port(self._sim, name, tile=tile, depth=depth)
+        self.ports.append(port)
+        self._by_name[name] = port
+        return port
+
+    def __getitem__(self, name: str) -> Port:
+        return self._by_name[name]
+
+    def connect(self, client: Port, server: Port,
+                request_link=None, response_link=None) -> None:
+        client.connect(server, request_link=request_link,
+                       response_link=response_link)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _busy(self) -> List[str]:
+        return [p.name for p in self.ports if p.outstanding]
+
+    def drain(self) -> None:
+        """Raise unless every port is quiescent."""
+        busy = self._busy()
+        if busy:
+            raise RuntimeError(
+                f"ports still have transactions in flight: {', '.join(busy)}")
+
+    def reset(self) -> None:
+        """Clear all telemetry (counters and traces); requires quiescence."""
+        self.drain()
+        for port in self.ports:
+            port.tap.reset()
+
+    # -- telemetry ---------------------------------------------------------
+
+    def enable_tracing(self, limit: int = DEFAULT_TRACE_DEPTH) -> None:
+        for port in self.ports:
+            port.tap.enable_trace(limit)
+
+    def telemetry(self) -> Dict[str, Dict[str, Any]]:
+        """Per-port counter snapshot, keyed by port name."""
+        return {port.name: port.tap.snapshot() for port in self.ports}
+
+    def trace_events(self) -> List[TraceEvent]:
+        """All ports' trace rings merged, sorted by cycle (stable within
+        a port, deterministic across ports by registration order)."""
+        merged: List[TraceEvent] = []
+        for port in self.ports:
+            if port.tap.trace is not None:
+                merged.extend(port.tap.trace)
+        merged.sort(key=lambda event: event[0])
+        return merged

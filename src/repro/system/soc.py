@@ -11,7 +11,7 @@ from repro.cpu.core import Core, Thread
 from repro.mem.hierarchy import MemorySystem
 from repro.noc import Mesh, Network
 from repro.params import SoCConfig
-from repro.sim import Barrier, Simulator, Stats
+from repro.sim import Barrier, PortRegistry, Simulator, Stats
 from repro.vm.alloc import SimArray, alloc_array
 from repro.vm.os_model import AddressSpace, SimOS
 
@@ -33,6 +33,9 @@ class Soc:
         self.config = cfg
         self.sim = Simulator()
         self.stats = Stats()
+        #: Every cross-component seam is a Port pair wired through this
+        #: registry — connect at build time, reset()/drain() around runs.
+        self.ports = PortRegistry(self.sim)
         self.memsys = MemorySystem(self.sim, cfg, self.stats)
         self.os = SimOS(self.sim, self.memsys, cfg)
         self.mesh = Mesh(cfg.mesh_cols, cfg.mesh_rows)
@@ -44,7 +47,8 @@ class Soc:
             tile = core_id
             self.mesh.place(tile, f"core{core_id}")
             self.memsys.add_core(core_id)
-            self.cores.append(Core(core_id, tile, self.sim, self.memsys,
+            mem_port = self.memsys.connect_core_port(self.ports, core_id, tile)
+            self.cores.append(Core(core_id, tile, self.sim, mem_port,
                                    self.os, cfg, self.stats))
 
         self.maples: List[Maple] = []
@@ -52,7 +56,8 @@ class Soc:
             tile = cfg.num_cores + instance
             self.mesh.place(tile, f"maple{instance}")
             maple = Maple(instance, tile, self.sim, self.memsys, self.network,
-                          cfg, self.stats, mmio_base=SimOS.MMIO_BASE)
+                          cfg, self.stats, mmio_base=SimOS.MMIO_BASE,
+                          ports=self.ports)
             maple.core_tiles = {core.core_id: core.tile_id for core in self.cores}
             self.maples.append(maple)
 
@@ -105,7 +110,25 @@ class Soc:
         self.sim.run()
         if len(finish) != len(assignments):
             raise RuntimeError("a thread never finished (deadlock in the model)")
+        # With the event queue empty, every port transaction must have
+        # completed; a leaked one is a model bug worth failing loudly on.
+        self.ports.drain()
         return max(finish.values()) if finish else 0
+
+    # -- port lifecycle ---------------------------------------------------------
+
+    def reset(self) -> None:
+        """Clear per-port telemetry (counters and traces) between
+        measurement phases; requires all ports quiescent."""
+        self.ports.reset()
+
+    def drain(self) -> None:
+        """Assert every port is quiescent (no transaction in flight)."""
+        self.ports.drain()
+
+    def port_telemetry(self) -> Dict[str, Dict[str, float]]:
+        """Per-port tap snapshot (requests/responses/stalls/kind mix)."""
+        return self.ports.telemetry()
 
     # -- reporting ------------------------------------------------------------------
 

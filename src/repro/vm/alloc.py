@@ -9,7 +9,7 @@ result checking.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List
 
 from repro.vm.os_model import AddressSpace, SimOS
 

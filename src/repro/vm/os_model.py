@@ -13,7 +13,7 @@ Provides what the paper's software stack needs from the kernel:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.mem.hierarchy import MemorySystem

@@ -5,14 +5,20 @@ page-table lines cache in the L2, so a warm walk costs three L2 hits while
 a cold one pays DRAM.  On an invalid or non-leaf final PTE the walker
 reports a :class:`TranslationFault` carrying the faulting address, which
 the OS (or the MAPLE driver, §3.5) resolves.
+
+The walker consumes the same memory interface as its owner: constructed
+with a :class:`~repro.sim.port.Port` (a core's or MAPLE's memory port),
+each PTE read is a timed ``ptw_read`` transaction on that port, so walk
+traffic shows up in the owner's telemetry tap.  Constructing it directly
+with a :class:`~repro.mem.hierarchy.MemorySystem` keeps working for
+standalone use (the read goes straight down the LLC path).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
-from repro.mem.hierarchy import MemorySystem
 from repro.sim.stats import ScopedStats
 from repro.vm.address import PAGE_SHIFT, page_offset, vpn_indices
 from repro.vm.page_table import pte_flags, pte_is_leaf, pte_is_valid, pte_ppn
@@ -32,11 +38,18 @@ class TranslationFault(Exception):
 class PageTableWalker:
     """Walks a radix table rooted wherever the MMU's root register points."""
 
-    def __init__(self, memsys: MemorySystem, stats: Optional[ScopedStats] = None,
+    def __init__(self, mem, stats: Optional[ScopedStats] = None,
                  name: str = "ptw"):
-        self._memsys = memsys
+        self._mem = mem
         self._stats = stats
         self.name = name
+        if hasattr(mem, "load_llc"):  # a MemorySystem, used directly
+            self._read_pte = mem.load_llc
+        else:  # a memory Port: PTE reads are ptw_read transactions
+            self._read_pte = self._read_via_port
+
+    def _read_via_port(self, paddr: int):
+        return self._mem.request("ptw_read", paddr)
 
     def walk(self, root_paddr: int, vaddr: int):
         """Generator: translate ``vaddr``; returns (paddr, flags).
@@ -49,7 +62,7 @@ class PageTableWalker:
         table = root_paddr
         indices = vpn_indices(vaddr)
         for level, index in enumerate(indices):
-            pte = yield from self._memsys.load_llc(table + 8 * index)
+            pte = yield from self._read_pte(table + 8 * index)
             if not isinstance(pte, int) or not pte_is_valid(pte):
                 if self._stats:
                     self._stats.bump("faults")

@@ -7,7 +7,6 @@ from repro.compiler.ir import (
     ComputeStmt,
     Const,
     ForStmt,
-    IfStmt,
     Kernel,
     LoadStmt,
     StoreStmt,

@@ -17,7 +17,6 @@ from repro.compiler.ir import (
     eval_expr,
     expr_equal,
     expr_vars,
-    walk,
 )
 
 

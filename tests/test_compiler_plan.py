@@ -1,6 +1,5 @@
 """Tests for per-technique slicing plans."""
 
-import pytest
 
 from repro.compiler import Technique, analyze, plan_for
 from repro.compiler.ir import ForStmt, IfStmt, LoadStmt, StoreStmt, expr_vars

@@ -7,7 +7,6 @@ by the benchmark suite instead.)
 import runpy
 from pathlib import Path
 
-import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.datasets.graphs import power_law_graph, reference_bfs
+from repro.datasets.graphs import power_law_graph
 from repro.datasets.sparse import random_csr
 from repro.harness import run_workload
 from repro.kernels import ALL_WORKLOADS, BfsWorkload, SpmvWorkload

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.core.engine import MapleError
-from repro.core.opcodes import LoadOp, StoreOp, encode_addr
+from repro.core.opcodes import LoadOp, encode_addr
 from repro.cpu import Alu, Load, Store, Thread
 from repro.params import SoCConfig
 from repro.system import Soc

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.queues import HwQueue, QueueError, Scratchpad, SlotState
+from repro.core.queues import HwQueue, QueueError, Scratchpad
 from repro.sim import Simulator, Stats
 
 

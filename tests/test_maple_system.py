@@ -8,10 +8,9 @@ a freshly built SoC per test.
 import pytest
 
 from repro.core.api import MapleApiError
-from repro.cpu import Alu, Load, Store, Thread
+from repro.cpu import Alu, Load, Thread
 from repro.params import SoCConfig
 from repro.system import Soc
-from repro.vm.os_model import SimOS
 
 
 def build_soc(**overrides):

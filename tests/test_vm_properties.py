@@ -1,6 +1,5 @@
 """Property tests tying the timed hardware paths to functional truth."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.mem import MemorySystem

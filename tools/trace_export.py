@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""Export per-port telemetry traces as Chrome-trace JSON.
+
+Every cross-component seam in the SoC model is a Port pair with a
+telemetry tap (see ``repro.sim.port``).  This tool enables the taps' ring
+buffers, runs a workload, and converts the merged trace into the Chrome
+trace-event format: one timeline row per port, a span per transaction
+(request→completion on the issuing port, receive→respond on the serving
+port), and instants for fire-and-forget posts.  Open the output in
+chrome://tracing or https://ui.perfetto.dev.
+
+The ``--fig14`` mode reruns the paper's Fig. 14 microbenchmark (one core
+produces into MAPLE, waits, then consumes) and *derives* the consume
+round trip from the port trace — the same ~25 cycles the analytic
+segment budget and ``benchmarks/test_bench_fig14_roundtrip.py`` pin —
+instead of relying on hand-placed instrumentation.
+
+Usage:
+    python tools/trace_export.py --fig14 [-o fig14_trace.json]
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cpu import Alu, Thread  # noqa: E402
+from repro.params import FPGA_CONFIG  # noqa: E402
+from repro.system import Soc  # noqa: E402
+
+
+def spans_from_events(events):
+    """Pair trace events into spans and instants.
+
+    Returns ``(spans, instants)`` where each span is
+    ``(port, kind, txn, start, end, phase_pair)`` and each instant is
+    ``(port, kind, txn, cycle, phase)``.
+    """
+    opens = {}
+    spans = []
+    instants = []
+    for cycle, port, kind, txn, phase in events:
+        if phase in ("req", "recv"):
+            opens[(port, txn, phase)] = (cycle, kind)
+        elif phase in ("done", "err"):
+            start, _ = opens.pop((port, txn, "req"), (cycle, kind))
+            spans.append((port, kind, txn, start, cycle, "issue"))
+        elif phase == "resp":
+            start, _ = opens.pop((port, txn, "recv"), (cycle, kind))
+            spans.append((port, kind, txn, start, cycle, "serve"))
+        else:  # post / probe
+            instants.append((port, kind, txn, cycle, phase))
+    # Transactions still open when the trace ends surface as instants.
+    for (port, txn, phase), (cycle, kind) in opens.items():
+        instants.append((port, kind, txn, cycle, f"open-{phase}"))
+    return spans, instants
+
+
+def chrome_trace(port_order, events):
+    """The Chrome trace-event JSON document for a merged event list."""
+    tids = {name: tid for tid, name in enumerate(port_order)}
+    trace = [
+        {"name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
+         "args": {"name": name}}
+        for name, tid in tids.items()
+    ]
+    spans, instants = spans_from_events(events)
+    for port, kind, txn, start, end, role in spans:
+        trace.append({
+            "name": kind, "cat": role, "ph": "X", "pid": 0,
+            "tid": tids.setdefault(port, len(tids)),
+            "ts": start, "dur": end - start, "args": {"txn": txn},
+        })
+    for port, kind, txn, cycle, phase in instants:
+        trace.append({
+            "name": kind, "cat": phase, "ph": "i", "s": "t", "pid": 0,
+            "tid": tids.setdefault(port, len(tids)),
+            "ts": cycle, "args": {"txn": txn},
+        })
+    return {"traceEvents": trace, "displayTimeUnit": "ns",
+            "otherData": {"time_unit": "cycles"}}
+
+
+def run_fig14(trace_limit):
+    """Run the Fig. 14 probe with tracing on; returns (soc, roundtrip)."""
+    soc = Soc(FPGA_CONFIG)
+    soc.ports.enable_tracing(trace_limit)
+    aspace = soc.new_process()
+    api = soc.driver.attach(aspace)
+
+    def probe():
+        handle = yield from api.open(0)
+        yield from handle.produce(1)
+        yield Alu(500)  # let the fill land: measure a non-blocking consume
+        value = yield from handle.consume()
+        assert value == 1
+
+    soc.run_threads([(0, Thread(probe(), aspace, "probe"))])
+
+    # The consume is the last mmio_load transaction on the dispatch port;
+    # its issue span is the whole core->MAPLE->core round trip.
+    dispatch = f"maple{soc.maples[0].instance_id}.mmio.dispatch"
+    spans, _ = spans_from_events(soc.ports.trace_events())
+    consumes = [s for s in spans
+                if s[0] == dispatch and s[1] == "mmio_load" and s[5] == "issue"]
+    if not consumes:
+        raise SystemExit("no mmio_load transaction found in the port trace")
+    port, kind, txn, start, end, _ = consumes[-1]
+    serve = next((s for s in spans if s[5] == "serve" and s[2] == txn
+                  and s[0].endswith(".mmio")), None)
+    roundtrip = {
+        "cycles": end - start,
+        "txn": txn,
+        "segments": {
+            "request path + request NoC": serve[3] - start if serve else None,
+            "MAPLE decode + pipeline + queue pop": (serve[4] - serve[3]
+                                                    if serve else None),
+            "response NoC + response path": end - serve[4] if serve else None,
+        },
+    }
+    return soc, roundtrip
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fig14", action="store_true",
+                        help="trace the Fig. 14 consume round trip")
+    parser.add_argument("-o", "--out", default="trace.json",
+                        help="output Chrome-trace JSON path")
+    parser.add_argument("--trace-limit", type=int, default=1 << 16,
+                        help="per-port trace ring capacity")
+    args = parser.parse_args(argv)
+    if not args.fig14:
+        parser.error("choose a mode: --fig14")
+
+    soc, roundtrip = run_fig14(args.trace_limit)
+    document = chrome_trace([p.name for p in soc.ports.ports],
+                            soc.ports.trace_events())
+    document["otherData"]["fig14_roundtrip"] = roundtrip
+    Path(args.out).write_text(json.dumps(document, indent=1))
+
+    expected = soc.maples[0].round_trip_cycles(soc.cores[0].tile_id)
+    print(f"wrote {args.out} ({len(document['traceEvents'])} events)")
+    print(f"consume round trip from port trace: {roundtrip['cycles']} cycles "
+          f"(txn #{roundtrip['txn']})")
+    for segment, cycles in roundtrip["segments"].items():
+        print(f"  {segment}: {cycles}")
+    print("per-port telemetry:")
+    for name, tap in soc.port_telemetry().items():
+        if tap["requests"] or tap["served"] or tap["posts"]:
+            print(f"  {name}: requests={tap['requests']} served={tap['served']}"
+                  f" posts={tap['posts']} stalls={tap['stalls']}")
+    if roundtrip["cycles"] != expected:
+        print(f"MISMATCH: analytic round trip is {expected} cycles",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
