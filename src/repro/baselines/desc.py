@@ -49,11 +49,16 @@ class DescBackend(QueueBackend):
         # the hoisted loads can).
         self._store_port = Semaphore(soc.sim, 1, name="desc.stport")
 
-    def _translate(self, vaddr: int) -> int:
-        paddr = self._aspace.page_table.lookup(vaddr)
-        if paddr is None:
-            raise RuntimeError(f"DeSC access to unmapped address {vaddr:#x}")
-        return paddr
+    def _translate(self, vaddr: int):
+        """Generator: Supply-side translation.  A miss traps to the OS
+        fault path (Supply is an ordinary core with an ordinary MMU), so
+        lazily mapped or injected-evicted pages resolve instead of
+        crashing; truly unmapped addresses raise SegmentationFault."""
+        while True:
+            paddr = self._aspace.page_table.lookup(vaddr)
+            if paddr is not None:
+                return paddr
+            yield from self._soc.os.handle_fault(self._aspace, vaddr)
 
     # -- Supply side -------------------------------------------------------------
 
@@ -89,7 +94,7 @@ class DescBackend(QueueBackend):
     def _fetch_into(self, slot: int, addr):
         yield from self._inflight.acquire()
         try:
-            paddr = self._translate(addr)
+            paddr = yield from self._translate(addr)
             value = yield from self._memsys.load(self._supply_core, paddr)
         finally:
             self._inflight.release()
@@ -115,7 +120,7 @@ class DescBackend(QueueBackend):
         try:
             yield from self._store_port.acquire()
             try:
-                paddr = self._translate(addr)
+                paddr = yield from self._translate(addr)
                 yield from self._memsys.store(self._supply_core, paddr, value)
             finally:
                 self._store_port.release()
@@ -133,7 +138,7 @@ class DescBackend(QueueBackend):
         """Compute-side atomic: shipped to Supply and executed there; the
         Compute slice blocks for the result (it needs the old value)."""
         yield isa.Alu(self.COMM_LATENCY)
-        paddr = self._translate(addr)
+        paddr = yield from self._translate(addr)
         old = yield from self._memsys.amo(self._supply_core, paddr,
                                           lambda v, a=amount: v + a)
         yield isa.Alu(self.COMM_LATENCY)

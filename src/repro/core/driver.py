@@ -40,6 +40,10 @@ class MapleDriver:
     def instances(self) -> List[Maple]:
         return list(self._maples)
 
+    def attachments(self) -> List[tuple]:
+        """Current ``(asid, instance_id)`` attachments (diagnostics)."""
+        return sorted(self._attached)
+
     def pick_instance(self, core_tile: Optional[int] = None) -> Maple:
         """Nearest instance to the requesting core; first one otherwise."""
         if core_tile is None or len(self._maples) == 1:

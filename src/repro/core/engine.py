@@ -124,6 +124,28 @@ class Maple:
             name=f"maple{instance_id}",
         ))
 
+    def debug_state(self) -> dict:
+        """Liveness snapshot for watchdog dumps: pipeline occupancy, queue
+        state, and the translation machinery's in-flight work."""
+        return {
+            "fetches_inflight": self._inflight.in_use,
+            "fetch_waiters": self._inflight.waiting,
+            "produce_buffer_in_use": {
+                qid: buf.in_use for qid, buf in self._produce_buffers.items()
+                if buf.in_use
+            },
+            "consume_blocked": sorted(
+                qid for qid, mutex in self._consume_mutexes.items()
+                if mutex.in_use
+            ),
+            "queues": {
+                q.queue_id: q.debug_state()
+                for q in self.scratchpad.queues if q.occupied or q.owner
+            },
+            "lima": self.lima.debug_state(),
+            "ptw_inflight": self.mmu.walker.inflight,
+        }
+
     # -- NoC-facing request handling -------------------------------------------
 
     def round_trip_cycles(self, core_tile: int) -> int:

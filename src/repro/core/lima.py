@@ -52,6 +52,16 @@ class LimaUnit:
         self._pending: Dict[int, list] = {}
         self._busy: Dict[int, bool] = {}
 
+    def debug_state(self) -> dict:
+        """Liveness snapshot: running expansions and per-queue backlog."""
+        return {
+            "active": self.active,
+            "pending": {qid: len(runs) for qid, runs in self._pending.items()
+                        if runs},
+            "busy_queues": sorted(qid for qid, busy in self._busy.items()
+                                  if busy),
+        }
+
     def _config_for(self, queue_id: int) -> LimaConfig:
         return self._configs.setdefault(queue_id, LimaConfig())
 

@@ -38,6 +38,11 @@ class MapleMmu:
         self.last_fault_vaddr: Optional[int] = None
         self._fault_handler = None  # installed by the driver
 
+    @property
+    def walker(self) -> PageTableWalker:
+        """The hardware walker (liveness probes read its inflight count)."""
+        return self._ptw
+
     def set_root(self, root_paddr: int) -> None:
         """Point at a process's page table (driver-only configuration)."""
         self.root_paddr = root_paddr
@@ -60,15 +65,20 @@ class MapleMmu:
         hit = self.tlb.translate(vaddr)
         if hit is not None:
             return hit[0]
-        try:
-            paddr, flags = yield from self._ptw.walk(self.root_paddr, vaddr)
-        except TranslationFault:
-            self.last_fault_vaddr = vaddr
-            self._stats.bump("page_faults")
-            if self._fault_handler is None:
-                raise
-            yield from self._fault_handler(vaddr)
-            paddr, flags = yield from self._ptw.walk(self.root_paddr, vaddr)
+        # Loop, not retry-once: under injected eviction the page can be
+        # unmapped again mid-retry; the interrupt/resolve path simply
+        # fires again, exactly as the driver would re-trap (§3.5).
+        while True:
+            try:
+                paddr, flags = yield from self._ptw.walk(self.root_paddr,
+                                                         vaddr)
+                break
+            except TranslationFault:
+                self.last_fault_vaddr = vaddr
+                self._stats.bump("page_faults")
+                if self._fault_handler is None:
+                    raise
+                yield from self._fault_handler(vaddr)
         page_mask = self._config.page_size - 1
         self.tlb.insert(vaddr, paddr & ~page_mask, flags)
         return paddr

@@ -53,6 +53,11 @@ class HwQueue:
         self.produced = 0
         self.consumed = 0
         self.ptr_fetches = 0
+        #: Invariant-checker hook: an object with ``on_reserve(queue,
+        #: index)`` / ``on_fill(queue, index, value)`` / ``on_pop(queue,
+        #: value)`` / ``on_reset(queue)``.  ``None`` (the default) keeps
+        #: the produce/consume paths untouched.
+        self.observer = None
 
     # -- state inspection -----------------------------------------------------
 
@@ -95,6 +100,8 @@ class HwQueue:
         self._tail = (self._tail + 1) % self.capacity
         self._occupied += 1
         self._stats.observe("occupancy", self._occupied)
+        if self.observer is not None:
+            self.observer.on_reserve(self, index)
         return index
 
     def fill(self, index: int, value: Any) -> None:
@@ -107,6 +114,8 @@ class HwQueue:
         self._states[index] = SlotState.VALID
         self._values[index] = value
         self.produced += 1
+        if self.observer is not None:
+            self.observer.on_fill(self, index, value)
         if index == self._head:
             self.ready.open()
 
@@ -125,6 +134,8 @@ class HwQueue:
         self._head = (self._head + 1) % self.capacity
         self._occupied -= 1
         self.consumed += 1
+        if self.observer is not None:
+            self.observer.on_pop(self, value)
         self.space.release()
         if not self.head_ready():
             self.ready.close()
@@ -157,6 +168,25 @@ class HwQueue:
                                name=f"q{self.queue_id}.space")
         self.ready.close()
         self.owner = None
+        if self.observer is not None:
+            self.observer.on_reset(self)
+
+    def debug_state(self) -> dict:
+        """Liveness snapshot for watchdog dumps: occupancy, head state,
+        the slot indices still waiting on memory, and the flow counters."""
+        reserved = [i for i, s in enumerate(self._states)
+                    if s is SlotState.RESERVED]
+        return {
+            "occupied": self._occupied,
+            "valid": self.valid_entries(),
+            "reserved_slots": reserved,
+            "head_ready": self.head_ready(),
+            "produced": self.produced,
+            "consumed": self.consumed,
+            "ptr_fetches": self.ptr_fetches,
+            "owner": self.owner,
+            "space_waiters": self.space.waiting,
+        }
 
     def __repr__(self) -> str:
         return (

@@ -219,14 +219,24 @@ class Core:
 
     def _translate(self, aspace: AddressSpace, vaddr: int):
         """Generator: TLB hit is free (folded into L1 latency); a miss
-        walks; a fault traps to the OS and retries once."""
+        walks; a fault traps to the OS and the walk retries.
+
+        The retry loops rather than running once: with page eviction in
+        play (fault injection) the page can be evicted *again* between
+        the handler mapping it and the retry walk reading the PTE —
+        hardware simply re-traps.  An invalid access still terminates:
+        ``handle_fault`` raises SegmentationFault.  A pathological
+        evict/fault livelock is the watchdog's to catch, not a hang.
+        """
         hit = self.tlb.translate(vaddr)
         if hit is not None:
             return hit[0]
-        try:
-            paddr, flags = yield from self._ptw.walk(aspace.root_paddr, vaddr)
-        except TranslationFault:
-            yield from self._os.handle_fault(aspace, vaddr)  # may raise SegFault
-            paddr, flags = yield from self._ptw.walk(aspace.root_paddr, vaddr)
+        while True:
+            try:
+                paddr, flags = yield from self._ptw.walk(aspace.root_paddr,
+                                                         vaddr)
+                break
+            except TranslationFault:
+                yield from self._os.handle_fault(aspace, vaddr)  # may raise
         self.tlb.insert(vaddr, paddr & ~(self.config.page_size - 1), flags)
         return paddr

@@ -1,0 +1,183 @@
+"""Fault-fuzz case generation: random (config, workload, fault-plan) pairs.
+
+The differential fuzz suite (``tests/test_fuzz_differential.py``) pins
+the *timing* contract — fast engine == reference engine, bit for bit —
+on fault-free runs.  This module generates the *robustness* sweep: each
+case draws a random SoC configuration, kernel, technique, and a random
+seeded :class:`~repro.sim.faults.FaultPlan`, then runs with live queue
+shadows, the quiescence invariant audit, and the liveness watchdog all
+armed.  The claim under test is the paper's: decoupling survives queue
+pressure, TLB shootdowns, mid-kernel page faults, and OS noise with
+*correct results* and no protocol violation or hang (§3.3, §3.5, §4).
+
+Everything derives from ``FUZZ_MASTER_SEED + case``; a failing case
+number reproduces exactly (``tools/fault_replay.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+import numpy as np
+
+from repro.datasets.graphs import power_law_graph
+from repro.datasets.sparse import CscMatrix, random_csr
+from repro.harness.orchestrator import RunSpec
+from repro.harness.techniques import ExperimentResult, run_workload
+from repro.kernels.sdhp import _make_dataset as make_sdhp_dataset
+from repro.kernels.spmm import SpmmDataset
+from repro.kernels.spmv import SpmvDataset
+from repro.params import SoCConfig
+from repro.sim import FaultPlan
+
+FUZZ_MASTER_SEED = 20260807
+
+#: Decoupling techniques dominate: they exercise the queues, the MMU,
+#: and the MMIO path — where injected faults can actually break protocol.
+TECHNIQUES = ("maple-decouple", "maple-decouple", "maple-decouple",
+              "lima", "lima-llc", "sw-decouple", "desc", "doall",
+              "sw-prefetch", "droplet")
+KERNELS = ("spmv", "spmv", "spmv", "sdhp", "sdhp", "spmm", "bfs")
+
+#: Watchdog parameters for fuzz runs: generous enough that heavy fault
+#: plans on slow configs never false-trip, tight enough that a hang is
+#: caught in well under a second of wall clock.
+FUZZ_WATCHDOG = {"check_interval": 5000, "stall_window": 200_000,
+                 "max_cycles": 50_000_000}
+
+
+def random_config(rng: random.Random) -> SoCConfig:
+    """A valid random SoCConfig spanning the knobs the sweeps touch."""
+    num_queues = rng.choice((4, 8))
+    entries = rng.choice((4, 8, 16, 32))
+    return SoCConfig(
+        name=f"faultfuzz-{rng.randrange(1 << 30)}",
+        num_cores=rng.choice((2, 4)),
+        mesh_cols=rng.choice((2, 3)),
+        mesh_rows=rng.choice((2, 3)),
+        hop_latency=rng.choice((1, 2)),
+        mmio_path_latency=rng.choice((4, 8)),
+        l1_size=rng.choice((4, 8)) * 1024,
+        l1_ways=rng.choice((2, 4)),
+        l1_latency=rng.choice((1, 2)),
+        l2_size=rng.choice((32, 64)) * 1024,
+        l2_latency=rng.choice((20, 30)),
+        core_mshrs=rng.choice((1, 2)),
+        store_buffer_entries=rng.choice((4, 8)),
+        dram_latency=rng.choice((100, 300)),
+        dram_max_inflight=rng.choice((8, 16)),
+        maple_num_queues=num_queues,
+        scratchpad_bytes=entries * num_queues * 4,
+        maple_tlb_entries=rng.choice((8, 16)),
+        maple_max_inflight=rng.choice((8, 32)),
+        produce_buffer_entries=rng.choice((2, 4)),
+        core_tlb_entries=rng.choice((8, 16)),
+    )
+
+
+def random_dataset(rng: random.Random, workload: str):
+    """A tiny seeded dataset so each faulted simulation stays fast."""
+    seed = rng.randrange(10_000)
+    if workload == "spmv":
+        cols = rng.choice((128, 256))
+        matrix = random_csr(rows=rng.randrange(4, 10), cols=cols,
+                            nnz_per_row=rng.randrange(2, 6), seed=seed)
+        x = np.random.default_rng(seed + 1).uniform(1.0, 2.0, size=cols)
+        return SpmvDataset(matrix, x)
+    if workload == "sdhp":
+        matrix = random_csr(rows=rng.randrange(2, 6),
+                            cols=rng.choice((256, 512)),
+                            nnz_per_row=rng.randrange(2, 8), seed=seed)
+        return make_sdhp_dataset(matrix, seed=seed + 1)
+    if workload == "spmm":
+        a_csr = random_csr(rows=8, cols=rng.choice((128, 256)),
+                           nnz_per_row=rng.randrange(2, 5), seed=seed)
+        a = CscMatrix(a_csr.cols, 8, a_csr.row_ptr, a_csr.col_idx,
+                      a_csr.values)
+        b_csr = random_csr(rows=rng.randrange(1, 3), cols=8,
+                           nnz_per_row=rng.randrange(2, 5), seed=seed + 1)
+        b = CscMatrix(8, b_csr.rows, b_csr.row_ptr, b_csr.col_idx,
+                      b_csr.values)
+        return SpmmDataset(a, b)
+    if workload == "bfs":
+        return power_law_graph(rng.randrange(48, 97),
+                               avg_degree=rng.randrange(3, 6), seed=seed)
+    raise AssertionError(workload)
+
+
+@dataclass
+class FuzzCase:
+    """One fully materialized fault-fuzz case."""
+
+    case: int
+    config: SoCConfig
+    workload: str
+    technique: str
+    threads: int
+    dataset: Any
+    seed: int
+    plan: FaultPlan
+
+    def describe(self) -> str:
+        return (f"case {self.case}: {self.workload}/{self.technique} "
+                f"x{self.threads} [{self.config.name}] "
+                f"faults[{self.plan.describe()}]")
+
+
+def fuzz_case(case: int, master_seed: int = FUZZ_MASTER_SEED) -> FuzzCase:
+    """Materialize case ``case``; pure function of ``(master_seed, case)``."""
+    rng = random.Random(master_seed + case)
+    config = random_config(rng)
+    workload = rng.choice(KERNELS)
+    technique = rng.choice(TECHNIQUES)
+    if technique in ("maple-decouple", "sw-decouple", "desc"):
+        threads = 2
+    elif technique in ("lima", "lima-llc"):
+        threads = 1
+    else:
+        threads = rng.choice((1, 2))
+    dataset = random_dataset(rng, workload)
+    plan = FaultPlan.random(rng.randrange(1 << 30))
+    return FuzzCase(case, config, workload, technique, threads, dataset,
+                    rng.randrange(100), plan)
+
+
+def run_fuzz_case(case: int, master_seed: int = FUZZ_MASTER_SEED,
+                  watchdog: Optional[dict] = None) -> ExperimentResult:
+    """Run one case with faults, invariants, and watchdog armed.
+
+    Raises on anything the robustness layer can detect: wrong results
+    (``binding.check``), an invariant violation, or a liveness trip.
+    """
+    fc = fuzz_case(case, master_seed)
+    return run_workload(
+        fc.workload, fc.technique, config=fc.config, threads=fc.threads,
+        dataset=fc.dataset, seed=fc.seed, check=True,
+        fault_plan=fc.plan, check_invariants=True,
+        watchdog=dict(watchdog if watchdog is not None else FUZZ_WATCHDOG))
+
+
+def fuzz_specs(count: int, master_seed: int = FUZZ_MASTER_SEED,
+               scale: int = 1) -> List[RunSpec]:
+    """Orchestrator-ready specs: the same fault sweep as pickling-safe
+    :class:`RunSpec` cells (default datasets, since live dataset objects
+    stay out of spec keys).  Used by the parallel==serial fuzz gate."""
+    specs = []
+    for case in range(count):
+        rng = random.Random(master_seed + case)
+        workload = rng.choice(KERNELS)
+        technique = rng.choice(TECHNIQUES)
+        if technique in ("maple-decouple", "sw-decouple", "desc"):
+            threads = 2
+        elif technique in ("lima", "lima-llc"):
+            threads = 1
+        else:
+            threads = rng.choice((1, 2))
+        specs.append(RunSpec(
+            workload=workload, technique=technique, threads=threads,
+            scale=scale, seed=rng.randrange(100),
+            fault_plan=FaultPlan.random(rng.randrange(1 << 30)),
+            check_invariants=True, watchdog=True))
+    return specs

@@ -50,6 +50,7 @@ import multiprocessing
 import os
 import random
 import time
+import traceback as _traceback
 from dataclasses import dataclass
 from pathlib import Path
 from typing import (
@@ -57,10 +58,11 @@ from typing import (
 )
 
 from repro.params import SoCConfig
+from repro.sim.faults import FaultPlan
 
 #: Bump when RunResult's serialized shape changes: old cache files then
 #: read as misses instead of mis-parsing.
-CACHE_SCHEMA = 1
+CACHE_SCHEMA = 2
 
 ProgressFn = Callable[[Dict[str, Any]], None]
 
@@ -89,12 +91,20 @@ class RunSpec:
     lima_packed: bool = True
     check: bool = True
     config: Optional[SoCConfig] = None
+    #: Seeded fault plan to install for the run (None = fault free).
+    fault_plan: Optional[FaultPlan] = None
+    #: Arm live queue shadows + the quiescence audit for this cell.
+    check_invariants: bool = False
+    #: Arm the liveness watchdog (default parameters) for this cell.
+    watchdog: bool = False
 
     def label(self) -> str:
         extra = "".join(f" {k}={v}" for k, v in self.dataset_kwargs)
         cfg = self.config.name if self.config is not None else "default"
+        fault = (f" faults#{self.fault_plan.seed}"
+                 if self.fault_plan is not None else "")
         return (f"{self.workload}/{self.technique} x{self.threads} "
-                f"[{cfg}]{extra}")
+                f"[{cfg}]{extra}{fault}")
 
     def run_kwargs(self) -> Dict[str, Any]:
         """Keyword arguments for ``run_workload`` (minus workload/technique)."""
@@ -108,6 +118,9 @@ class RunSpec:
             "dataset_kwargs": dict(self.dataset_kwargs),
             "lima_packed": self.lima_packed,
             "check": self.check,
+            "fault_plan": self.fault_plan,
+            "check_invariants": self.check_invariants,
+            "watchdog": self.watchdog,
         }
 
 
@@ -137,6 +150,10 @@ def spec_key(spec: RunSpec) -> str:
         "check": spec.check,
         "config": (spec.config.stable_dict()
                    if spec.config is not None else None),
+        "fault_plan": (spec.fault_plan.stable_dict()
+                       if spec.fault_plan is not None else None),
+        "check_invariants": spec.check_invariants,
+        "watchdog": spec.watchdog,
     }
     canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canon.encode()).hexdigest()
@@ -163,6 +180,9 @@ class RunResult:
     avg_load_latency: float
     events_executed: int
     stats: Dict[str, float]
+    fault_seed: Optional[int] = None
+    fault_events: int = 0
+    invariants_checked: Optional[List[int]] = None
     key: str = ""
     wall_seconds: float = 0.0
     attempts: int = 1
@@ -180,6 +200,9 @@ class RunResult:
             "total_loads": self.total_loads,
             "avg_load_latency": self.avg_load_latency,
             "events_executed": self.events_executed,
+            "fault_seed": self.fault_seed,
+            "fault_events": self.fault_events,
+            "invariants_checked": self.invariants_checked,
             "stats": self.stats,
         }
 
@@ -204,6 +227,9 @@ class RunResult:
             avg_load_latency=payload["avg_load_latency"],
             events_executed=payload["events_executed"],
             stats=dict(payload["stats"]),
+            fault_seed=payload.get("fault_seed"),
+            fault_events=payload.get("fault_events", 0),
+            invariants_checked=payload.get("invariants_checked"),
             key=payload.get("key", ""),
             wall_seconds=payload.get("wall_seconds", 0.0),
             from_cache=True,
@@ -231,6 +257,7 @@ def execute_spec(spec: RunSpec) -> RunResult:
     start = time.perf_counter()
     result = run_workload(spec.workload, spec.technique, **spec.run_kwargs())
     summary = result.summary()
+    checked = summary.get("invariants_checked")
     return RunResult(
         workload=summary["workload"],
         technique=summary["technique"],
@@ -241,23 +268,86 @@ def execute_spec(spec: RunSpec) -> RunResult:
         avg_load_latency=summary["avg_load_latency"],
         events_executed=summary["events_executed"],
         stats=summary["stats"],
+        fault_seed=summary.get("fault_seed"),
+        fault_events=summary.get("fault_events", 0),
+        # Lists, not tuples: identity() must round-trip through JSON.
+        invariants_checked=list(checked) if checked is not None else None,
         key=spec_key(spec),
         wall_seconds=time.perf_counter() - start,
         worker_pid=os.getpid(),
     )
 
 
-def _pool_worker(payload) -> RunResult:
+@dataclass
+class JobError:
+    """Structured failure record for one attempt at one cell.
+
+    Everything needed to reproduce and triage without the worker's
+    process: the exception type and message, the full traceback text,
+    the fault seed (faulted fuzz cells), and which attempt/PID failed.
+    Picklable, so it crosses the pool boundary intact where a custom
+    exception instance might not.
+    """
+
+    label: str
+    key: str
+    exc_type: str
+    message: str
+    traceback: str
+    attempt: int = 1
+    fault_seed: Optional[int] = None
+    worker_pid: int = 0
+
+    def summary(self) -> str:
+        fault = (f" [fault seed {self.fault_seed}]"
+                 if self.fault_seed is not None else "")
+        return (f"{self.label}{fault} failed on attempt {self.attempt} "
+                f"with {self.exc_type}: {self.message}")
+
+
+class OrchestratorError(RuntimeError):
+    """A cell failed on every attempt; carries the final :class:`JobError`."""
+
+    def __init__(self, job_error: JobError):
+        self.job_error = job_error
+        super().__init__(
+            f"{job_error.summary()}\n--- worker traceback ---\n"
+            f"{job_error.traceback}")
+
+
+def _job_error(spec: RunSpec, exc: BaseException, attempt: int) -> JobError:
+    return JobError(
+        label=spec.label(),
+        key=spec_key(spec),
+        exc_type=type(exc).__name__,
+        message=str(exc),
+        traceback=_traceback.format_exc(),
+        attempt=attempt,
+        fault_seed=(spec.fault_plan.seed
+                    if spec.fault_plan is not None else None),
+        worker_pid=os.getpid(),
+    )
+
+
+def _pool_worker(payload):
     """Module-level pool target (picklable under fork and spawn starts).
 
     ``hang_keys`` is the fault-injection hook the timeout/retry tests
     use: listed specs sleep through their deadline on their *first*
     attempt only, so a retry then succeeds deterministically.
+
+    Returns a :class:`RunResult` on success or a :class:`JobError` on
+    failure — never raises, so the parent always gets structured info
+    (exception type, traceback, fault seed) instead of a bare remote
+    traceback.
     """
     spec, attempt, hang_keys, hang_seconds = payload
     if attempt == 0 and spec_key(spec) in hang_keys:
         time.sleep(hang_seconds)
-    result = execute_spec(spec)
+    try:
+        result = execute_spec(spec)
+    except Exception as exc:
+        return _job_error(spec, exc, attempt + 1)
     result.attempts = attempt + 1
     return result
 
@@ -329,11 +419,15 @@ class Orchestrator:
         retried (``None`` = wait forever).  Only meaningful for
         ``jobs > 1``.
     retries:
-        Pool resubmissions after a timeout before the final in-process
-        fallback attempt.
+        Pool resubmissions after a timeout or worker failure before the
+        final in-process fallback attempt (timeouts) or the structured
+        :class:`OrchestratorError` (failures).
+    backoff:
+        Base seconds slept before retry ``n`` (exponential:
+        ``backoff * 2**(n-1)``); ``0`` disables sleeping.
     progress:
         Optional callback receiving structured event dicts
-        (``start`` / ``done`` / ``timeout`` / ``finish``).
+        (``start`` / ``done`` / ``timeout`` / ``failure`` / ``finish``).
     inject_hang:
         Test hook: spec keys whose first attempt sleeps through the
         deadline (see :func:`_pool_worker`).
@@ -341,19 +435,26 @@ class Orchestrator:
 
     def __init__(self, jobs: int = 1, cache: Optional[DiskCache] = None,
                  timeout: Optional[float] = None, retries: int = 1,
+                 backoff: float = 0.0,
                  progress: Optional[ProgressFn] = None,
                  inject_hang: FrozenSet[str] = frozenset()):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if retries < 0:
             raise ValueError("retries must be >= 0")
+        if backoff < 0:
+            raise ValueError("backoff must be >= 0")
         self.jobs = jobs
         self.cache = cache
         self.timeout = timeout
         self.retries = retries
+        self.backoff = backoff
         self.progress = progress
         self.inject_hang = frozenset(inject_hang)
         self.report: Dict[str, Any] = {}
+        #: Structured record of every failed attempt this run observed
+        #: (the final one is also raised as :class:`OrchestratorError`).
+        self.failures: List[JobError] = []
 
     # -- public API ---------------------------------------------------------------
 
@@ -429,12 +530,28 @@ class Orchestrator:
     def _run_serial(self, pending) -> Dict[str, RunResult]:
         executed: Dict[str, RunResult] = {}
         for key, spec in pending:
-            result = execute_spec(spec)
+            try:
+                result = execute_spec(spec)
+            except Exception as exc:
+                # Same structured failure shape the pool path produces,
+                # so callers triage serial and parallel runs identically.
+                error = _job_error(spec, exc, attempt=1)
+                self.failures.append(error)
+                self._emit({"event": "failure", "label": spec.label(),
+                            "key": key[:12], "attempt": 1,
+                            "exc_type": error.exc_type,
+                            "message": error.message})
+                raise OrchestratorError(error) from exc
             executed[key] = result
             self._emit({"event": "done", "label": spec.label(),
                         "key": key[:12], "cached": False,
                         "wall_seconds": result.wall_seconds, "attempts": 1})
         return executed
+
+    def _sleep_backoff(self, attempt: int) -> None:
+        """Exponential pause before retry ``attempt`` (1-based)."""
+        if self.backoff > 0:
+            time.sleep(self.backoff * (2 ** (attempt - 1)))
 
     def _run_pool(self, pending):
         """Fan out over a process pool; collect in submission order.
@@ -442,8 +559,12 @@ class Orchestrator:
         A cell that misses its deadline is resubmitted up to
         ``retries`` times (fault injection only fires on attempt 0, and
         a genuinely hung worker just keeps sleeping in its slot), then
-        run in-process as the final fallback.  The pool is terminated —
-        not joined — when any worker was presumed hung.
+        run in-process as the final fallback.  A cell whose worker
+        *failed* comes back as a :class:`JobError`; it is retried with
+        exponential backoff (transient host trouble) and, if it fails
+        every attempt, raised as :class:`OrchestratorError` carrying the
+        worker's exception type, traceback, and fault seed.  The pool is
+        terminated — not joined — when any worker was presumed hung.
         """
         hang_seconds = min((self.timeout or 1.0) * 10, 60.0)
         ctx = multiprocessing.get_context()
@@ -462,7 +583,6 @@ class Orchestrator:
                 while True:
                     try:
                         result = future.get(self.timeout)
-                        break
                     except multiprocessing.TimeoutError:
                         timeouts += 1
                         attempt += 1
@@ -470,15 +590,45 @@ class Orchestrator:
                                     "key": key[:12], "attempt": attempt})
                         if attempt <= self.retries:
                             retried += 1
+                            self._sleep_backoff(attempt)
                             future = pool.apply_async(
                                 _pool_worker,
                                 ((spec, attempt, self.inject_hang,
                                   hang_seconds),))
                             continue
-                        # Last resort: guaranteed-progress local attempt.
-                        result = execute_spec(spec)
+                        # Last resort: guaranteed-progress local attempt
+                        # (wrapped so even it reports structured failure).
+                        try:
+                            result = execute_spec(spec)
+                        except Exception as exc:
+                            error = _job_error(spec, exc, attempt + 1)
+                            self.failures.append(error)
+                            self._emit({"event": "failure",
+                                        "label": spec.label(),
+                                        "key": key[:12],
+                                        "attempt": attempt + 1,
+                                        "exc_type": error.exc_type,
+                                        "message": error.message})
+                            raise OrchestratorError(error) from exc
                         result.attempts = attempt + 1
                         break
+                    if isinstance(result, JobError):
+                        self.failures.append(result)
+                        attempt += 1
+                        self._emit({"event": "failure", "label": spec.label(),
+                                    "key": key[:12], "attempt": attempt,
+                                    "exc_type": result.exc_type,
+                                    "message": result.message})
+                        if attempt <= self.retries:
+                            retried += 1
+                            self._sleep_backoff(attempt)
+                            future = pool.apply_async(
+                                _pool_worker,
+                                ((spec, attempt, self.inject_hang,
+                                  hang_seconds),))
+                            continue
+                        raise OrchestratorError(result)
+                    break
                 executed[key] = result
                 self._emit({"event": "done", "label": spec.label(),
                             "key": key[:12], "cached": False,
@@ -502,10 +652,11 @@ class Orchestrator:
 def make_orchestrator(jobs: int = 1, use_cache: bool = False,
                       cache_dir: Optional[Path] = None,
                       timeout: Optional[float] = None, retries: int = 1,
+                      backoff: float = 0.0,
                       progress: Optional[ProgressFn] = None) -> Orchestrator:
     """CLI/benchmark convenience constructor."""
     cache = None
     if use_cache:
         cache = DiskCache(cache_dir or default_cache_dir())
     return Orchestrator(jobs=jobs, cache=cache, timeout=timeout,
-                        retries=retries, progress=progress)
+                        retries=retries, backoff=backoff, progress=progress)

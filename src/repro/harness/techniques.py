@@ -44,6 +44,7 @@ from repro.cpu.core import Thread
 from repro.kernels import ALL_WORKLOADS
 from repro.kernels.base import WorkloadBinding
 from repro.params import SoCConfig
+from repro.sim import FaultInjector, FaultPlan, InvariantChecker, Watchdog
 from repro.system import Soc
 
 HARNESS_TECHNIQUES = (
@@ -60,6 +61,9 @@ class ExperimentResult:
     cycles: int
     soc: Soc
     fallback_doall: bool = False
+    fault_plan: Optional[FaultPlan] = None
+    fault_events: int = 0
+    invariants_checked: Optional[tuple] = None
 
     @property
     def stats(self):
@@ -99,6 +103,10 @@ class ExperimentResult:
             "total_loads": self.total_loads(),
             "avg_load_latency": self.avg_load_latency(),
             "events_executed": self.soc.sim.events_executed,
+            "fault_seed": (self.fault_plan.seed
+                           if self.fault_plan is not None else None),
+            "fault_events": self.fault_events,
+            "invariants_checked": self.invariants_checked,
             "stats": self.soc.stats_snapshot(),
         }
 
@@ -113,8 +121,23 @@ def run_workload(workload_name: str, technique: str, *,
                  dataset=None,
                  dataset_kwargs: Optional[dict] = None,
                  lima_packed: bool = True,
-                 check: bool = True) -> ExperimentResult:
-    """Build, run, validate, and return one experiment cell."""
+                 check: bool = True,
+                 fault_plan: Optional[FaultPlan] = None,
+                 check_invariants: bool = False,
+                 watchdog=None) -> ExperimentResult:
+    """Build, run, validate, and return one experiment cell.
+
+    Robustness knobs (all off by default, leaving the timing path
+    bit-identical to a fault-free build):
+
+    - ``fault_plan``: a :class:`~repro.sim.faults.FaultPlan` to install
+      for the run; faults replay deterministically from its seed.
+    - ``check_invariants``: arm live queue shadows and audit ports and
+      queues at quiescence (:class:`~repro.sim.invariants.InvariantChecker`).
+    - ``watchdog``: ``True`` (defaults) or a kwargs dict for
+      :class:`~repro.sim.watchdog.Watchdog`; turns hangs into diagnosed
+      :class:`~repro.sim.watchdog.LivenessError`\\ s.
+    """
     if technique not in HARNESS_TECHNIQUES:
         raise ValueError(f"unknown technique {technique!r}")
     if technique in ("maple-decouple", "sw-decouple", "desc"):
@@ -140,11 +163,28 @@ def run_workload(workload_name: str, technique: str, *,
             soc, aspace, binding, technique, threads, prefetch_distance,
             lima_packed)
 
-    cycles = soc.run_threads(assignments)
+    injector = None
+    if fault_plan is not None and not fault_plan.is_empty():
+        injector = FaultInjector(soc, aspace, fault_plan).install()
+    checker = InvariantChecker(soc).install() if check_invariants else None
+    monitor = None
+    if watchdog:
+        monitor = Watchdog(soc, **(watchdog if isinstance(watchdog, dict)
+                                   else {}))
+
+    cycles = soc.run_threads(assignments, watchdog=monitor)
+    if injector is not None:
+        # Disarm hooks and swap evicted pages back in *before* the
+        # functional check reads the arrays.
+        injector.finish()
+    checked = checker.verify() if checker is not None else None
     if check:
         binding.check()
     return ExperimentResult(workload_name, technique, threads, cycles, soc,
-                            fallback_doall=fallback)
+                            fallback_doall=fallback, fault_plan=fault_plan,
+                            fault_events=(len(injector.events)
+                                          if injector is not None else 0),
+                            invariants_checked=checked)
 
 
 # -- loop workloads -------------------------------------------------------------

@@ -24,6 +24,10 @@ class DramChannel:
         self.latency = latency
         self._slots = Semaphore(sim, max_inflight, name="dram.slots")
         self._stats = stats
+        #: Fault-injection hook: ``inject(line_addr, write) -> extra``
+        #: cycles added to this access (bursty-latency model).  ``None``
+        #: keeps the timing path bit-identical.
+        self.inject = None
         # Bound handles: access() fires once per line fill.
         self._c_reads = stats.counter("reads")
         self._c_writes = stats.counter("writes")
@@ -32,6 +36,11 @@ class DramChannel:
     @property
     def inflight(self) -> int:
         return self._slots.in_use
+
+    @property
+    def waiting(self) -> int:
+        """Accesses queued behind a saturated channel (liveness probes)."""
+        return self._slots.waiting
 
     def access(self, line_addr: int, write: bool = False):
         """Generator: one line-sized DRAM transaction.
@@ -44,6 +53,9 @@ class DramChannel:
         (self._c_writes if write else self._c_reads).value += 1
         self._h_occupancy.add(self._slots.in_use)
         try:
-            yield self.latency
+            latency = self.latency
+            if self.inject is not None:
+                latency += self.inject(line_addr, write)
+            yield latency
         finally:
             self._slots.release()

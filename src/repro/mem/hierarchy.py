@@ -206,6 +206,16 @@ class MemorySystem:
         registry.connect(client, server)
         return client
 
+    def debug_state(self) -> Dict[str, Any]:
+        """Liveness snapshot: outstanding DRAM transactions and pending
+        cache fills (watchdog dumps)."""
+        return {
+            "dram_inflight": self.dram.inflight,
+            "dram_waiting": self.dram.waiting,
+            "l2_fills_inflight": sorted(self._l2_inflight),
+            "l1_fills_inflight": sorted(self._l1_inflight),
+        }
+
     # -- core-facing accesses ------------------------------------------------
 
     def load(self, core_id: int, paddr: int):

@@ -10,22 +10,47 @@ handshakes while staying pure Python.
 """
 
 from repro.sim.engine import Process, Simulator
-from repro.sim.port import Message, Port, PortRegistry, PortTap
+from repro.sim.faults import (
+    DramBurstFault,
+    FaultInjector,
+    FaultPlan,
+    PageEvictFault,
+    PortDelayFault,
+    PreemptFault,
+    ShootdownFault,
+)
+from repro.sim.invariants import InvariantChecker, InvariantViolation, QueueShadow
+from repro.sim.port import Message, Port, PortRegistry, PortTap, QuiescenceError
 from repro.sim.signal import Barrier, Gate, Semaphore, Signal
 from repro.sim.stats import Histogram, Stats, geomean
+from repro.sim.watchdog import LivenessError, Watchdog, collect_diagnosis
 
 __all__ = [
     "Barrier",
+    "DramBurstFault",
+    "FaultInjector",
+    "FaultPlan",
     "Gate",
     "Histogram",
+    "InvariantChecker",
+    "InvariantViolation",
+    "LivenessError",
     "Message",
+    "PageEvictFault",
     "Port",
+    "PortDelayFault",
     "PortRegistry",
     "PortTap",
+    "PreemptFault",
     "Process",
+    "QueueShadow",
+    "QuiescenceError",
     "Semaphore",
+    "ShootdownFault",
     "Signal",
     "Simulator",
     "Stats",
+    "Watchdog",
+    "collect_diagnosis",
     "geomean",
 ]

@@ -107,6 +107,11 @@ class Simulator:
         #: :meth:`run` — the raw material for the simcore perf harness.
         self.events_executed = 0
         self.run_wall_seconds = 0.0
+        #: Queued *utility* callbacks (watchdog checks, fault tickers) —
+        #: bookkeeping they maintain themselves so each can tell whether
+        #: any *model* events remain (:attr:`pending_events` minus this)
+        #: and stop re-arming instead of keeping each other alive.
+        self.utility_ticks = 0
 
     @property
     def now(self) -> int:
@@ -117,6 +122,22 @@ class Simulator:
     def live_processes(self) -> int:
         """Number of spawned processes that have not finished."""
         return self._live_processes
+
+    @property
+    def pending_events(self) -> int:
+        """Events queued (heap + same-cycle deque).  Zero with live
+        processes remaining means every one of them is blocked on a
+        handshake that can never fire — the deadlock signature the
+        watchdog reports on."""
+        return len(self._queue) + len(self._ready)
+
+    @property
+    def model_events(self) -> int:
+        """Pending events that belong to the *model* — everything except
+        the self-rescheduling utility ticks.  The re-arm condition for
+        those ticks: once this hits zero the run is over (or deadlocked)
+        and ticking on would keep the queue alive artificially."""
+        return len(self._queue) + len(self._ready) - self.utility_ticks
 
     def schedule(self, delay: int, callback: Callable[[], None]) -> None:
         """Run ``callback`` after ``delay`` cycles (0 = later this cycle)."""

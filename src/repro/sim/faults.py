@@ -1,0 +1,406 @@
+"""Seeded, replayable fault injection for the full SoC stack.
+
+The paper's robustness story — decoupling survives queue-full pressure,
+TLB shootdowns, page faults, and OS noise without deadlocking or
+corrupting results (§3.3 deadlock freedom, §3.5 MMU co-design, §4 OS
+events) — is exercised here by *injecting* those events into otherwise
+healthy runs:
+
+- :class:`PortDelayFault` — random extra latency on matching Port
+  transactions (NoC congestion, arbitration jitter).  Aimed at MAPLE's
+  MMIO ports it delays consume acks so producers outrun consumers and
+  queues run full (queue-full pressure).
+- :class:`DramBurstFault` — bursty DRAM: time is cut into windows and a
+  seeded hash marks some windows "bursty", adding a fixed penalty to
+  every access inside them (row-buffer storms, refresh).
+- :class:`ShootdownFault` — periodic forced TLB shootdowns of hot pages,
+  broadcast to core TLBs *and* MAPLE's MMU.
+- :class:`PageEvictFault` — periodic soft page eviction: a resident data
+  page is unmapped as if swapped out, so the next touch (core or MAPLE
+  walker) takes the full fault path mid-kernel; the OS restores the same
+  frame, so contents survive.
+- :class:`PreemptFault` — spurious preemptions: a randomly chosen core
+  pays a context-switch penalty on its next memory request.
+
+Everything is driven by one integer seed.  A :class:`FaultPlan` is a
+frozen, picklable value object; installing the same plan on the same
+configuration replays the exact same fault sequence, because per-port
+RNG streams are derived from ``(seed, port name)`` and burst windows
+from ``(seed, window index)`` — independent of event interleaving — and
+the simulator itself is deterministic.
+
+With no plan installed every hook stays ``None`` and the timing path is
+bit-identical to a fault-free build (checked by the differential fuzz
+gate).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import asdict, dataclass
+from fnmatch import fnmatchcase
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.sim.port import Message, Port
+
+#: Hash scale for window/probability decisions: crc32 of the key, mapped
+#: into [0, 1) by dividing by 2**32.
+_HASH_SCALE = float(1 << 32)
+
+
+def _keyed_fraction(*parts: Any) -> float:
+    """Deterministic hash of ``parts`` mapped into [0, 1).
+
+    Unlike :func:`hash`, this is stable across processes (no string-hash
+    randomization), which the orchestrator's parallel == serial guarantee
+    depends on.
+    """
+    key = "\x1f".join(str(part) for part in parts).encode()
+    return zlib.crc32(key) / _HASH_SCALE
+
+
+@dataclass(frozen=True)
+class PortDelayFault:
+    """Random extra cycles on matching port transactions."""
+
+    port_pattern: str = "*"
+    kind_pattern: str = "*"
+    rate: float = 0.05       # probability a matching transaction is hit
+    min_cycles: int = 1
+    max_cycles: int = 100
+
+    def __post_init__(self):
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate {self.rate} outside [0, 1]")
+        if not 0 < self.min_cycles <= self.max_cycles:
+            raise ValueError("need 0 < min_cycles <= max_cycles")
+
+
+@dataclass(frozen=True)
+class DramBurstFault:
+    """Bursty DRAM latency: some time windows pay ``extra`` cycles."""
+
+    period: int = 5000       # window length in cycles
+    rate: float = 0.3        # fraction of windows that are bursty
+    extra: int = 200         # penalty per access inside a bursty window
+
+    def __post_init__(self):
+        if self.period < 1 or self.extra < 1:
+            raise ValueError("period and extra must be positive")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate {self.rate} outside [0, 1]")
+
+
+@dataclass(frozen=True)
+class ShootdownFault:
+    """Forced TLB shootdown of a random mapped page every ``cycles``."""
+
+    cycles: int = 10000
+
+    def __post_init__(self):
+        if self.cycles < 1:
+            raise ValueError("shootdown interval must be positive")
+
+
+@dataclass(frozen=True)
+class PageEvictFault:
+    """Soft-evict a random resident page every ``cycles`` (swap model)."""
+
+    cycles: int = 20000
+
+    def __post_init__(self):
+        if self.cycles < 1:
+            raise ValueError("eviction interval must be positive")
+
+
+@dataclass(frozen=True)
+class PreemptFault:
+    """A random core pays a context-switch ``cost`` every ``cycles``."""
+
+    cycles: int = 15000
+    cost: int = 2000
+
+    def __post_init__(self):
+        if self.cycles < 1 or self.cost < 1:
+            raise ValueError("preemption interval and cost must be positive")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, seeded description of every fault to inject.
+
+    Frozen and built from primitives, so plans hash, pickle (across the
+    orchestrator's worker processes), and compare by value.
+    """
+
+    seed: int = 0
+    port_delays: Tuple[PortDelayFault, ...] = ()
+    dram_burst: Optional[DramBurstFault] = None
+    shootdown: Optional[ShootdownFault] = None
+    evict: Optional[PageEvictFault] = None
+    preempt: Optional[PreemptFault] = None
+
+    def is_empty(self) -> bool:
+        return not (self.port_delays or self.dram_burst or self.shootdown
+                    or self.evict or self.preempt)
+
+    def stable_dict(self) -> Dict[str, Any]:
+        """JSON-able form with deterministic content (cache keys)."""
+        return asdict(self)
+
+    def describe(self) -> str:
+        parts: List[str] = [f"seed={self.seed}"]
+        for fault in self.port_delays:
+            parts.append(
+                f"delay[{fault.port_pattern}/{fault.kind_pattern} "
+                f"p={fault.rate:g} {fault.min_cycles}-{fault.max_cycles}cyc]")
+        if self.dram_burst:
+            parts.append(f"dram[{self.dram_burst.period}cyc windows "
+                         f"p={self.dram_burst.rate:g} "
+                         f"+{self.dram_burst.extra}cyc]")
+        if self.shootdown:
+            parts.append(f"shootdown[every {self.shootdown.cycles}cyc]")
+        if self.evict:
+            parts.append(f"evict[every {self.evict.cycles}cyc]")
+        if self.preempt:
+            parts.append(f"preempt[every {self.preempt.cycles}cyc "
+                         f"cost={self.preempt.cost}]")
+        return " ".join(parts)
+
+    @classmethod
+    def random(cls, seed: int) -> "FaultPlan":
+        """A random mix of faults, fully determined by ``seed``."""
+        rng = random.Random(seed ^ 0x5EED_FA17)
+        port_delays = []
+        for _ in range(rng.randint(1, 3)):
+            lo = rng.randint(1, 50)
+            port_delays.append(PortDelayFault(
+                port_pattern=rng.choice(
+                    ["*", "core*.mem", "maple*.mem",
+                     "maple*.mmio.dispatch"]),
+                kind_pattern=rng.choice(
+                    ["*", "mmio_*", "mmio_load", "dram_load", "ptw_read",
+                     "load", "store"]),
+                rate=rng.uniform(0.01, 0.2),
+                min_cycles=lo,
+                max_cycles=lo + rng.randint(0, 350),
+            ))
+        dram = shoot = evict = preempt = None
+        if rng.random() < 0.5:
+            dram = DramBurstFault(period=rng.randint(2000, 20000),
+                                  rate=rng.uniform(0.1, 0.6),
+                                  extra=rng.randint(50, 400))
+        if rng.random() < 0.4:
+            shoot = ShootdownFault(cycles=rng.randint(3000, 30000))
+        if rng.random() < 0.4:
+            evict = PageEvictFault(cycles=rng.randint(5000, 50000))
+        if rng.random() < 0.4:
+            preempt = PreemptFault(cycles=rng.randint(4000, 40000),
+                                   cost=rng.randint(500, 5000))
+        return cls(seed=seed, port_delays=tuple(port_delays),
+                   dram_burst=dram, shootdown=shoot, evict=evict,
+                   preempt=preempt)
+
+
+class FaultInjector:
+    """Installs a :class:`FaultPlan` on a built SoC and logs every hit.
+
+    ``soc`` is duck-typed (needs ``sim``, ``ports``, ``memsys``, ``os``,
+    ``cores``); ``aspace`` is the process whose pages shootdowns and
+    evictions target.  :meth:`install` arms the hooks; :meth:`finish`
+    removes them and swaps evicted pages back in so functional result
+    checks see a fully resident address space.
+    """
+
+    def __init__(self, soc, aspace, plan: FaultPlan):
+        self._soc = soc
+        self._aspace = aspace
+        self.plan = plan
+        #: ``(cycle, kind, detail)`` log of every fault that actually hit.
+        self.events: List[Tuple[int, str, str]] = []
+        self._installed = False
+        self._stopped = False
+        self._hooked_ports: List[Port] = []
+        #: core port name -> pending context-switch cost.
+        self._pending_preempts: Dict[str, int] = {}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def install(self) -> "FaultInjector":
+        if self._installed:
+            raise RuntimeError("fault plan already installed")
+        self._installed = True
+        self._soc.fault_injector = self
+        plan = self.plan
+        for port in self._soc.ports.ports:
+            hook = self._build_port_hook(port)
+            if hook is not None:
+                if port.inject is not None:
+                    raise RuntimeError(f"port {port.name} already has an "
+                                       "injection hook")
+                port.inject = hook
+                self._hooked_ports.append(port)
+        if plan.dram_burst is not None:
+            self._soc.memsys.dram.inject = self._dram_inject
+        if plan.shootdown is not None:
+            self._start_ticker("shootdown", plan.shootdown.cycles,
+                               self._do_shootdown)
+        if plan.evict is not None:
+            self._start_ticker("evict", plan.evict.cycles, self._do_evict)
+        if plan.preempt is not None:
+            self._start_ticker("preempt", plan.preempt.cycles,
+                               self._do_preempt)
+        return self
+
+    def finish(self) -> int:
+        """Disarm all hooks; returns the number of pages swapped back in."""
+        self._stopped = True
+        for port in self._hooked_ports:
+            port.inject = None
+        self._hooked_ports.clear()
+        if self.plan.dram_burst is not None:
+            self._soc.memsys.dram.inject = None
+        restored = self._soc.os.restore_evicted()
+        if restored:
+            self.events.append((self._soc.sim.now, "restore",
+                                f"{restored} pages swapped back in"))
+        return restored
+
+    def __enter__(self) -> "FaultInjector":
+        return self.install()
+
+    def __exit__(self, *exc) -> None:
+        self.finish()
+
+    # -- port delays + preemption ---------------------------------------------
+
+    def _build_port_hook(self, port: Port):
+        """Compose the delay faults (and preemption tax) hitting ``port``."""
+        matching = [fault for fault in self.plan.port_delays
+                    if fnmatchcase(port.name, fault.port_pattern)]
+        preemptable = (self.plan.preempt is not None
+                       and port.name.startswith("core")
+                       and port.name.endswith(".mem"))
+        if not matching and not preemptable:
+            return None
+        # One private stream per (plan seed, port): delay draws on one
+        # port never perturb another port's sequence.
+        rng = random.Random(f"{self.plan.seed}:{port.name}")
+        events = self.events
+        sim = self._soc.sim
+        pending = self._pending_preempts
+        name = port.name
+
+        def inject(port: Port, msg: Message) -> int:
+            extra = 0
+            if preemptable:
+                cost = pending.pop(name, 0)
+                if cost:
+                    extra += cost
+                    events.append((sim.now, "preempt",
+                                   f"{name} pays {cost} cycles"))
+            for fault in matching:
+                if (fnmatchcase(msg.kind, fault.kind_pattern)
+                        and rng.random() < fault.rate):
+                    delay = rng.randint(fault.min_cycles, fault.max_cycles)
+                    extra += delay
+                    events.append((sim.now, "port_delay",
+                                   f"{name}/{msg.kind} txn#{msg.txn} "
+                                   f"+{delay} cycles"))
+            return extra
+
+        return inject
+
+    # -- DRAM bursts ------------------------------------------------------------
+
+    def _dram_inject(self, line_addr: int, write: bool) -> int:
+        burst = self.plan.dram_burst
+        window = self._soc.sim.now // burst.period
+        # The window's fate is a pure function of (seed, window): no
+        # matter how accesses interleave, replay sees the same bursts.
+        if _keyed_fraction("dram", self.plan.seed, window) < burst.rate:
+            self.events.append((self._soc.sim.now, "dram_burst",
+                                f"line {line_addr:#x} +{burst.extra} cycles"))
+            return burst.extra
+        return 0
+
+    # -- periodic OS-event tickers -----------------------------------------------
+
+    def _start_ticker(self, name: str, period: int, action) -> None:
+        """Fire ``action`` every ``period`` cycles while the run is live.
+
+        The tick re-arms only while *model* events remain (utility ticks
+        — its own, other tickers', the watchdog's — excluded), so a
+        finished or deadlocked simulation is never kept alive by the
+        injector itself.
+        """
+        sim = self._soc.sim
+        tick_index = [0]
+
+        def tick():
+            sim.utility_ticks -= 1
+            if self._stopped:
+                return
+            tick_index[0] += 1
+            action(tick_index[0])
+            if getattr(sim, "model_events", 0) > 0:
+                sim.utility_ticks += 1
+                sim.schedule(period, tick)
+
+        sim.utility_ticks += 1
+        sim.schedule(period, tick)
+
+    def _do_shootdown(self, tick: int) -> None:
+        vaddr = self._pick_data_page("shootdown", tick)
+        if vaddr is None:
+            return
+        self._soc.os.shootdown(vaddr)
+        self.events.append((self._soc.sim.now, "shootdown",
+                            f"page {vaddr:#x}"))
+
+    def _do_evict(self, tick: int) -> None:
+        vaddr = self._pick_data_page("evict", tick, resident=True)
+        if vaddr is None:
+            return
+        if self._soc.os.evict_page(self._aspace, vaddr):
+            self.events.append((self._soc.sim.now, "evict",
+                                f"page {vaddr:#x}"))
+
+    def _do_preempt(self, tick: int) -> None:
+        cores = self._soc.cores
+        if not cores:
+            return
+        index = int(_keyed_fraction("preempt", self.plan.seed, tick)
+                    * len(cores))
+        self._pending_preempts[f"core{cores[index].core_id}.mem"] = \
+            self.plan.preempt.cost
+
+    def _pick_data_page(self, stream: str, tick: int,
+                        resident: bool = False) -> Optional[int]:
+        """A deterministic page choice from the process's data VMAs.
+
+        Device (MMIO) mappings are never touched — evicting MAPLE's page
+        would model unplugging the device, not an OS event.
+        """
+        os = self._soc.os
+        pages: List[int] = []
+        page_size = os.config.page_size
+        for vma in self._aspace.vmas:
+            start_paddr = self._aspace.page_table.lookup(vma.start)
+            if start_paddr is not None and start_paddr >= os.MMIO_BASE:
+                continue
+            pages.extend(range(vma.start, vma.end, page_size))
+        if not pages:
+            return None
+        fraction = _keyed_fraction(stream, self.plan.seed, tick)
+        index = int(fraction * len(pages))
+        if not resident:
+            return pages[index]
+        # Walk forward until a resident page turns up (bounded scan).
+        for offset in range(len(pages)):
+            vaddr = pages[(index + offset) % len(pages)]
+            paddr = self._aspace.page_table.lookup(vaddr)
+            if paddr is not None and paddr < os.MMIO_BASE:
+                return vaddr
+        return None

@@ -1,0 +1,214 @@
+"""Runtime invariant checking for ports and MAPLE queues.
+
+The tapeout verified MAPLE's queue protocol with SVA properties (§3.3);
+the model enforces the same contracts with runtime checks that tests and
+fuzz runs enable:
+
+- **MAPLE queues** (live, via a shadow model): entries pop in exactly
+  reservation (program) order, every popped value is the value filled
+  into that reservation, nothing is lost, nothing is duplicated, a slot
+  is never filled twice.
+- **Ports** (at quiescence): transaction-id conservation — every id the
+  port ever assigned is accounted for as a completed response, an error,
+  or a post; no transaction left in flight; every credit returned and
+  nobody waiting on one.
+- **Queues** (at quiescence): flow conservation ``produced == consumed +
+  still-valid`` and no reservation still waiting on memory.
+
+Checks are opt-in per component (``queue.observer`` is ``None`` by
+default), so measured runs pay nothing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Tuple
+
+
+class InvariantViolation(AssertionError):
+    """A checked invariant failed — a model bug, never a workload bug."""
+
+    def __init__(self, violations):
+        if isinstance(violations, str):
+            violations = [violations]
+        self.violations = list(violations)
+        lines = "\n  - ".join(self.violations)
+        super().__init__(
+            f"{len(self.violations)} invariant violation(s):\n  - {lines}")
+
+
+_UNFILLED = object()
+
+
+class QueueShadow:
+    """Golden FIFO model mirroring one :class:`~repro.core.queues.HwQueue`.
+
+    Installed as the queue's ``observer``; maintains the reservation
+    order independently of the queue's own ring state and cross-checks
+    every fill and pop as it happens, so a violation surfaces at the
+    exact event that caused it.
+    """
+
+    def __init__(self, queue):
+        self.queue = queue
+        self._name = f"queue {queue.queue_id}"
+        #: Reservation order: slot indices in grant order (program order).
+        self._order: Deque[int] = deque()
+        #: Slot index -> filled value (or _UNFILLED while pending).
+        self._values: Dict[int, Any] = {}
+        self.reserves = 0
+        self.fills = 0
+        self.pops = 0
+
+    def on_reserve(self, queue, index: int) -> None:
+        if index in self._values:
+            raise InvariantViolation(
+                f"{self._name}: slot {index} reserved while still tracked")
+        self._order.append(index)
+        self._values[index] = _UNFILLED
+        self.reserves += 1
+
+    def on_fill(self, queue, index: int, value) -> None:
+        current = self._values.get(index, None)
+        if current is None:
+            raise InvariantViolation(
+                f"{self._name}: fill of slot {index} with no reservation")
+        if current is not _UNFILLED:
+            raise InvariantViolation(
+                f"{self._name}: slot {index} filled twice "
+                f"({current!r} then {value!r})")
+        self._values[index] = value
+        self.fills += 1
+
+    def on_pop(self, queue, value) -> None:
+        if not self._order:
+            raise InvariantViolation(
+                f"{self._name}: pop from an (shadow-)empty queue — "
+                "an entry was duplicated or conjured")
+        index = self._order.popleft()
+        expected = self._values.pop(index)
+        if expected is _UNFILLED:
+            raise InvariantViolation(
+                f"{self._name}: slot {index} popped before its fill "
+                "arrived — FIFO order broken")
+        if expected != value:
+            raise InvariantViolation(
+                f"{self._name}: popped {value!r} but program order says "
+                f"slot {index} holds {expected!r} — reordering or loss")
+        self.pops += 1
+
+    def on_reset(self, queue) -> None:
+        # INIT legally discards contents; pending reservations are a bug
+        # but HwQueue.reset itself rejects those before we get here.
+        self._order.clear()
+        self._values.clear()
+
+    def check_quiescent(self) -> List[str]:
+        """Invariants that must hold once the queue has drained its work."""
+        problems = []
+        queue = self.queue
+        unfilled = [i for i, v in self._values.items() if v is _UNFILLED]
+        if unfilled:
+            problems.append(
+                f"{self._name}: reservations {sorted(unfilled)} never "
+                "filled (lost memory responses)")
+        if len(self._order) != queue.occupied:
+            problems.append(
+                f"{self._name}: shadow tracks {len(self._order)} entries "
+                f"but hardware reports {queue.occupied} occupied")
+        if queue.produced != queue.consumed + queue.valid_entries():
+            problems.append(
+                f"{self._name}: flow broken — produced {queue.produced} != "
+                f"consumed {queue.consumed} + valid {queue.valid_entries()}")
+        return problems
+
+
+class InvariantChecker:
+    """Arms live queue shadows and performs the quiescence-time audit.
+
+    Usage::
+
+        checker = InvariantChecker(soc).install()
+        ... run ...
+        checker.verify()   # raises InvariantViolation on any failure
+    """
+
+    def __init__(self, soc):
+        self._soc = soc
+        self.shadows: List[QueueShadow] = []
+        self._installed = False
+
+    def install(self) -> "InvariantChecker":
+        if self._installed:
+            return self
+        self._installed = True
+        for maple in getattr(self._soc, "maples", None) or ():
+            for queue in maple.scratchpad.queues:
+                if queue.observer is not None:
+                    raise RuntimeError(
+                        f"queue {queue.queue_id} already has an observer")
+                shadow = QueueShadow(queue)
+                queue.observer = shadow
+                self.shadows.append(shadow)
+        return self
+
+    def uninstall(self) -> None:
+        for shadow in self.shadows:
+            if shadow.queue.observer is shadow:
+                shadow.queue.observer = None
+        self.shadows.clear()
+        self._installed = False
+
+    # -- quiescence audit -------------------------------------------------------
+
+    def _port_problems(self) -> List[str]:
+        problems = []
+        ports = getattr(self._soc, "ports", None)
+        if ports is None:
+            return problems
+        for port in ports.ports:
+            tap = port.tap
+            if port.outstanding or port.outstanding_txns:
+                problems.append(
+                    f"port {port.name}: {port.outstanding} transaction(s) "
+                    f"still in flight (txns {sorted(port.outstanding_txns)})")
+            if tap.requests != tap.responses + tap.errors:
+                problems.append(
+                    f"port {port.name}: txn conservation broken — "
+                    f"{tap.requests} requests vs {tap.responses} responses "
+                    f"+ {tap.errors} errors")
+            if port._next_txn != tap.requests + tap.posts:
+                problems.append(
+                    f"port {port.name}: txn ids leaked — next txn "
+                    f"{port._next_txn} != {tap.requests} requests + "
+                    f"{tap.posts} posts")
+            credits = port._credits
+            if credits is not None:
+                if credits.in_use:
+                    problems.append(
+                        f"port {port.name}: {credits.in_use} credit(s) "
+                        f"never returned (depth {port.depth})")
+                if credits.waiting:
+                    problems.append(
+                        f"port {port.name}: {credits.waiting} waiter(s) "
+                        "stuck on credits at quiescence")
+        return problems
+
+    def _queue_problems(self) -> List[str]:
+        problems = []
+        for shadow in self.shadows:
+            problems.extend(shadow.check_quiescent())
+        return problems
+
+    def verify(self) -> Tuple[int, int]:
+        """Audit ports and queues at quiescence.
+
+        Returns ``(ports_checked, queues_checked)``; raises
+        :class:`InvariantViolation` listing every failure at once.
+        """
+        problems = self._port_problems() + self._queue_problems()
+        if problems:
+            raise InvariantViolation(problems)
+        ports = getattr(self._soc, "ports", None)
+        return (len(ports.ports) if ports is not None else 0,
+                len(self.shadows))

@@ -47,6 +47,23 @@ TraceEvent = Tuple[int, str, str, int, str]
 DEFAULT_TRACE_DEPTH = 1 << 16
 
 
+class QuiescenceError(RuntimeError):
+    """A port still had transactions in flight when quiescence was asserted.
+
+    ``busy`` maps each offending port name to the sorted tuple of its
+    outstanding transaction ids, so a leaked transaction is immediately
+    attributable to a seam (and, via the port trace, to a cycle).
+    """
+
+    def __init__(self, busy: Dict[str, Tuple[int, ...]]):
+        self.busy = dict(busy)
+        detail = ", ".join(
+            f"{name} (txns {', '.join(f'#{t}' for t in txns)})"
+            for name, txns in sorted(self.busy.items()))
+        super().__init__(
+            f"ports still have transactions in flight: {detail}")
+
+
 class Message:
     """One transaction on a port pair.
 
@@ -138,6 +155,12 @@ class Port:
         self.peer: Optional["Port"] = None
         #: Transactions issued by this port that have not completed.
         self.outstanding = 0
+        #: Their transaction ids (diagnosable from a watchdog dump).
+        self.outstanding_txns: set = set()
+        #: Fault-injection hook: ``inject(port, msg) -> extra_cycles``.
+        #: ``None`` (the default) is the zero-overhead, bit-identical path;
+        #: :class:`repro.sim.faults.FaultInjector` installs it per plan.
+        self.inject: Optional[Callable[["Port", Message], int]] = None
         self._next_txn = 0
         self._credits = (Semaphore(sim, depth, name=f"{name}.credits")
                          if depth is not None else None)
@@ -203,10 +226,16 @@ class Port:
             tap.stalls += 1
             yield from credits.acquire()
         self.outstanding += 1
+        self.outstanding_txns.add(txn)
         trace = tap.trace
         if trace is not None:
             trace.append((self._sim.now, self.name, kind, txn, "req"))
         try:
+            inject = self.inject
+            if inject is not None:
+                extra = inject(self, msg)
+                if extra:
+                    yield extra
             if self._request_link is not None:
                 yield from self._request_link(msg)
             peer_tap = peer.tap
@@ -230,6 +259,7 @@ class Port:
             raise
         finally:
             self.outstanding -= 1
+            self.outstanding_txns.discard(txn)
             if credits is not None:
                 credits.release()
 
@@ -296,15 +326,16 @@ class PortRegistry:
 
     # -- lifecycle ---------------------------------------------------------
 
-    def _busy(self) -> List[str]:
-        return [p.name for p in self.ports if p.outstanding]
+    def _busy(self) -> Dict[str, Tuple[int, ...]]:
+        return {p.name: tuple(sorted(p.outstanding_txns))
+                for p in self.ports if p.outstanding}
 
     def drain(self) -> None:
-        """Raise unless every port is quiescent."""
+        """Raise :class:`QuiescenceError` unless every port is quiescent,
+        naming each busy port and its outstanding transaction ids."""
         busy = self._busy()
         if busy:
-            raise RuntimeError(
-                f"ports still have transactions in flight: {', '.join(busy)}")
+            raise QuiescenceError(busy)
 
     def reset(self) -> None:
         """Clear all telemetry (counters and traces); requires quiescence."""
@@ -321,6 +352,31 @@ class PortRegistry:
     def telemetry(self) -> Dict[str, Dict[str, Any]]:
         """Per-port counter snapshot, keyed by port name."""
         return {port.name: port.tap.snapshot() for port in self.ports}
+
+    def debug_state(self, trace_tail: int = 8) -> Dict[str, Dict[str, Any]]:
+        """Liveness-oriented snapshot of every port (watchdog dumps).
+
+        Includes what :meth:`telemetry` does not: in-flight transaction
+        ids, credit occupancy/waiters, and the tail of the trace ring (the
+        last ``trace_tail`` events) when tracing is enabled.
+        """
+        state: Dict[str, Dict[str, Any]] = {}
+        for port in self.ports:
+            credits = port._credits
+            entry: Dict[str, Any] = {
+                "outstanding": port.outstanding,
+                "txns": sorted(port.outstanding_txns),
+                "requests": port.tap.requests,
+                "responses": port.tap.responses,
+            }
+            if credits is not None:
+                entry["credits_in_use"] = credits.in_use
+                entry["credit_waiters"] = credits.waiting
+            trace = port.tap.trace
+            if trace is not None:
+                entry["trace_tail"] = list(trace)[-trace_tail:]
+            state[port.name] = entry
+        return state
 
     def trace_events(self) -> List[TraceEvent]:
         """All ports' trace rings merged, sorted by cycle (stable within

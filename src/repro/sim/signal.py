@@ -116,6 +116,11 @@ class Semaphore:
     def in_use(self) -> int:
         return self.capacity - self._available
 
+    @property
+    def waiting(self) -> int:
+        """Requests queued behind the current holders (liveness probes)."""
+        return len(self._waiters)
+
     def acquire(self):
         """Generator: block until a unit is available, then take it.
 

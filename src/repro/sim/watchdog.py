@@ -1,0 +1,231 @@
+"""Liveness watchdog: turn silent hangs into structured diagnoses.
+
+A latency-tolerant SoC has many places to wedge — a leaked port credit,
+a MAPLE queue whose head never fills, a fault loop in the MMU.  The
+paper proves deadlock freedom of the decoupled pipelines (§3.3); this
+module is the runtime counterpart for the *model*: instead of a
+simulation that never returns (livelock) or a bare "thread never
+finished" (deadlock), every trip produces a :class:`LivenessError`
+carrying a full machine-readable diagnosis — engine state, every port's
+in-flight transactions and trace tail, MAPLE queue occupancy, LIMA
+backlog, and outstanding PTW/DRAM transactions — optionally dumped to a
+JSON file for offline inspection (CI uploads these as artifacts).
+
+Two detection modes:
+
+- **Stall (livelock)**: an armed :class:`Watchdog` ticks every
+  ``check_interval`` cycles and samples a *semantic* progress vector —
+  port traffic, queue flow, live process count.  If the vector is
+  unchanged for ``stall_window`` cycles while events are still firing,
+  the run is spinning without doing work.  (Engine-level counters like
+  ``events_executed`` are deliberately excluded: the watchdog's own
+  ticks and any polling loop would count as progress.)
+- **Deadlock**: the event queue drains but processes remain blocked on
+  handshakes that can never fire.  :meth:`Soc.run_threads` detects this
+  after ``sim.run`` returns and raises through
+  :func:`collect_diagnosis` here, naming the stuck ports.
+"""
+
+from __future__ import annotations
+
+import json
+import os as _os
+import re
+from typing import Any, Dict, Optional
+
+#: Environment variable naming the directory watchdog dumps land in.
+DUMP_DIR_ENV = "REPRO_WATCHDOG_DUMP_DIR"
+
+
+class LivenessError(RuntimeError):
+    """The watchdog tripped (or a deadlock was diagnosed).
+
+    ``diagnosis`` is the structured state snapshot; ``dump_path`` names
+    the JSON file it was written to (``None`` when dumping is off).
+    """
+
+    def __init__(self, message: str, diagnosis: Dict[str, Any],
+                 dump_path: Optional[str] = None):
+        self.diagnosis = diagnosis
+        self.dump_path = dump_path
+        suffix = f" (dump: {dump_path})" if dump_path else ""
+        super().__init__(f"{message}{suffix}")
+
+
+def _jsonable(value):
+    """Best-effort conversion to JSON-serializable structures."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value) if isinstance(value, (set, frozenset)) else value
+        return [_jsonable(v) for v in items]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def collect_diagnosis(soc, reason: str, trace_tail: int = 8) -> Dict[str, Any]:
+    """One structured snapshot of everything liveness-relevant.
+
+    ``soc`` is duck-typed; sections are included only for the subsystems
+    the object actually has, so partial rigs (unit tests) work too.
+    """
+    sim = soc.sim
+    diagnosis: Dict[str, Any] = {
+        "reason": reason,
+        "cycle": sim.now,
+        "engine": {
+            "live_processes": sim.live_processes,
+            "pending_events": sim.pending_events,
+            "events_executed": sim.events_executed,
+        },
+    }
+    ports = getattr(soc, "ports", None)
+    if ports is not None:
+        state = ports.debug_state(trace_tail=trace_tail)
+        diagnosis["ports"] = state
+        diagnosis["busy_ports"] = sorted(
+            name for name, entry in state.items() if entry["outstanding"])
+    maples = getattr(soc, "maples", None)
+    if maples:
+        diagnosis["maples"] = {m.instance_id: m.debug_state() for m in maples}
+    memsys = getattr(soc, "memsys", None)
+    if memsys is not None and hasattr(memsys, "debug_state"):
+        diagnosis["memory"] = memsys.debug_state()
+    os_model = getattr(soc, "os", None)
+    if os_model is not None and hasattr(os_model, "evicted_pages"):
+        diagnosis["os"] = {"evicted_pages": os_model.evicted_pages()}
+    driver = getattr(soc, "driver", None)
+    if driver is not None and hasattr(driver, "attachments"):
+        diagnosis["attachments"] = driver.attachments()
+    return diagnosis
+
+
+def write_dump(diagnosis: Dict[str, Any],
+               dump_dir: Optional[str] = None) -> Optional[str]:
+    """Write a diagnosis as JSON; returns the path (or ``None`` if off).
+
+    ``dump_dir`` falls back to ``$REPRO_WATCHDOG_DUMP_DIR``; with
+    neither set, nothing is written.
+    """
+    directory = dump_dir or _os.environ.get(DUMP_DIR_ENV)
+    if not directory:
+        return None
+    _os.makedirs(directory, exist_ok=True)
+    slug = re.sub(r"[^A-Za-z0-9_.-]+", "-", str(diagnosis.get("reason", "trip")))
+    path = _os.path.join(
+        directory, f"watchdog-{slug}-cycle{diagnosis.get('cycle', 0)}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(_jsonable(diagnosis), handle, indent=2, sort_keys=True)
+    return path
+
+
+def raise_liveness(soc, reason: str, message: str,
+                   dump_dir: Optional[str] = None) -> None:
+    """Collect + dump + raise: the shared trip path for every detector."""
+    diagnosis = collect_diagnosis(soc, reason)
+    dump_path = write_dump(diagnosis, dump_dir)
+    busy = diagnosis.get("busy_ports")
+    if busy:
+        message = f"{message}; busy ports: {', '.join(busy)}"
+    raise LivenessError(message, diagnosis, dump_path)
+
+
+class Watchdog:
+    """Periodic liveness monitor for one SoC run.
+
+    Arm it before ``sim.run`` (``Soc.run_threads(..., watchdog=wd)``
+    does this); it re-arms itself only while other events are pending,
+    so it never keeps a finished simulation alive and adds zero cycles
+    to the modeled hardware (ticks are bare engine callbacks, not
+    processes).
+    """
+
+    def __init__(self, soc, check_interval: int = 2000,
+                 stall_window: int = 50000,
+                 max_cycles: Optional[int] = None,
+                 dump_dir: Optional[str] = None):
+        if check_interval < 1:
+            raise ValueError("check_interval must be positive")
+        if stall_window < check_interval:
+            raise ValueError("stall_window must cover at least one check")
+        self._soc = soc
+        self.check_interval = check_interval
+        self.stall_window = stall_window
+        self.max_cycles = max_cycles
+        self.dump_dir = dump_dir
+        self.ticks = 0
+        self.tripped = False
+        self._armed = False
+        self._last_vector = None
+        self._last_progress_cycle = 0
+
+    # -- progress sampling -----------------------------------------------------
+
+    def _progress_vector(self) -> tuple:
+        """Semantic progress only: port traffic, queue flow, process
+        retirement.  Excludes engine event counts (self-referential) and
+        sequence numbers (polling loops bump them without progress)."""
+        soc = self._soc
+        requests = responses = posts = 0
+        ports = getattr(soc, "ports", None)
+        if ports is not None:
+            for port in ports.ports:
+                tap = port.tap
+                requests += tap.requests
+                responses += tap.responses
+                posts += tap.posts
+        produced = consumed = 0
+        for maple in getattr(soc, "maples", None) or ():
+            for queue in maple.scratchpad.queues:
+                produced += queue.produced
+                consumed += queue.consumed
+        return (requests, responses, posts, produced, consumed,
+                soc.sim.live_processes)
+
+    # -- arming ------------------------------------------------------------------
+
+    def arm(self) -> "Watchdog":
+        if self._armed:
+            return self
+        self._armed = True
+        sim = self._soc.sim
+        self._last_vector = self._progress_vector()
+        self._last_progress_cycle = sim.now
+        sim.utility_ticks = getattr(sim, "utility_ticks", 0) + 1
+        sim.schedule(self.check_interval, self._tick)
+        return self
+
+    def disarm(self) -> None:
+        self._armed = False
+
+    def _tick(self) -> None:
+        sim = self._soc.sim
+        sim.utility_ticks -= 1
+        if not self._armed:
+            return
+        self.ticks += 1
+        if self.max_cycles is not None and sim.now >= self.max_cycles:
+            self._trip("timeout",
+                       f"run exceeded max_cycles={self.max_cycles} "
+                       f"(now at cycle {sim.now})")
+        vector = self._progress_vector()
+        if vector != self._last_vector:
+            self._last_vector = vector
+            self._last_progress_cycle = sim.now
+        elif sim.now - self._last_progress_cycle >= self.stall_window:
+            self._trip("stall",
+                       f"no semantic progress for "
+                       f"{sim.now - self._last_progress_cycle} cycles "
+                       f"(window {self.stall_window})")
+        # Re-arm only while the *model* still has work queued (other
+        # utility ticks — fault tickers — are excluded, so the watchdog
+        # and the injector never keep each other alive).
+        if getattr(sim, "model_events", 0) > 0:
+            sim.utility_ticks += 1
+            sim.schedule(self.check_interval, self._tick)
+
+    def _trip(self, reason: str, message: str) -> None:
+        self.tripped = True
+        self._armed = False
+        raise_liveness(self._soc, reason, message, dump_dir=self.dump_dir)

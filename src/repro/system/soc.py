@@ -11,7 +11,8 @@ from repro.cpu.core import Core, Thread
 from repro.mem.hierarchy import MemorySystem
 from repro.noc import Mesh, Network
 from repro.params import SoCConfig
-from repro.sim import Barrier, PortRegistry, Simulator, Stats
+from repro.sim import Barrier, PortRegistry, Simulator, Stats, Watchdog
+from repro.sim.watchdog import raise_liveness
 from repro.vm.alloc import SimArray, alloc_array
 from repro.vm.os_model import AddressSpace, SimOS
 
@@ -62,6 +63,10 @@ class Soc:
             self.maples.append(maple)
 
         self.driver = MapleDriver(self.os, self.maples, self.mesh)
+        #: The active :class:`~repro.sim.faults.FaultInjector`, if any —
+        #: set by ``FaultInjector.install`` so post-run tooling (e.g.
+        #: ``tools/fault_replay.py``) can read the fault event log.
+        self.fault_injector = None
 
     @staticmethod
     def _fit_mesh(cfg: SoCConfig) -> SoCConfig:
@@ -87,12 +92,16 @@ class Soc:
 
     # -- execution ------------------------------------------------------------------
 
-    def run_threads(self, assignments: Sequence[Tuple[int, Thread]]) -> int:
+    def run_threads(self, assignments: Sequence[Tuple[int, Thread]],
+                    watchdog: Optional[Watchdog] = None) -> int:
         """Run threads on cores until all finish; returns elapsed cycles.
 
         ``assignments`` is a list of ``(core_id, Thread)`` pairs; each core
         takes at most one thread (Tables 2/3: one hardware thread per
-        core).
+        core).  An optional armed-on-entry :class:`Watchdog` turns
+        livelocks into diagnosed :class:`LivenessError`\\ s; deadlocks
+        (event queue drained, threads still blocked) are diagnosed here
+        regardless, naming the stuck cores and busy ports.
         """
         seen_cores = set()
         finish: Dict[int, int] = {}
@@ -107,9 +116,21 @@ class Soc:
                 finish[c] = self.sim.now
 
             self.sim.spawn(waiter(), name=f"join.core{core_id}")
-        self.sim.run()
+        if watchdog is not None:
+            watchdog.arm()
+        try:
+            self.sim.run()
+        finally:
+            if watchdog is not None:
+                watchdog.disarm()
         if len(finish) != len(assignments):
-            raise RuntimeError("a thread never finished (deadlock in the model)")
+            stuck = sorted(c for c, _ in assignments if c not in finish)
+            raise_liveness(
+                self, "deadlock",
+                f"cores {stuck} never finished: the event queue drained "
+                f"with {self.sim.live_processes} process(es) still blocked "
+                "on handshakes that can never fire",
+                dump_dir=watchdog.dump_dir if watchdog is not None else None)
         # With the event queue empty, every port transaction must have
         # completed; a leaked one is a model bug worth failing loudly on.
         self.ports.drain()

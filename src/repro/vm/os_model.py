@@ -103,6 +103,11 @@ class SimOS:
         self.address_spaces: Dict[int, AddressSpace] = {}
         self._tlbs: List[Tlb] = []
         self._shootdown_callbacks: List[Callable[[int], None]] = []
+        #: Pages the swap model (fault injection) has unmapped, keyed by
+        #: ``(asid, page_vaddr)`` and holding the original frame so the
+        #: fault path restores the *same* physical page — data survives
+        #: the evict/fault/remap round trip exactly as swap-in does.
+        self._evicted: Dict[tuple, int] = {}
         self.stats = memsys.stats.scoped("os")
 
     # -- physical frames ------------------------------------------------------
@@ -173,19 +178,68 @@ class SimOS:
             callback(vaddr)
         self.stats.bump("shootdowns")
 
+    # -- page eviction (the swap model behind injected page faults) ------------
+
+    def evict_page(self, aspace: AddressSpace, vaddr: int) -> bool:
+        """Unmap one resident page as if swapped out (fault injection).
+
+        The PTE is invalidated and a shootdown broadcast, so the next
+        touch — from a core MMU *or* MAPLE's walker — takes the full
+        fault path (§3.5/§4); the frame is remembered and restored by
+        :meth:`handle_fault`, so contents survive.  Returns ``False``
+        when the page was not resident (nothing to evict).
+        """
+        page = page_base(vaddr)
+        paddr = aspace.page_table.lookup(page)
+        if paddr is None:
+            return False
+        if paddr >= self.MMIO_BASE:
+            raise ValueError(f"cannot evict device page {page:#x}")
+        aspace.page_table.unmap_page(page)
+        self._evicted[(aspace.asid, page)] = paddr
+        self.shootdown(page)
+        self.stats.bump("evictions")
+        return True
+
+    def evicted_pages(self) -> int:
+        """Pages currently swapped out (watchdog/diagnostic probes)."""
+        return len(self._evicted)
+
+    def restore_evicted(self) -> int:
+        """Map every still-evicted page back in (process-exit semantics,
+        and the injector's cleanup so functional result checks see a
+        fully resident address space).  Returns the number restored."""
+        restored = 0
+        for (asid, page), frame in sorted(self._evicted.items()):
+            aspace = self.address_spaces[asid]
+            vma = aspace.find_vma(page)
+            flags = vma.flags if vma is not None else PTE_R | PTE_W | PTE_U
+            aspace.page_table.map_page(page, frame, flags)
+            restored += 1
+        self._evicted.clear()
+        return restored
+
     # -- fault handling ----------------------------------------------------------
 
     def handle_fault(self, aspace: AddressSpace, vaddr: int):
         """Generator: the kernel fault path.
 
-        Maps the page and returns normally when the access hit a lazy VMA;
-        raises :class:`SegmentationFault` otherwise.
+        Maps the page and returns normally when the access hit a lazy VMA
+        or an evicted (swapped-out) page; raises
+        :class:`SegmentationFault` otherwise.
         """
         self.stats.bump("faults")
         yield self.FAULT_HANDLING_CYCLES
         vma = aspace.find_vma(vaddr)
         if vma is None:
             raise SegmentationFault(vaddr)
+        page = page_base(vaddr)
         if aspace.page_table.lookup(vaddr) is None:
-            aspace.page_table.map_page(page_base(vaddr), self.alloc_frame(), vma.flags)
-            self.stats.bump("demand_mapped_pages")
+            frame = self._evicted.pop((aspace.asid, page), None)
+            if frame is not None:
+                # Swap-in: the original frame comes back, data intact.
+                aspace.page_table.map_page(page, frame, vma.flags)
+                self.stats.bump("swap_ins")
+            else:
+                aspace.page_table.map_page(page, self.alloc_frame(), vma.flags)
+                self.stats.bump("demand_mapped_pages")

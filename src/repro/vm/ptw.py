@@ -43,6 +43,9 @@ class PageTableWalker:
         self._mem = mem
         self._stats = stats
         self.name = name
+        #: Walks currently in flight (watchdog dumps report this so a hang
+        #: inside a translation is distinguishable from one in the fetch).
+        self.inflight = 0
         if hasattr(mem, "load_llc"):  # a MemorySystem, used directly
             self._read_pte = mem.load_llc
         else:  # a memory Port: PTE reads are ptw_read transactions
@@ -61,21 +64,25 @@ class PageTableWalker:
             self._stats.bump("walks")
         table = root_paddr
         indices = vpn_indices(vaddr)
-        for level, index in enumerate(indices):
-            pte = yield from self._read_pte(table + 8 * index)
-            if not isinstance(pte, int) or not pte_is_valid(pte):
-                if self._stats:
-                    self._stats.bump("faults")
-                raise TranslationFault(vaddr, level)
-            if pte_is_leaf(pte):
-                if level != len(indices) - 1:
-                    # Superpages are not produced by our OS; treat as fault.
+        self.inflight += 1
+        try:
+            for level, index in enumerate(indices):
+                pte = yield from self._read_pte(table + 8 * index)
+                if not isinstance(pte, int) or not pte_is_valid(pte):
                     if self._stats:
                         self._stats.bump("faults")
                     raise TranslationFault(vaddr, level)
-                frame = pte_ppn(pte) << PAGE_SHIFT
-                return frame | page_offset(vaddr), pte_flags(pte)
-            table = pte_ppn(pte) << PAGE_SHIFT
-        if self._stats:
-            self._stats.bump("faults")
-        raise TranslationFault(vaddr, len(indices) - 1)
+                if pte_is_leaf(pte):
+                    if level != len(indices) - 1:
+                        # Superpages are not produced by our OS; treat as fault.
+                        if self._stats:
+                            self._stats.bump("faults")
+                        raise TranslationFault(vaddr, level)
+                    frame = pte_ppn(pte) << PAGE_SHIFT
+                    return frame | page_offset(vaddr), pte_flags(pte)
+                table = pte_ppn(pte) << PAGE_SHIFT
+            if self._stats:
+                self._stats.bump("faults")
+            raise TranslationFault(vaddr, len(indices) - 1)
+        finally:
+            self.inflight -= 1

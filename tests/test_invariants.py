@@ -1,0 +1,167 @@
+"""Unit tests for the invariant-checking layer (``repro.sim.invariants``).
+
+Two halves: the live :class:`QueueShadow` must catch protocol breakage
+at the exact event that causes it (double fill, conjured entries, value
+mismatch), and the quiescence audit must catch leaked transactions,
+leaked credits, and broken flow conservation — each named precisely.
+"""
+
+import pytest
+
+from repro.core.queues import HwQueue
+from repro.sim import (
+    InvariantChecker,
+    InvariantViolation,
+    QueueShadow,
+    Simulator,
+    Stats,
+)
+from repro.system.soc import Soc
+
+
+def shadowed_queue(capacity=4):
+    sim = Simulator()
+    queue = HwQueue(sim, 0, capacity, Stats().scoped("q"))
+    shadow = QueueShadow(queue)
+    queue.observer = shadow
+    return sim, queue, shadow
+
+
+def step(sim, gen):
+    box = {}
+
+    def wrapper():
+        box["value"] = yield from gen
+
+    sim.spawn(wrapper())
+    sim.run()
+    return box.get("value")
+
+
+# -- the shadow is silent on legal traffic ---------------------------------------
+
+
+def test_shadow_accepts_legal_out_of_order_fills():
+    sim, queue, shadow = shadowed_queue()
+    i0 = step(sim, queue.reserve())
+    i1 = step(sim, queue.reserve())
+    queue.fill(i1, "b")
+    queue.fill(i0, "a")
+    assert step(sim, queue.pop()) == "a"
+    assert step(sim, queue.pop()) == "b"
+    assert shadow.check_quiescent() == []
+    assert (shadow.reserves, shadow.fills, shadow.pops) == (2, 2, 2)
+
+
+def test_shadow_accepts_reset():
+    sim, queue, shadow = shadowed_queue()
+    i0 = step(sim, queue.reserve())
+    queue.fill(i0, "x")
+    assert step(sim, queue.pop()) == "x"
+    queue.reset()  # the INIT path: legal once drained
+    assert shadow.check_quiescent() == []
+
+
+def test_quiescence_flags_reset_that_discarded_data():
+    sim, queue, shadow = shadowed_queue()
+    i0 = step(sim, queue.reserve())
+    queue.fill(i0, "x")
+    queue.reset()  # discards a produced-but-never-consumed entry
+    assert any("flow broken" in p for p in shadow.check_quiescent())
+
+
+# -- and loud on protocol breakage ----------------------------------------------
+
+
+def test_shadow_rejects_double_fill():
+    sim, queue, shadow = shadowed_queue()
+    i0 = step(sim, queue.reserve())
+    queue.fill(i0, "first")
+    with pytest.raises(InvariantViolation, match="filled twice"):
+        shadow.on_fill(queue, i0, "second")
+
+
+def test_shadow_rejects_fill_without_reservation():
+    _, queue, shadow = shadowed_queue()
+    with pytest.raises(InvariantViolation, match="no reservation"):
+        shadow.on_fill(queue, 3, "ghost")
+
+
+def test_shadow_rejects_conjured_pop():
+    _, queue, shadow = shadowed_queue()
+    with pytest.raises(InvariantViolation, match="duplicated or conjured"):
+        shadow.on_pop(queue, "ghost")
+
+
+def test_shadow_rejects_pop_before_fill():
+    sim, queue, shadow = shadowed_queue()
+    step(sim, queue.reserve())
+    with pytest.raises(InvariantViolation, match="popped before its fill"):
+        shadow.on_pop(queue, "early")
+
+
+def test_shadow_rejects_value_mismatch():
+    sim, queue, shadow = shadowed_queue()
+    i0 = step(sim, queue.reserve())
+    queue.fill(i0, "right")
+    with pytest.raises(InvariantViolation, match="reordering or loss"):
+        shadow.on_pop(queue, "wrong")
+
+
+def test_quiescence_reports_unfilled_reservation():
+    sim, queue, shadow = shadowed_queue()
+    step(sim, queue.reserve())
+    problems = shadow.check_quiescent()
+    assert any("never filled" in p for p in problems)
+
+
+# -- the SoC-level audit ---------------------------------------------------------
+
+
+def test_checker_clean_soc_reports_counts():
+    soc = Soc()
+    checker = InvariantChecker(soc).install()
+    ports, queues = checker.verify()
+    assert ports == len(soc.ports.ports)
+    assert queues == soc.config.maple_num_queues * len(soc.maples)
+
+
+def test_checker_install_is_idempotent_but_exclusive():
+    soc = Soc()
+    checker = InvariantChecker(soc).install()
+    assert checker.install() is checker  # same checker: fine
+    with pytest.raises(RuntimeError, match="already has an observer"):
+        InvariantChecker(soc).install()  # a second one: rejected
+    checker.uninstall()
+    InvariantChecker(soc).install()  # after uninstall: fine again
+
+
+def test_audit_names_inflight_transaction():
+    soc = Soc()
+    checker = InvariantChecker(soc).install()
+
+    def handler(msg):
+        yield 10**9
+        return None
+
+    client = soc.ports.port("unit.leak", tile=0)
+    server = soc.ports.port("unit.leak.srv", tile=1)
+    server.bind(handler)
+    soc.ports.connect(client, server)
+    soc.sim.spawn(client.request("poke"))
+    soc.sim.run(until=50)
+    with pytest.raises(InvariantViolation) as exc:
+        checker.verify()
+    assert any("unit.leak" in v and "in flight" in v
+               for v in exc.value.violations)
+
+
+def test_audit_names_broken_queue_flow():
+    soc = Soc()
+    checker = InvariantChecker(soc).install()
+    queue = soc.maples[0].scratchpad.queues[0]
+    # Cook the books behind the shadow's back: claim a produce that
+    # never happened.  The flow-conservation audit must flag it.
+    queue.produced += 1
+    with pytest.raises(InvariantViolation, match="flow broken"):
+        checker.verify()

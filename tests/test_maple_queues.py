@@ -360,3 +360,52 @@ def test_producer_consumer_conservation(capacity, total):
     sim.run()
     assert received == list(range(total))
     assert queue.occupied == 0
+
+
+# -- delayed acks: the memory system answers out of order -----------------------
+
+
+@given(st.integers(min_value=1, max_value=8),
+       st.lists(st.tuples(st.integers(min_value=0, max_value=60),
+                          st.integers(min_value=0, max_value=6)),
+                min_size=1, max_size=48))
+@settings(max_examples=80, deadline=None)
+def test_delayed_acks_never_lose_duplicate_or_reorder(capacity, items):
+    """PRODUCE_PTR semantics under fault-injected latency: each fill (the
+    memory ack) lands after an arbitrary delay, so completions arrive in
+    arbitrary order while the consumer races ahead.  A live
+    :class:`QueueShadow` cross-checks every event; the consumer must see
+    exactly 0..n-1 in order, and the shadow must audit clean at drain."""
+    from repro.sim.invariants import QueueShadow
+
+    sim = Simulator()
+    queue = HwQueue(sim, 0, capacity, Stats().scoped("q"))
+    shadow = QueueShadow(queue)
+    queue.observer = shadow
+    total = len(items)
+    received = []
+
+    def ack(index, value, delay):
+        yield delay
+        queue.fill(index, value)
+
+    def producer():
+        for value, (delay, _) in enumerate(items):
+            index = yield from queue.reserve()
+            sim.spawn(ack(index, value, delay), name="mem.ack")
+            yield 1  # issue slot
+
+    def consumer():
+        for _, (_, gap) in enumerate(items):
+            value = yield from queue.pop()
+            received.append(value)
+            yield gap
+
+    sim.spawn(producer())
+    sim.spawn(consumer())
+    sim.run()
+    assert received == list(range(total))
+    assert shadow.check_quiescent() == []
+    assert shadow.reserves == shadow.fills == shadow.pops == total
+    assert queue.produced == queue.consumed == total
+    assert queue.occupied == 0

@@ -252,3 +252,84 @@ def test_make_orchestrator_wires_cache(tmp_path):
     orch = make_orchestrator(jobs=2, use_cache=True, cache_dir=tmp_path)
     assert orch.cache is not None and orch.cache.root == tmp_path
     assert make_orchestrator(jobs=1, use_cache=False).cache is None
+
+
+# -- structured failures, retries, and backoff -----------------------------------
+
+
+def _bad_spec():
+    """A spec that fails deterministically inside run_workload."""
+    return RunSpec("spmv", "no-such-technique", threads=1)
+
+
+def test_serial_failure_is_structured():
+    from repro.harness.orchestrator import JobError, OrchestratorError
+
+    events = []
+    orch = Orchestrator(jobs=1, progress=events.append)
+    with pytest.raises(OrchestratorError) as exc:
+        orch.run([_bad_spec()])
+    error = exc.value.job_error
+    assert isinstance(error, JobError)
+    assert error.label == _bad_spec().label()
+    assert error.exc_type == "ValueError"
+    assert "no-such-technique" in error.message
+    assert "run_workload" in error.traceback  # full worker traceback rides along
+    assert "worker traceback" in str(exc.value)
+    assert orch.failures == [error]
+    failures = [e for e in events if e["event"] == "failure"]
+    assert failures and failures[0]["exc_type"] == "ValueError"
+
+
+def test_pool_failure_crosses_the_process_boundary():
+    import os
+
+    from repro.harness.orchestrator import OrchestratorError
+
+    orch = Orchestrator(jobs=2, timeout=120, retries=0)
+    with pytest.raises(OrchestratorError) as exc:
+        orch.run([RunSpec("spmv", "doall", threads=1), _bad_spec()])
+    error = exc.value.job_error
+    # The record was built inside the worker process, not re-raised as a
+    # bare remote traceback.
+    assert error.worker_pid != 0 and error.worker_pid != os.getpid()
+    assert error.exc_type == "ValueError"
+    assert "no-such-technique" in error.traceback
+    assert orch.failures[-1] is error
+
+
+def test_failed_cell_retries_with_exponential_backoff(monkeypatch):
+    import repro.harness.orchestrator as orch_module
+    from repro.harness.orchestrator import OrchestratorError
+
+    sleeps = []
+    monkeypatch.setattr(orch_module.time, "sleep",
+                        lambda seconds: sleeps.append(seconds))
+    events = []
+    orch = Orchestrator(jobs=2, timeout=120, retries=2, backoff=0.5,
+                        progress=events.append)
+    with pytest.raises(OrchestratorError) as exc:
+        orch.run([_bad_spec()])
+    # Three attempts total (1 + 2 retries), exponential pauses between.
+    assert sleeps == [0.5, 1.0]
+    assert [e["attempt"] for e in events if e["event"] == "failure"] == [1, 2, 3]
+    assert len(orch.failures) == 3
+    assert exc.value.job_error is orch.failures[-1]
+
+
+def test_job_error_records_fault_seed():
+    from repro.harness.faultfuzz import fuzz_specs
+    from repro.harness.orchestrator import OrchestratorError
+
+    spec = fuzz_specs(1)[0]
+    broken = RunSpec(**{**spec.__dict__, "technique": "no-such-technique"})
+    orch = Orchestrator(jobs=1)
+    with pytest.raises(OrchestratorError) as exc:
+        orch.run([broken])
+    assert exc.value.job_error.fault_seed == spec.fault_plan.seed
+    assert f"fault seed {spec.fault_plan.seed}" in exc.value.job_error.summary()
+
+
+def test_backoff_validation():
+    with pytest.raises(ValueError):
+        Orchestrator(backoff=-0.1)

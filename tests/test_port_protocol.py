@@ -310,3 +310,29 @@ def test_soc_seams_are_ports_with_live_telemetry():
     assert soc.ports.trace_events()
     soc.reset()
     assert soc.port_telemetry()["core0.mem"]["requests"] == 0
+
+
+def test_quiescence_error_names_ports_and_txn_ids():
+    """drain() failures are typed and attributable: the error carries a
+    ``busy`` map of port name -> outstanding transaction ids."""
+    from repro.sim.port import QuiescenceError
+
+    sim = Simulator()
+    hold = []
+
+    def handler(msg):
+        signal = Signal(sim, name="hold")
+        hold.append(signal)
+        yield signal
+        return None
+
+    registry, client, _ = make_pair(sim, handler=handler)
+    sim.spawn(client.request("op"))
+    sim.run()
+    with pytest.raises(QuiescenceError) as exc:
+        registry.drain()
+    assert exc.value.busy == {"client": (0,)}
+    assert "client" in str(exc.value) and "#0" in str(exc.value)
+    hold[0].fire()
+    sim.run()
+    registry.drain()  # quiescent now

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Replay a fault-fuzz case (or an ad-hoc fault seed) with full logging.
+
+When ``tests/test_fault_fuzz.py`` fails on "case N", this reproduces it
+exactly — same config, kernel, technique, dataset, and fault plan — and
+prints the fault event log, the run summary, and (on a liveness trip or
+invariant violation) the structured diagnosis.  It can also drive an
+arbitrary (workload, technique, fault-seed) triple outside the sweep.
+
+Usage (from the repo root):
+
+    PYTHONPATH=src python tools/fault_replay.py --case 17
+    PYTHONPATH=src python tools/fault_replay.py --case 17 --events 50
+    PYTHONPATH=src python tools/fault_replay.py --app bfs \\
+        --technique maple-decouple --threads 2 --fault-seed 12345
+    PYTHONPATH=src python tools/fault_replay.py --case 3 \\
+        --dump-dir /tmp/watchdog-dumps
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--case", type=int, default=None,
+                        help="fault-fuzz case number to replay exactly")
+    parser.add_argument("--master-seed", type=int, default=None,
+                        help="override the sweep's master seed")
+    parser.add_argument("--app", default="spmv",
+                        help="workload for ad-hoc mode (ignored with --case)")
+    parser.add_argument("--technique", default="maple-decouple")
+    parser.add_argument("--threads", type=int, default=2)
+    parser.add_argument("--scale", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--fault-seed", type=int, default=1,
+                        help="FaultPlan.random seed for ad-hoc mode")
+    parser.add_argument("--events", type=int, default=20,
+                        help="how many injected fault events to print")
+    parser.add_argument("--dump-dir", default=None,
+                        help="directory for watchdog JSON dumps on failure")
+    args = parser.parse_args(argv)
+
+    from repro.harness.faultfuzz import FUZZ_MASTER_SEED, FUZZ_WATCHDOG, fuzz_case
+    from repro.harness.techniques import run_workload
+    from repro.sim import FaultPlan, InvariantViolation, LivenessError
+
+    if args.case is not None:
+        fc = fuzz_case(args.case, args.master_seed if args.master_seed
+                       is not None else FUZZ_MASTER_SEED)
+        print(fc.describe())
+        run_kwargs = dict(config=fc.config, threads=fc.threads,
+                          dataset=fc.dataset, seed=fc.seed)
+        workload, technique, plan = fc.workload, fc.technique, fc.plan
+    else:
+        plan = FaultPlan.random(args.fault_seed)
+        print(f"ad-hoc: {args.app}/{args.technique} x{args.threads} "
+              f"scale={args.scale} faults[{plan.describe()}]")
+        run_kwargs = dict(threads=args.threads, scale=args.scale,
+                          seed=args.seed)
+        workload, technique = args.app, args.technique
+
+    watchdog = dict(FUZZ_WATCHDOG)
+    if args.dump_dir:
+        watchdog["dump_dir"] = args.dump_dir
+
+    try:
+        result = run_workload(workload, technique, check=True,
+                              fault_plan=plan, check_invariants=True,
+                              watchdog=watchdog, **run_kwargs)
+    except LivenessError as err:
+        print(f"\nLIVENESS TRIP: {err}", file=sys.stderr)
+        print(json.dumps(err.diagnosis, indent=2, sort_keys=True,
+                         default=repr), file=sys.stderr)
+        return 2
+    except InvariantViolation as err:
+        print(f"\nINVARIANT VIOLATION:\n{err}", file=sys.stderr)
+        return 3
+    except AssertionError as err:
+        print(f"\nRESULT CHECK FAILED: {err}", file=sys.stderr)
+        return 4
+
+    injector = result.soc.fault_injector
+    print(f"\ncompleted correct: cycles={result.cycles} "
+          f"fault_events={result.fault_events} "
+          f"invariants_checked={result.invariants_checked}")
+    if injector is not None and injector.events:
+        shown = injector.events[:args.events]
+        print(f"\nfault event log (first {len(shown)} of "
+              f"{len(injector.events)}):")
+        for cycle, kind, detail in shown:
+            print(f"  @{cycle:<10} {kind:<12} {detail}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
