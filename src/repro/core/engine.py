@@ -28,10 +28,12 @@ from repro.core.lima import LimaUnit
 from repro.core.mmu import MapleMmu
 from repro.core.opcodes import LoadOp, StoreOp, decode_offset
 from repro.core.queues import HwQueue, Scratchpad
+from repro.mem.dram import is_poisoned
 from repro.mem.hierarchy import MemorySystem, MMIORegion
 from repro.noc import Network, Plane
 from repro.params import SoCConfig
 from repro.sim import Message, PortRegistry, Semaphore, Simulator
+from repro.sim.port import DataIntegrityError
 from repro.sim.stats import Stats
 from repro.vm.address import PAGE_SIZE
 
@@ -80,7 +82,7 @@ class Maple:
 
         self.scratchpad = Scratchpad(
             sim, config.scratchpad_bytes, config.maple_num_queues,
-            config.queue_entry_bytes, self.stats,
+            config.queue_entry_bytes, self.stats, ecc=config.ecc,
         )
         self.mmu = MapleMmu(self.mem_port, config, self.stats,
                             name=f"maple{instance_id}.mmu")
@@ -218,6 +220,15 @@ class Maple:
             values = []
             for _ in range(count):
                 value = yield from queue.pop()
+                if is_poisoned(value):
+                    # The producing pointer is gone once the slot was
+                    # filled — an uncorrectable scratchpad error cannot be
+                    # re-fetched, so it must fail loudly, never silently.
+                    raise DataIntegrityError(
+                        f"maple{self.instance_id} q{queue.queue_id}: consume "
+                        f"of poisoned scratchpad slot",
+                        component=f"maple{self.instance_id}.q{queue.queue_id}",
+                        kind="scratchpad_poison")
                 values.append(value)
         finally:
             mutex.release()
@@ -320,10 +331,22 @@ class Maple:
             queue.ptr_fetches += 1
             self._h_fetch_mlp.add(self._inflight.in_use)
             paddr = yield from self.mmu.translate(ptr)
-            if via_llc:
-                data = yield from self.mem_port.request("llc_load", paddr)
+            kind = "llc_load" if via_llc else "dram_load"
+            limit = self.config.poison_refetch_limit
+            for _attempt in range(limit + 1):
+                data = yield from self.mem_port.request(kind, paddr)
+                if not is_poisoned(data):
+                    break
+                # Poisoned produce fill: the pointer is still in hand, so
+                # re-issue the fetch (a fresh DRAM read draws a fresh
+                # flip fate) instead of parking garbage in the queue.
+                self.stats.bump("poison_refetches")
             else:
-                data = yield from self.mem_port.request("dram_load", paddr)
+                raise DataIntegrityError(
+                    f"maple{self.instance_id}: pointer fetch of {ptr:#x} "
+                    f"poisoned across {limit + 1} attempts",
+                    component=f"maple{self.instance_id}", kind=kind,
+                    addr=paddr, attempts=limit + 1)
         finally:
             self._inflight.release()
         queue.fill(index, data)

@@ -19,6 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, TYPE_CHECKING
 
+from repro.mem.dram import is_poisoned
+from repro.sim.port import DataIntegrityError
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.engine import Maple
 
@@ -120,6 +123,23 @@ class LimaUnit:
                 current_line = line
                 maple.stats.bump("lima_chunks")
             index = line_words[(paddr_b - line) // WORD_BYTES]
+            if is_poisoned(index):
+                # The index array is still in DRAM: re-fetch the chunk (a
+                # fresh read draws a fresh ECC fate) before giving up.
+                limit = maple.config.poison_refetch_limit
+                for _ in range(limit):
+                    maple.stats.bump("lima_poison_refetches")
+                    line_words = yield from mem_port.request("dram_line", line)
+                    index = line_words[(paddr_b - line) // WORD_BYTES]
+                    if not is_poisoned(index):
+                        break
+                else:
+                    raise DataIntegrityError(
+                        f"maple{maple.instance_id} lima.q{queue_id}: index "
+                        f"chunk at {line:#x} poisoned across {limit + 1} "
+                        f"fetch attempts",
+                        component=f"maple{maple.instance_id}.lima",
+                        kind="dram_line", addr=line, attempts=limit + 1)
             if not isinstance(index, int):
                 raise TypeError(
                     f"LIMA index B[{i}] = {index!r} is not an integer"

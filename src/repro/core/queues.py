@@ -15,7 +15,9 @@ from __future__ import annotations
 import enum
 from typing import Any, List, Optional
 
+from repro.mem.dram import Poison
 from repro.sim import Gate, Semaphore, Simulator
+from repro.sim.faults import corrupt_value
 from repro.sim.stats import ScopedStats
 
 
@@ -33,13 +35,21 @@ class HwQueue:
     """One circular FIFO in the MAPLE scratchpad."""
 
     def __init__(self, sim: Simulator, queue_id: int, capacity: int,
-                 stats: ScopedStats):
+                 stats: ScopedStats, ecc: bool = True):
         if capacity < 1:
             raise ValueError("queue capacity must be >= 1")
         self._sim = sim
         self.queue_id = queue_id
         self.capacity = capacity
         self._stats = stats
+        #: SECDED on the scratchpad SRAM: single-bit slot flips are
+        #: corrected, double-bit flips poison the slot (the consume path
+        #: surfaces a typed error — the producing pointer is gone, so
+        #: re-fetch is impossible).  Without ECC flips silently corrupt.
+        self.ecc = ecc
+        self.ecc_corrected = 0
+        self.ecc_poisoned = 0
+        self.silent_corruptions = 0
         self._states: List[SlotState] = [SlotState.EMPTY] * capacity
         self._values: List[Any] = [None] * capacity
         self._head = 0
@@ -72,8 +82,42 @@ class HwQueue:
     def valid_entries(self) -> int:
         return sum(1 for state in self._states if state is SlotState.VALID)
 
+    def filled_slots(self) -> List[int]:
+        """Indices holding valid data (fault injection targets these)."""
+        return [i for i, state in enumerate(self._states)
+                if state is SlotState.VALID]
+
     def head_ready(self) -> bool:
         return self._states[self._head] is SlotState.VALID
+
+    # -- fault injection -------------------------------------------------------
+
+    def corrupt_slot(self, index: int, nflips: int, leaf: float,
+                     bit: float) -> str:
+        """Flip bits in slot ``index`` under the ECC policy.
+
+        Returns the outcome: ``"dead"`` (slot held no valid data),
+        ``"corrected"``, ``"poisoned"``, or ``"silent"``.  The invariant
+        observer is told about any value change so the golden shadow
+        model tracks the *hardware's* (corrupted) view, not the clean
+        history.
+        """
+        if self._states[index] is not SlotState.VALID:
+            return "dead"
+        if self.ecc and nflips == 1:
+            self.ecc_corrected += 1
+            return "corrected"
+        if self.ecc:
+            self.ecc_poisoned += 1
+            self._values[index] = Poison(index)
+            outcome = "poisoned"
+        else:
+            self.silent_corruptions += 1
+            self._values[index] = corrupt_value(self._values[index], leaf, bit)
+            outcome = "silent"
+        if self.observer is not None:
+            self.observer.on_corrupt(self, index, self._values[index])
+        return outcome
 
     # -- produce side ------------------------------------------------------------
 
@@ -186,6 +230,9 @@ class HwQueue:
             "ptr_fetches": self.ptr_fetches,
             "owner": self.owner,
             "space_waiters": self.space.waiting,
+            "ecc_corrected": self.ecc_corrected,
+            "ecc_poisoned": self.ecc_poisoned,
+            "silent_corruptions": self.silent_corruptions,
         }
 
     def __repr__(self) -> str:
@@ -204,14 +251,15 @@ class Scratchpad:
     """
 
     def __init__(self, sim: Simulator, scratchpad_bytes: int, num_queues: int,
-                 entry_bytes: int, stats: ScopedStats):
+                 entry_bytes: int, stats: ScopedStats, ecc: bool = True):
         if scratchpad_bytes % (num_queues * entry_bytes):
             raise ValueError("scratchpad does not divide into equal queues")
         self.bytes = scratchpad_bytes
         self.entry_bytes = entry_bytes
         entries = scratchpad_bytes // num_queues // entry_bytes
         self.queues: List[HwQueue] = [
-            HwQueue(sim, queue_id, entries, stats) for queue_id in range(num_queues)
+            HwQueue(sim, queue_id, entries, stats, ecc=ecc)
+            for queue_id in range(num_queues)
         ]
 
     def queue(self, queue_id: int) -> HwQueue:

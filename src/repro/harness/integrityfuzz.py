@@ -1,0 +1,187 @@
+"""Corruption-fuzz case generation: random (config, workload, integrity-plan).
+
+The fault-fuzz sweep (:mod:`repro.harness.faultfuzz`) injects *timing*
+and *OS-event* noise; every byte still arrives intact, exactly once.
+This module generates the *data-integrity* sweep: each case draws a
+random SoC configuration with the protection stack armed (reliable
+ports + SECDED ECC), a kernel x technique, and a random seeded
+corruption plan — lossy-link drops/duplicates/bit-flips, DRAM bit
+flips, scratchpad slot flips.  The contract under test:
+
+- every run that completes passes the kernel's golden-output oracle
+  (``binding.check``) — corruption is either corrected, retransmitted,
+  or re-fetched, never silently consumed;
+- unrecoverable corruption (an uncorrectable scratchpad slot, a
+  persistently poisoned line, an exhausted retransmit budget) surfaces
+  as a typed :class:`~repro.sim.port.DataIntegrityError` /
+  :class:`~repro.sim.port.DeliveryError` carrying a structured
+  diagnosis (dumped to ``$REPRO_WATCHDOG_DUMP_DIR``), never as a hang
+  or a wrong number;
+- negative controls with the protection stack *disarmed* make the same
+  oracle fail (or crash on a mangled address) — proving the oracle
+  actually detects what the protections are suppressing.
+
+Everything derives from ``INTEGRITY_MASTER_SEED + case``; a failing
+case number reproduces exactly (``tools/fault_replay.py --integrity``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.harness.faultfuzz import (
+    FUZZ_WATCHDOG,
+    FuzzCase,
+    KERNELS,
+    TECHNIQUES,
+    random_config,
+    random_dataset,
+)
+from repro.harness.orchestrator import RunSpec
+from repro.harness.techniques import ExperimentResult, run_workload
+from repro.sim import DataIntegrityError, FaultPlan, PortCorruptFault
+from repro.sim.faults import DramBitFlipFault
+
+INTEGRITY_MASTER_SEED = 20260806
+
+
+def integrity_case(case: int,
+                   master_seed: int = INTEGRITY_MASTER_SEED) -> FuzzCase:
+    """Materialize case ``case``; pure function of ``(master_seed, case)``.
+
+    The configuration always has the full protection stack armed —
+    reliable ports and ECC — since the sweep's claim is that the armed
+    stack survives (or fails loudly); the disarmed behaviour is covered
+    by :func:`run_negative_control`.
+    """
+    rng = random.Random(master_seed + case)
+    config = random_config(rng).with_overrides(
+        name=f"integrityfuzz-{rng.randrange(1 << 30)}",
+        reliable_ports=True, ecc=True)
+    workload = rng.choice(KERNELS)
+    technique = rng.choice(TECHNIQUES)
+    if technique in ("maple-decouple", "sw-decouple", "desc"):
+        threads = 2
+    elif technique in ("lima", "lima-llc"):
+        threads = 1
+    else:
+        threads = rng.choice((1, 2))
+    dataset = random_dataset(rng, workload)
+    plan = FaultPlan.random_integrity(rng.randrange(1 << 30))
+    return FuzzCase(case, config, workload, technique, threads, dataset,
+                    rng.randrange(100), plan)
+
+
+def run_integrity_case(case: int,
+                       master_seed: int = INTEGRITY_MASTER_SEED,
+                       watchdog: Optional[dict] = None) -> ExperimentResult:
+    """Run one armed case; raises whatever the stack detects."""
+    fc = integrity_case(case, master_seed)
+    return run_workload(
+        fc.workload, fc.technique, config=fc.config, threads=fc.threads,
+        dataset=fc.dataset, seed=fc.seed, check=True,
+        integrity_plan=fc.plan, check_invariants=True,
+        watchdog=dict(watchdog if watchdog is not None else FUZZ_WATCHDOG))
+
+
+def classify_integrity_case(case: int,
+                            master_seed: int = INTEGRITY_MASTER_SEED,
+                            watchdog: Optional[dict] = None,
+                            ) -> Tuple[str, object]:
+    """Run one armed case and classify the only two legal outcomes.
+
+    Returns ``("completed", result)`` — the run finished and the golden
+    oracle passed — or ``("integrity-error", err)`` for a typed
+    :class:`DataIntegrityError`.  Anything else (oracle failure, hang,
+    invariant violation) propagates: with protection armed those are
+    model bugs, not injected-fault outcomes.
+    """
+    try:
+        return ("completed", run_integrity_case(case, master_seed, watchdog))
+    except DataIntegrityError as err:
+        return ("integrity-error", err)
+
+
+def negative_control_plan(seed: int) -> FaultPlan:
+    """A corrupt-only plan for disarmed runs.
+
+    Drops/duplicates are deliberately excluded: on unprotected ports a
+    lost message is a *hang*, which the liveness watchdog already owns
+    (PR 4).  The negative control isolates the silent-corruption claim:
+    the run completes and the oracle — not any protocol machinery — is
+    what catches the damage.  Corruption targets the MMIO consume
+    responses (the values kernels actually compute with) plus raw DRAM
+    reads, at rates high enough that a run almost surely takes a hit.
+    """
+    rng = random.Random(seed ^ 0x0FF_ECC)
+    return FaultPlan(
+        seed=seed,
+        port_corrupts=(
+            PortCorruptFault(port_pattern="maple*.mmio.dispatch",
+                             kind_pattern="mmio_load",
+                             rate=rng.uniform(0.1, 0.4), leg="resp"),
+            PortCorruptFault(port_pattern="core*.mem",
+                             kind_pattern="load",
+                             rate=rng.uniform(0.01, 0.05), leg="resp"),
+        ),
+        dram_flips=DramBitFlipFault(rate=rng.uniform(0.05, 0.15),
+                                    double_rate=0.0),
+    )
+
+
+def run_negative_control(case: int,
+                         master_seed: int = INTEGRITY_MASTER_SEED,
+                         watchdog: Optional[dict] = None,
+                         ) -> Tuple[str, object]:
+    """Run case ``case`` with the protection stack disarmed.
+
+    Same derivation as :func:`integrity_case` but ``reliable_ports`` and
+    ``ecc`` are forced off and the plan is corrupt-only.  Returns
+    ``("oracle", err)`` when the golden-output check catches the
+    corruption, ``("crashed", err)`` when the mangled data blew up the
+    program first (a corrupted index or pointer), or ``("completed",
+    result)`` when the injected flips happened to be inconsequential
+    (e.g. low mantissa bits under the oracle's tolerance).
+    """
+    fc = integrity_case(case, master_seed)
+    config = fc.config.with_overrides(reliable_ports=False, ecc=False)
+    try:
+        result = run_workload(
+            fc.workload, fc.technique, config=config, threads=fc.threads,
+            dataset=fc.dataset, seed=fc.seed, check=True,
+            integrity_plan=negative_control_plan(master_seed + case),
+            watchdog=dict(watchdog if watchdog is not None
+                          else FUZZ_WATCHDOG))
+    except AssertionError as err:
+        return ("oracle", err)
+    except Exception as err:  # noqa: BLE001 — classification, not handling
+        return ("crashed", err)
+    return ("completed", result)
+
+
+def integrity_specs(count: int,
+                    master_seed: int = INTEGRITY_MASTER_SEED,
+                    scale: int = 1) -> List[RunSpec]:
+    """Orchestrator-ready integrity cells (default datasets, so the live
+    dataset objects stay out of spec keys), for parallel sweeps."""
+    specs = []
+    for case in range(count):
+        rng = random.Random(master_seed + case)
+        config = random_config(rng).with_overrides(
+            name=f"integrityfuzz-{rng.randrange(1 << 30)}",
+            reliable_ports=True, ecc=True)
+        workload = rng.choice(KERNELS)
+        technique = rng.choice(TECHNIQUES)
+        if technique in ("maple-decouple", "sw-decouple", "desc"):
+            threads = 2
+        elif technique in ("lima", "lima-llc"):
+            threads = 1
+        else:
+            threads = rng.choice((1, 2))
+        specs.append(RunSpec(
+            workload=workload, technique=technique, threads=threads,
+            scale=scale, seed=rng.randrange(100), config=config,
+            integrity_plan=FaultPlan.random_integrity(rng.randrange(1 << 30)),
+            check_invariants=True, watchdog=True))
+    return specs

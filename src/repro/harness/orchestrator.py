@@ -62,7 +62,7 @@ from repro.sim.faults import FaultPlan
 
 #: Bump when RunResult's serialized shape changes: old cache files then
 #: read as misses instead of mis-parsing.
-CACHE_SCHEMA = 2
+CACHE_SCHEMA = 3
 
 ProgressFn = Callable[[Dict[str, Any]], None]
 
@@ -93,6 +93,10 @@ class RunSpec:
     config: Optional[SoCConfig] = None
     #: Seeded fault plan to install for the run (None = fault free).
     fault_plan: Optional[FaultPlan] = None
+    #: Seeded corruption plan (drops/dups/bit flips); mutually exclusive
+    #: with ``fault_plan`` — a separate cell field so corruption sweeps
+    #: never collide with timing-noise sweeps in the cache.
+    integrity_plan: Optional[FaultPlan] = None
     #: Arm live queue shadows + the quiescence audit for this cell.
     check_invariants: bool = False
     #: Arm the liveness watchdog (default parameters) for this cell.
@@ -103,8 +107,10 @@ class RunSpec:
         cfg = self.config.name if self.config is not None else "default"
         fault = (f" faults#{self.fault_plan.seed}"
                  if self.fault_plan is not None else "")
+        integrity = (f" integrity#{self.integrity_plan.seed}"
+                     if self.integrity_plan is not None else "")
         return (f"{self.workload}/{self.technique} x{self.threads} "
-                f"[{cfg}]{extra}{fault}")
+                f"[{cfg}]{extra}{fault}{integrity}")
 
     def run_kwargs(self) -> Dict[str, Any]:
         """Keyword arguments for ``run_workload`` (minus workload/technique)."""
@@ -119,6 +125,7 @@ class RunSpec:
             "lima_packed": self.lima_packed,
             "check": self.check,
             "fault_plan": self.fault_plan,
+            "integrity_plan": self.integrity_plan,
             "check_invariants": self.check_invariants,
             "watchdog": self.watchdog,
         }
@@ -152,6 +159,8 @@ def spec_key(spec: RunSpec) -> str:
                    if spec.config is not None else None),
         "fault_plan": (spec.fault_plan.stable_dict()
                        if spec.fault_plan is not None else None),
+        "integrity_plan": (spec.integrity_plan.stable_dict()
+                           if spec.integrity_plan is not None else None),
         "check_invariants": spec.check_invariants,
         "watchdog": spec.watchdog,
     }
@@ -323,8 +332,9 @@ def _job_error(spec: RunSpec, exc: BaseException, attempt: int) -> JobError:
         message=str(exc),
         traceback=_traceback.format_exc(),
         attempt=attempt,
-        fault_seed=(spec.fault_plan.seed
-                    if spec.fault_plan is not None else None),
+        fault_seed=(spec.fault_plan.seed if spec.fault_plan is not None
+                    else spec.integrity_plan.seed
+                    if spec.integrity_plan is not None else None),
         worker_pid=os.getpid(),
     )
 

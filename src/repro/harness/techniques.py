@@ -44,7 +44,15 @@ from repro.cpu.core import Thread
 from repro.kernels import ALL_WORKLOADS
 from repro.kernels.base import WorkloadBinding
 from repro.params import SoCConfig
-from repro.sim import FaultInjector, FaultPlan, InvariantChecker, Watchdog
+from repro.sim import (
+    DataIntegrityError,
+    FaultInjector,
+    FaultPlan,
+    InvariantChecker,
+    Watchdog,
+    collect_diagnosis,
+)
+from repro.sim.watchdog import write_dump
 from repro.system import Soc
 
 HARNESS_TECHNIQUES = (
@@ -123,6 +131,7 @@ def run_workload(workload_name: str, technique: str, *,
                  lima_packed: bool = True,
                  check: bool = True,
                  fault_plan: Optional[FaultPlan] = None,
+                 integrity_plan: Optional[FaultPlan] = None,
                  check_invariants: bool = False,
                  watchdog=None) -> ExperimentResult:
     """Build, run, validate, and return one experiment cell.
@@ -132,6 +141,15 @@ def run_workload(workload_name: str, technique: str, *,
 
     - ``fault_plan``: a :class:`~repro.sim.faults.FaultPlan` to install
       for the run; faults replay deterministically from its seed.
+    - ``integrity_plan``: a corruption-bearing :class:`FaultPlan` (drops,
+      duplicates, bit flips).  Separate from ``fault_plan`` so cache keys
+      distinguish timing-noise sweeps from corruption sweeps; mutually
+      exclusive with it.  When the injected corruption is unrecoverable,
+      the run raises a typed
+      :class:`~repro.sim.port.DataIntegrityError` /
+      :class:`~repro.sim.port.DeliveryError` annotated with a structured
+      diagnosis (and a JSON dump when ``$REPRO_WATCHDOG_DUMP_DIR`` is
+      set) instead of returning silently wrong results.
     - ``check_invariants``: arm live queue shadows and audit ports and
       queues at quiescence (:class:`~repro.sim.invariants.InvariantChecker`).
     - ``watchdog``: ``True`` (defaults) or a kwargs dict for
@@ -140,6 +158,11 @@ def run_workload(workload_name: str, technique: str, *,
     """
     if technique not in HARNESS_TECHNIQUES:
         raise ValueError(f"unknown technique {technique!r}")
+    if fault_plan is not None and integrity_plan is not None:
+        raise ValueError("fault_plan and integrity_plan are mutually "
+                         "exclusive — compose one FaultPlan instead")
+    if integrity_plan is not None:
+        fault_plan = integrity_plan
     if technique in ("maple-decouple", "sw-decouple", "desc"):
         if threads % 2:
             raise ValueError("decoupling techniques need an even thread count")
@@ -172,7 +195,23 @@ def run_workload(workload_name: str, technique: str, *,
         monitor = Watchdog(soc, **(watchdog if isinstance(watchdog, dict)
                                    else {}))
 
-    cycles = soc.run_threads(assignments, watchdog=monitor)
+    try:
+        cycles = soc.run_threads(assignments, watchdog=monitor)
+    except DataIntegrityError as err:
+        # Unrecoverable corruption: annotate the typed error with the
+        # same structured diagnosis (and on-disk JSON dump) the liveness
+        # watchdog produces, so a CI trip is replayable from the artifact.
+        if injector is not None:
+            injector.finish()
+        err.diagnosis = collect_diagnosis(
+            soc, reason=f"data-integrity failure: {err}")
+        err.diagnosis["integrity"] = err.describe()
+        err.diagnosis["fault_events"] = (len(injector.events)
+                                         if injector is not None else 0)
+        err.dump_path = write_dump(
+            err.diagnosis,
+            monitor.dump_dir if monitor is not None else None)
+        raise
     if injector is not None:
         # Disarm hooks and swap evicted pages back in *before* the
         # functional check reads the arrays.

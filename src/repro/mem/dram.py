@@ -5,12 +5,53 @@ bounded by the number of in-flight requests the channel sustains
 (``dram_max_inflight``), which stands in for banks/queues/bandwidth.  MAPLE's
 whole value proposition is keeping many of these slots busy at once while an
 in-order core can keep only one.
+
+This module also defines the :class:`Poison` marker for the SECDED ECC
+model: a single-bit flip on a protected read is corrected in place, a
+double-bit flip is *detected but uncorrectable*, so the word is replaced
+with a ``Poison`` token that propagates through caches and queues until a
+consumer either re-fetches clean data or raises a typed error — the data
+can degrade to a miss, never to a silently wrong value.
 """
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.sim import Semaphore, Simulator
 from repro.sim.stats import ScopedStats
+
+
+class Poison:
+    """An uncorrectable-error marker standing in for a data word.
+
+    Carries the physical word address for diagnostics.  Deliberately not
+    a number: any arithmetic on poison is a model bug and raises
+    immediately rather than computing with garbage.
+    """
+
+    __slots__ = ("addr",)
+
+    def __init__(self, addr: int):
+        self.addr = addr
+
+    def __repr__(self) -> str:
+        return f"<Poison {self.addr:#x}>"
+
+    def __eq__(self, other: Any) -> bool:
+        return isinstance(other, Poison) and other.addr == self.addr
+
+    def __hash__(self) -> int:
+        return hash(("Poison", self.addr))
+
+
+def is_poisoned(value: Any) -> bool:
+    """True when ``value`` is, or contains, a :class:`Poison` marker."""
+    if isinstance(value, Poison):
+        return True
+    if isinstance(value, (tuple, list)):
+        return any(is_poisoned(item) for item in value)
+    return False
 
 
 class DramChannel:

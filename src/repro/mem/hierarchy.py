@@ -20,12 +20,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
-from repro.mem.backing import PhysicalMemory
+from repro.mem.backing import WORD_BYTES, PhysicalMemory
 from repro.mem.cache import Cache
-from repro.mem.dram import DramChannel
+from repro.mem.dram import DramChannel, Poison
 from repro.params import SoCConfig
 from repro.sim import Signal, Simulator
-from repro.sim.port import Message, Port, PortRegistry
+from repro.sim.faults import corrupt_value
+from repro.sim.port import DataIntegrityError, Message, Port, PortRegistry
 from repro.sim.stats import Counter, Stats
 
 
@@ -78,6 +79,20 @@ class MemorySystem:
         self._c_l1_amos: Dict[int, Counter] = {}
         self._c_l1_prefetches: Dict[int, Counter] = {}
         self._c_l1_writebacks: Dict[int, Counter] = {}
+        # ECC / poison model.  ``flip`` is the fault hook: called as
+        # ``flip(addr) -> None | (nflips, leaf, bit)`` on every DRAM read
+        # (``None`` keeps the path bit-identical).  With ECC armed a
+        # single flip is corrected, a double flip poisons; with ECC off
+        # every flip silently corrupts the data.
+        self.ecc_enabled = config.ecc
+        self.flip = None
+        self._refetch_limit = config.poison_refetch_limit
+        self._l2_poisoned: Set[int] = set()
+        self._c_ecc_corrected = stats.counter("ecc.corrected")
+        self._c_ecc_poisoned = stats.counter("ecc.poisoned")
+        self._c_ecc_silent = stats.counter("ecc.silent")
+        self._c_ecc_refetches = stats.counter("ecc.refetches")
+        self._c_ecc_prefetch_drops = stats.counter("ecc.prefetch_drops")
         self._sharers: Dict[int, Set[int]] = {}
         self._l2_inflight: Dict[int, Signal] = {}
         self._l1_inflight: Dict[Tuple[int, int], Signal] = {}
@@ -214,6 +229,7 @@ class MemorySystem:
             "dram_waiting": self.dram.waiting,
             "l2_fills_inflight": sorted(self._l2_inflight),
             "l1_fills_inflight": sorted(self._l1_inflight),
+            "l2_poisoned": sorted(self._l2_poisoned),
         }
 
     # -- core-facing accesses ------------------------------------------------
@@ -231,7 +247,7 @@ class MemorySystem:
             self._c_l1_hits[core_id].value += 1
         else:
             self._c_l1_misses[core_id].value += 1
-            yield from self._l1_fill(core_id, line)
+            yield from self._l1_fill_clean(core_id, line)
         return self.mem.read_word(paddr)
 
     def store(self, core_id: int, paddr: int, value: Any, apply: bool = True):
@@ -252,7 +268,7 @@ class MemorySystem:
             self._c_l1_hits[core_id].value += 1
         else:
             self._c_l1_misses[core_id].value += 1
-            yield from self._l1_fill(core_id, line)
+            yield from self._l1_fill_clean(core_id, line)
         yield from self._upgrade_for_store(core_id, line)
         if l1.contains(line):
             l1.mark_dirty(line)
@@ -282,7 +298,7 @@ class MemorySystem:
             self._c_l1_hits[core_id].value += 1
         else:
             self._c_l1_misses[core_id].value += 1
-            yield from self._l1_fill(core_id, line)
+            yield from self._l1_fill_clean(core_id, line)
         yield from self._upgrade_for_store(core_id, line)
         old = self.mem.read_word(paddr)
         self.mem.write_word(paddr, op(old))
@@ -293,11 +309,16 @@ class MemorySystem:
 
     def prefetch_fill(self, core_id: int, paddr: int):
         """Generator: fill a core's L1 for a software prefetch (the core
-        wraps this in its MSHR discipline)."""
+        wraps this in its MSHR discipline).  A poisoned fill is dropped —
+        a speculative prefetch degrades to a future miss, never a wrong
+        value (and never burns demand re-fetch budget)."""
         line = self._line_of(paddr)
         self._c_l1_prefetches[core_id].value += 1
         if not self.l1s[core_id].contains(line):
             yield from self._l1_fill(core_id, line)
+            if line in self._l2_poisoned:
+                self._c_ecc_prefetch_drops.value += 1
+                self._drop_poisoned(line)
 
     def prefetch_l1(self, core_id: int, paddr: int) -> None:
         """Fire-and-forget software prefetch into a core's L1 (unbounded;
@@ -324,6 +345,9 @@ class MemorySystem:
                         yield from self._ensure_l2(line)
                     finally:
                         self._l2_prefetching.discard(line)
+                    if line in self._l2_poisoned:
+                        self._c_ecc_prefetch_drops.value += 1
+                        self._drop_poisoned(line)
             finally:
                 if on_complete is not None:
                     on_complete()
@@ -333,23 +357,101 @@ class MemorySystem:
     # -- device-facing accesses (MAPLE) ---------------------------------------
 
     def load_llc(self, paddr: int):
-        """Generator: cache-coherent device load through the shared L2."""
+        """Generator: cache-coherent device load through the shared L2.
+
+        A poisoned fill is scrubbed and re-fetched up to the configured
+        budget, then surfaces as a typed :class:`DataIntegrityError`.
+        """
         line = self._line_of(paddr)
-        yield from self._ensure_l2(line)
-        return self.mem.read_word(paddr)
+        for _ in range(self._refetch_limit + 1):
+            yield from self._ensure_l2(line)
+            if line not in self._l2_poisoned:
+                return self.mem.read_word(paddr)
+            self._c_ecc_refetches.value += 1
+            self._drop_poisoned(line)
+        self._poison_exhausted("llc", line)
 
     def load_dram(self, paddr: int):
-        """Generator: non-coherent device load straight from DRAM."""
+        """Generator: non-coherent device load straight from DRAM.
+
+        Returns the word, or a :class:`Poison` marker on an armed-ECC
+        double-bit flip — the device decides whether to re-fetch.
+        """
         line = self._line_of(paddr)
         yield from self.dram.access(line)
-        return self.mem.read_word(paddr)
+        value = self.mem.read_word(paddr)
+        if self.flip is not None:
+            value = self._filter_word(paddr, value)
+        return value
 
     def load_dram_line(self, line_addr: int):
-        """Generator: one full line from DRAM (LIMA's 64 B chunk fetch)."""
+        """Generator: one full line from DRAM (LIMA's 64 B chunk fetch).
+
+        Under an armed-ECC double-bit flip one word of the returned line
+        is a :class:`Poison` marker; without ECC it is silently wrong.
+        """
         yield from self.dram.access(line_addr)
-        return self.mem.read_line(line_addr, self.config.line_size)
+        words = self.mem.read_line(line_addr, self.config.line_size)
+        if self.flip is not None:
+            fate = self.flip(line_addr)
+            if fate is not None:
+                nflips, leaf, bit = fate
+                index = min(int(leaf * len(words)), len(words) - 1)
+                if not self.ecc_enabled:
+                    self._c_ecc_silent.value += 1
+                    words[index] = corrupt_value(
+                        words[index], (leaf * 7919.0) % 1.0, bit)
+                elif nflips == 1:
+                    self._c_ecc_corrected.value += 1
+                else:
+                    self._c_ecc_poisoned.value += 1
+                    words[index] = Poison(line_addr + index * WORD_BYTES)
+        return words
 
     # -- internals ------------------------------------------------------------
+
+    def _filter_word(self, addr: int, value: Any) -> Any:
+        """Apply the flip fate for one DRAM word read under the ECC policy."""
+        fate = self.flip(addr)
+        if fate is None:
+            return value
+        nflips, leaf, bit = fate
+        if not self.ecc_enabled:
+            self._c_ecc_silent.value += 1
+            return corrupt_value(value, leaf, bit)
+        if nflips == 1:
+            self._c_ecc_corrected.value += 1
+            return value
+        self._c_ecc_poisoned.value += 1
+        return Poison(addr)
+
+    def _drop_poisoned(self, line: int) -> None:
+        """Scrub a poisoned L2 line: invalidate it (recalling L1 copies,
+        the inclusive discipline) so the next demand triggers a fresh
+        DRAM read with a fresh flip fate."""
+        self._l2_poisoned.discard(line)
+        if self.l2.contains(line):
+            dirty = self.l2.is_dirty(line)
+            self.l2.invalidate(line)
+            self._evict_l2_victim(line, dirty)
+
+    def _poison_exhausted(self, component: str, line: int) -> None:
+        raise DataIntegrityError(
+            f"{component}: uncorrectable memory error on line {line:#x} "
+            f"persisted across {self._refetch_limit + 1} fetch attempts",
+            component=component, kind="dram_poison", addr=line,
+            attempts=self._refetch_limit + 1)
+
+    def _l1_fill_clean(self, core_id: int, line: int):
+        """Demand-fill a core's L1, re-fetching past poisoned L2 fills up
+        to the budget, then raising a typed error."""
+        for _ in range(self._refetch_limit + 1):
+            yield from self._l1_fill(core_id, line)
+            if line not in self._l2_poisoned:
+                return
+            self._c_ecc_refetches.value += 1
+            self._drop_poisoned(line)
+        self._poison_exhausted(f"core{core_id}.l1", line)
 
     def _l1_fill(self, core_id: int, line: int):
         key = (core_id, line)
@@ -416,6 +518,8 @@ class MemorySystem:
             self._c_l2_misses.value += 1
             yield self._l2_latency
             yield from self.dram.access(line)
+            if self.flip is not None:
+                self._fill_flip(line)
             victim = self.l2.insert(line)
             if victim is not None:
                 self._evict_l2_victim(victim.line, victim.dirty)
@@ -425,6 +529,30 @@ class MemorySystem:
         finally:
             del self._l2_inflight[line]
             signal.fire()
+
+    def _fill_flip(self, line: int) -> None:
+        """Apply the flip fate for a coherent L2 fill from DRAM.
+
+        With ECC off the hit word is corrupted *in backing memory* —
+        silent corruption persists and flows into program results (what
+        the negative-control oracle must catch).  With ECC on, a double
+        flip marks the line poisoned for the demand paths to scrub.
+        """
+        fate = self.flip(line)
+        if fate is None:
+            return
+        nflips, leaf, bit = fate
+        if not self.ecc_enabled:
+            self._c_ecc_silent.value += 1
+            nwords = self.config.words_per_line
+            addr = line + min(int(leaf * nwords), nwords - 1) * WORD_BYTES
+            self.mem.write_word(addr, corrupt_value(
+                self.mem.read_word(addr), (leaf * 7919.0) % 1.0, bit))
+        elif nflips == 1:
+            self._c_ecc_corrected.value += 1
+        else:
+            self._c_ecc_poisoned.value += 1
+            self._l2_poisoned.add(line)
 
     def _evict_l2_victim(self, line: int, dirty: bool) -> None:
         """Inclusive L2: an eviction recalls the line from every L1."""

@@ -77,6 +77,20 @@ class SoCConfig:
     page_size: int = 4096
     core_tlb_entries: int = 16
 
+    # Data integrity.  ``reliable_ports`` arms sequence-number + checksum
+    # ack/timeout/retransmit on every Port (zero added cycles while no
+    # lossy-link fault is injected); ``ecc`` arms the SECDED model on
+    # DRAM reads and scratchpad slots (correct single-bit flips, poison
+    # double-bit flips); ``poison_refetch_limit`` bounds how many times a
+    # consumer re-fetches a poisoned line before raising a typed
+    # DataIntegrityError.
+    reliable_ports: bool = False
+    port_retry_timeout: int = 64
+    port_max_retries: int = 8
+    port_retry_backoff: int = 4
+    ecc: bool = True
+    poison_refetch_limit: int = 3
+
     def __post_init__(self) -> None:
         if self.line_size & (self.line_size - 1):
             raise ValueError("line_size must be a power of two")

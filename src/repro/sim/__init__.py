@@ -11,22 +11,39 @@ handshakes while staying pure Python.
 
 from repro.sim.engine import Process, Simulator
 from repro.sim.faults import (
+    DramBitFlipFault,
     DramBurstFault,
     FaultInjector,
     FaultPlan,
     PageEvictFault,
+    PortCorruptFault,
     PortDelayFault,
+    PortDropFault,
+    PortDuplicateFault,
     PreemptFault,
+    QueueSlotFlipFault,
     ShootdownFault,
+    corrupt_value,
 )
 from repro.sim.invariants import InvariantChecker, InvariantViolation, QueueShadow
-from repro.sim.port import Message, Port, PortRegistry, PortTap, QuiescenceError
+from repro.sim.port import (
+    DataIntegrityError,
+    DeliveryError,
+    Message,
+    Port,
+    PortRegistry,
+    PortTap,
+    QuiescenceError,
+)
 from repro.sim.signal import Barrier, Gate, Semaphore, Signal
 from repro.sim.stats import Histogram, Stats, geomean
 from repro.sim.watchdog import LivenessError, Watchdog, collect_diagnosis
 
 __all__ = [
     "Barrier",
+    "DataIntegrityError",
+    "DeliveryError",
+    "DramBitFlipFault",
     "DramBurstFault",
     "FaultInjector",
     "FaultPlan",
@@ -38,12 +55,16 @@ __all__ = [
     "Message",
     "PageEvictFault",
     "Port",
+    "PortCorruptFault",
     "PortDelayFault",
+    "PortDropFault",
+    "PortDuplicateFault",
     "PortRegistry",
     "PortTap",
     "PreemptFault",
     "Process",
     "QueueShadow",
+    "QueueSlotFlipFault",
     "QuiescenceError",
     "Semaphore",
     "ShootdownFault",
@@ -52,5 +73,6 @@ __all__ = [
     "Stats",
     "Watchdog",
     "collect_diagnosis",
+    "corrupt_value",
     "geomean",
 ]

@@ -22,6 +22,21 @@ healthy runs:
 - :class:`PreemptFault` — spurious preemptions: a randomly chosen core
   pays a context-switch penalty on its next memory request.
 
+The data-integrity fault domain adds *corruption* on top of timing and
+OS noise:
+
+- :class:`PortDropFault` / :class:`PortDuplicateFault` /
+  :class:`PortCorruptFault` — lossy-link faults on matching Port
+  transactions: a traversal of the request or response leg is dropped,
+  delivered twice, or has one payload bit flipped.  Reliable ports
+  (``reliable=True``) detect and retransmit; unprotected ports hang,
+  re-run side effects, or silently deliver the mangled value.
+- :class:`DramBitFlipFault` — per-read DRAM bit flips (single or
+  double).  With ECC armed, single flips are corrected and double flips
+  poison the data; without ECC every flip is silent.
+- :class:`QueueSlotFlipFault` — periodic bit flips in valid MAPLE
+  scratchpad slots (the SRAM analogue), under the same ECC policy.
+
 Everything is driven by one integer seed.  A :class:`FaultPlan` is a
 frozen, picklable value object; installing the same plan on the same
 configuration replays the exact same fault sequence, because per-port
@@ -37,6 +52,7 @@ gate).
 from __future__ import annotations
 
 import random
+import struct
 import zlib
 from dataclasses import asdict, dataclass
 from fnmatch import fnmatchcase
@@ -58,6 +74,40 @@ def _keyed_fraction(*parts: Any) -> float:
     """
     key = "\x1f".join(str(part) for part in parts).encode()
     return zlib.crc32(key) / _HASH_SCALE
+
+
+def corrupt_value(value: Any, leaf_fraction: float, bit_fraction: float) -> Any:
+    """Flip one bit of one numeric leaf of ``value``, deterministically.
+
+    ``leaf_fraction`` picks which leaf of a tuple/list payload is hit,
+    ``bit_fraction`` which bit of it.  Integers flip a low-order-to-62nd
+    bit; floats flip one bit of their IEEE-754 image (possibly yielding
+    inf/nan — real bit flips do).  Values with no numeric leaf pass
+    through unchanged (the corruption physically hit dead bits)."""
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value ^ (1 << int(bit_fraction * 63))
+    if isinstance(value, float):
+        bits = struct.unpack("<Q", struct.pack("<d", value))[0]
+        bits ^= 1 << int(bit_fraction * 64)
+        return struct.unpack("<d", struct.pack("<Q", bits))[0]
+    if isinstance(value, (tuple, list)):
+        items = list(value)
+        hittable = [i for i, item in enumerate(items)
+                    if isinstance(item, (bool, int, float, tuple, list))
+                    or hasattr(item, "item")]
+        if not hittable:
+            return value
+        index = hittable[min(int(leaf_fraction * len(hittable)),
+                             len(hittable) - 1)]
+        items[index] = corrupt_value(items[index],
+                                     (leaf_fraction * 7919.0) % 1.0,
+                                     bit_fraction)
+        return tuple(items) if isinstance(value, tuple) else items
+    if hasattr(value, "item"):  # numpy scalar
+        return corrupt_value(value.item(), leaf_fraction, bit_fraction)
+    return value
 
 
 @dataclass(frozen=True)
@@ -126,6 +176,87 @@ class PreemptFault:
             raise ValueError("preemption interval and cost must be positive")
 
 
+_CHANNEL_LEGS = ("req", "resp", "both")
+
+
+@dataclass(frozen=True)
+class PortDropFault:
+    """Matching port transfers are lost in flight at ``rate``."""
+
+    port_pattern: str = "*"
+    kind_pattern: str = "*"
+    rate: float = 0.02
+    leg: str = "both"        # which traversal can be lost: req/resp/both
+
+    def __post_init__(self):
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate {self.rate} outside [0, 1]")
+        if self.leg not in _CHANNEL_LEGS:
+            raise ValueError(f"leg {self.leg!r} not in {_CHANNEL_LEGS}")
+
+
+@dataclass(frozen=True)
+class PortDuplicateFault:
+    """Matching port transfers are delivered twice at ``rate``."""
+
+    port_pattern: str = "*"
+    kind_pattern: str = "*"
+    rate: float = 0.02
+    leg: str = "both"
+
+    def __post_init__(self):
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate {self.rate} outside [0, 1]")
+        if self.leg not in _CHANNEL_LEGS:
+            raise ValueError(f"leg {self.leg!r} not in {_CHANNEL_LEGS}")
+
+
+@dataclass(frozen=True)
+class PortCorruptFault:
+    """One payload bit of matching port transfers flips at ``rate``."""
+
+    port_pattern: str = "*"
+    kind_pattern: str = "*"
+    rate: float = 0.02
+    leg: str = "both"
+
+    def __post_init__(self):
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate {self.rate} outside [0, 1]")
+        if self.leg not in _CHANNEL_LEGS:
+            raise ValueError(f"leg {self.leg!r} not in {_CHANNEL_LEGS}")
+
+
+@dataclass(frozen=True)
+class DramBitFlipFault:
+    """Each DRAM read flips bits at ``rate``; a ``double_rate`` fraction
+    of hits are double-bit flips (uncorrectable under SECDED)."""
+
+    rate: float = 0.001
+    double_rate: float = 0.25
+
+    def __post_init__(self):
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate {self.rate} outside [0, 1]")
+        if not 0.0 <= self.double_rate <= 1.0:
+            raise ValueError(f"double_rate {self.double_rate} outside [0, 1]")
+
+
+@dataclass(frozen=True)
+class QueueSlotFlipFault:
+    """Every ``cycles``, flip bits in one valid scratchpad slot; a
+    ``double_rate`` fraction of hits are double-bit flips."""
+
+    cycles: int = 10000
+    double_rate: float = 0.25
+
+    def __post_init__(self):
+        if self.cycles < 1:
+            raise ValueError("queue-flip interval must be positive")
+        if not 0.0 <= self.double_rate <= 1.0:
+            raise ValueError(f"double_rate {self.double_rate} outside [0, 1]")
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """A complete, seeded description of every fault to inject.
@@ -140,10 +271,26 @@ class FaultPlan:
     shootdown: Optional[ShootdownFault] = None
     evict: Optional[PageEvictFault] = None
     preempt: Optional[PreemptFault] = None
+    # Data-integrity fault domain (all default-off, so existing plans —
+    # including every FaultPlan.random drawn by the PR-4 sweep — are
+    # corruption-free and replay unchanged).
+    port_drops: Tuple[PortDropFault, ...] = ()
+    port_dups: Tuple[PortDuplicateFault, ...] = ()
+    port_corrupts: Tuple[PortCorruptFault, ...] = ()
+    dram_flips: Optional[DramBitFlipFault] = None
+    queue_flips: Optional[QueueSlotFlipFault] = None
 
     def is_empty(self) -> bool:
         return not (self.port_delays or self.dram_burst or self.shootdown
-                    or self.evict or self.preempt)
+                    or self.evict or self.preempt or self.port_drops
+                    or self.port_dups or self.port_corrupts
+                    or self.dram_flips or self.queue_flips)
+
+    def has_corruption(self) -> bool:
+        """True when the plan injects data-integrity faults (not just
+        timing/OS noise)."""
+        return bool(self.port_drops or self.port_dups or self.port_corrupts
+                    or self.dram_flips or self.queue_flips)
 
     def stable_dict(self) -> Dict[str, Any]:
         """JSON-able form with deterministic content (cache keys)."""
@@ -166,6 +313,21 @@ class FaultPlan:
         if self.preempt:
             parts.append(f"preempt[every {self.preempt.cycles}cyc "
                          f"cost={self.preempt.cost}]")
+        for fault in self.port_drops:
+            parts.append(f"drop[{fault.port_pattern}/{fault.kind_pattern} "
+                         f"p={fault.rate:g} {fault.leg}]")
+        for fault in self.port_dups:
+            parts.append(f"dup[{fault.port_pattern}/{fault.kind_pattern} "
+                         f"p={fault.rate:g} {fault.leg}]")
+        for fault in self.port_corrupts:
+            parts.append(f"corrupt[{fault.port_pattern}/{fault.kind_pattern} "
+                         f"p={fault.rate:g} {fault.leg}]")
+        if self.dram_flips:
+            parts.append(f"dramflip[p={self.dram_flips.rate:g} "
+                         f"double={self.dram_flips.double_rate:g}]")
+        if self.queue_flips:
+            parts.append(f"queueflip[every {self.queue_flips.cycles}cyc "
+                         f"double={self.queue_flips.double_rate:g}]")
         return " ".join(parts)
 
     @classmethod
@@ -202,6 +364,61 @@ class FaultPlan:
                    dram_burst=dram, shootdown=shoot, evict=evict,
                    preempt=preempt)
 
+    @classmethod
+    def random_integrity(cls, seed: int,
+                         recoverable_only: bool = False) -> "FaultPlan":
+        """A random data-integrity plan, fully determined by ``seed``.
+
+        Always injects at least one corruption kind.  With
+        ``recoverable_only`` the draw is restricted to faults the armed
+        stack survives deterministically: lossy-link faults on reliable
+        ports and single-bit (ECC-correctable) flips.  The full draw also
+        admits double-bit flips, whose poison the stack must either
+        recover from (re-fetch) or convert into a typed error.
+        """
+        rng = random.Random(seed ^ 0x1D1E_6B17)
+        port_patterns = ["*", "core*.mem", "maple*.mem",
+                         "maple*.mmio.dispatch", "lima*.mem"]
+        kind_patterns = ["*", "mmio_*", "dram_*", "llc_load", "load",
+                         "store", "ptw_read"]
+        legs = ["req", "resp", "both"]
+        drops: List[PortDropFault] = []
+        dups: List[PortDuplicateFault] = []
+        corrupts: List[PortCorruptFault] = []
+        dram = queue = None
+        while not (drops or dups or corrupts or dram or queue):
+            if rng.random() < 0.5:
+                drops.append(PortDropFault(
+                    port_pattern=rng.choice(port_patterns),
+                    kind_pattern=rng.choice(kind_patterns),
+                    rate=rng.uniform(0.005, 0.08),
+                    leg=rng.choice(legs)))
+            if rng.random() < 0.4:
+                dups.append(PortDuplicateFault(
+                    port_pattern=rng.choice(port_patterns),
+                    kind_pattern=rng.choice(kind_patterns),
+                    rate=rng.uniform(0.005, 0.08),
+                    leg=rng.choice(legs)))
+            if rng.random() < 0.5:
+                corrupts.append(PortCorruptFault(
+                    port_pattern=rng.choice(port_patterns),
+                    kind_pattern=rng.choice(kind_patterns),
+                    rate=rng.uniform(0.005, 0.08),
+                    leg=rng.choice(legs)))
+            if rng.random() < 0.4:
+                dram = DramBitFlipFault(
+                    rate=rng.uniform(0.0005, 0.01),
+                    double_rate=0.0 if recoverable_only
+                    else rng.uniform(0.0, 0.5))
+            if rng.random() < 0.3:
+                queue = QueueSlotFlipFault(
+                    cycles=rng.randint(500, 8000),
+                    double_rate=0.0 if recoverable_only
+                    else rng.uniform(0.0, 0.7))
+        return cls(seed=seed, port_drops=tuple(drops), port_dups=tuple(dups),
+                   port_corrupts=tuple(corrupts), dram_flips=dram,
+                   queue_flips=queue)
+
 
 class FaultInjector:
     """Installs a :class:`FaultPlan` on a built SoC and logs every hit.
@@ -222,8 +439,11 @@ class FaultInjector:
         self._installed = False
         self._stopped = False
         self._hooked_ports: List[Port] = []
+        self._channel_ports: List[Port] = []
         #: core port name -> pending context-switch cost.
         self._pending_preempts: Dict[str, int] = {}
+        #: word address -> number of DRAM reads seen (flip-fate keying).
+        self._flip_counts: Dict[int, int] = {}
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -241,8 +461,20 @@ class FaultInjector:
                                        "injection hook")
                 port.inject = hook
                 self._hooked_ports.append(port)
+            channel = self._build_channel_hook(port)
+            if channel is not None:
+                if port.channel is not None:
+                    raise RuntimeError(f"port {port.name} already has a "
+                                       "channel fault hook")
+                port.channel = channel
+                self._channel_ports.append(port)
         if plan.dram_burst is not None:
             self._soc.memsys.dram.inject = self._dram_inject
+        if plan.dram_flips is not None:
+            self._soc.memsys.flip = self._dram_flip
+        if plan.queue_flips is not None:
+            self._start_ticker("queue_flip", plan.queue_flips.cycles,
+                               self._do_queue_flip)
         if plan.shootdown is not None:
             self._start_ticker("shootdown", plan.shootdown.cycles,
                                self._do_shootdown)
@@ -259,8 +491,13 @@ class FaultInjector:
         for port in self._hooked_ports:
             port.inject = None
         self._hooked_ports.clear()
+        for port in self._channel_ports:
+            port.channel = None
+        self._channel_ports.clear()
         if self.plan.dram_burst is not None:
             self._soc.memsys.dram.inject = None
+        if self.plan.dram_flips is not None:
+            self._soc.memsys.flip = None
         restored = self._soc.os.restore_evicted()
         if restored:
             self.events.append((self._soc.sim.now, "restore",
@@ -312,6 +549,65 @@ class FaultInjector:
 
         return inject
 
+    # -- lossy-link channel faults ----------------------------------------------
+
+    def _build_channel_hook(self, port: Port):
+        """Compose the drop/duplicate/corrupt faults hitting ``port``.
+
+        Returns a ``channel(port, msg, leg, attempt)`` verdict hook for
+        the port layer, or ``None`` when no lossy-link fault matches —
+        leaving ``port.channel`` unset keeps the fault-free fast path
+        (and its bit-identical timing) intact.
+        """
+        plan = self.plan
+        drops = [fault for fault in plan.port_drops
+                 if fnmatchcase(port.name, fault.port_pattern)]
+        corrupts = [fault for fault in plan.port_corrupts
+                    if fnmatchcase(port.name, fault.port_pattern)]
+        dups = [fault for fault in plan.port_dups
+                if fnmatchcase(port.name, fault.port_pattern)]
+        if not (drops or corrupts or dups):
+            return None
+        # A private stream per (plan seed, port), disjoint from the delay
+        # stream, so arming delays never reshuffles corruption fates.
+        rng = random.Random(f"{plan.seed}:chan:{port.name}")
+        events = self.events
+        sim = self._soc.sim
+        name = port.name
+
+        def channel(port: Port, msg: Message, leg: str, attempt: int):
+            for fault in drops:
+                if (fault.leg in ("both", leg)
+                        and fnmatchcase(msg.kind, fault.kind_pattern)
+                        and rng.random() < fault.rate):
+                    events.append((sim.now, "port_drop",
+                                   f"{name}/{msg.kind} txn#{msg.txn} "
+                                   f"{leg} attempt={attempt}"))
+                    return ("drop",)
+            for fault in corrupts:
+                if (fault.leg in ("both", leg)
+                        and fnmatchcase(msg.kind, fault.kind_pattern)
+                        and rng.random() < fault.rate):
+                    leaf, bit = rng.random(), rng.random()
+                    events.append((sim.now, "port_corrupt",
+                                   f"{name}/{msg.kind} txn#{msg.txn} "
+                                   f"{leg} attempt={attempt} "
+                                   f"leaf={leaf:.4f} bit={bit:.4f}"))
+                    return ("corrupt",
+                            lambda value, _l=leaf, _b=bit:
+                            corrupt_value(value, _l, _b))
+            for fault in dups:
+                if (fault.leg in ("both", leg)
+                        and fnmatchcase(msg.kind, fault.kind_pattern)
+                        and rng.random() < fault.rate):
+                    events.append((sim.now, "port_dup",
+                                   f"{name}/{msg.kind} txn#{msg.txn} "
+                                   f"{leg} attempt={attempt}"))
+                    return ("dup",)
+            return None
+
+        return channel
+
     # -- DRAM bursts ------------------------------------------------------------
 
     def _dram_inject(self, line_addr: int, write: bool) -> int:
@@ -324,6 +620,33 @@ class FaultInjector:
                                 f"line {line_addr:#x} +{burst.extra} cycles"))
             return burst.extra
         return 0
+
+    # -- DRAM bit flips ---------------------------------------------------------
+
+    def _dram_flip(self, addr: int) -> Optional[Tuple[int, float, float]]:
+        """Flip fate for the nth DRAM read of word ``addr``.
+
+        Returns ``None`` (clean) or ``(nflips, leaf, bit)`` for the
+        memory system to apply under its ECC policy.  The fate is a pure
+        function of (seed, address, per-address read count), so replay is
+        exact *and* a poisoned-line re-fetch can legitimately observe a
+        clean second read — the retry path stays both deterministic and
+        survivable.
+        """
+        flips = self.plan.dram_flips
+        count = self._flip_counts.get(addr, 0) + 1
+        self._flip_counts[addr] = count
+        seed = self.plan.seed
+        if _keyed_fraction("dramflip", seed, addr, count) >= flips.rate:
+            return None
+        double = (_keyed_fraction("dramflip2", seed, addr, count)
+                  < flips.double_rate)
+        nflips = 2 if double else 1
+        leaf = _keyed_fraction("dramflipleaf", seed, addr, count)
+        bit = _keyed_fraction("dramflipbit", seed, addr, count)
+        self.events.append((self._soc.sim.now, "dram_flip",
+                            f"word {addr:#x} read#{count} x{nflips}"))
+        return (nflips, leaf, bit)
 
     # -- periodic OS-event tickers -----------------------------------------------
 
@@ -375,6 +698,26 @@ class FaultInjector:
                     * len(cores))
         self._pending_preempts[f"core{cores[index].core_id}.mem"] = \
             self.plan.preempt.cost
+
+    def _do_queue_flip(self, tick: int) -> None:
+        flips = self.plan.queue_flips
+        candidates = []
+        for maple in getattr(self._soc, "maples", ()):
+            for queue in maple.scratchpad.queues:
+                for index in queue.filled_slots():
+                    candidates.append((queue, index))
+        if not candidates:
+            return
+        seed = self.plan.seed
+        fraction = _keyed_fraction("queueflip", seed, tick)
+        queue, index = candidates[int(fraction * len(candidates))]
+        double = _keyed_fraction("queueflip2", seed, tick) < flips.double_rate
+        leaf = _keyed_fraction("queueflipleaf", seed, tick)
+        bit = _keyed_fraction("queueflipbit", seed, tick)
+        outcome = queue.corrupt_slot(index, 2 if double else 1, leaf, bit)
+        self.events.append((self._soc.sim.now, "queue_flip",
+                            f"queue {queue.queue_id} slot {index} "
+                            f"x{2 if double else 1} -> {outcome}"))
 
     def _pick_data_page(self, stream: str, tick: int,
                         resident: bool = False) -> Optional[int]:

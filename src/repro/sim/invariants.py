@@ -97,6 +97,21 @@ class QueueShadow:
                 f"slot {index} holds {expected!r} — reordering or loss")
         self.pops += 1
 
+    def on_corrupt(self, queue, index: int, value) -> None:
+        """An injected slot corruption changed the hardware's contents.
+
+        The shadow tracks what the *hardware* now holds — the corrupted
+        (or poisoned) value — so a later pop of exactly that value is not
+        misreported as reordering; detecting the corruption is the job of
+        the ECC model and the end-to-end output oracle, not this audit.
+        """
+        current = self._values.get(index, None)
+        if current is None or current is _UNFILLED:
+            raise InvariantViolation(
+                f"{self._name}: corruption reported for slot {index} "
+                "which holds no filled value")
+        self._values[index] = value
+
     def on_reset(self, queue) -> None:
         # INIT legally discards contents; pending reservations are a bug
         # but HwQueue.reset itself rejects those before we get here.

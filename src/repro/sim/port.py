@@ -19,9 +19,25 @@ the same three things:
   adds zero cycles unless a seam is deliberately narrowed.
 
 - **A telemetry tap.**  Per-port counters (requests, responses, posts,
-  probes, stalls, per-kind breakdown) plus an optional bounded ring
-  buffer of ``(cycle, port, msg_kind, txn, phase)`` trace events,
-  exportable as Chrome-trace JSON by ``tools/trace_export.py``.
+  probes, stalls, retransmits, dup-drops, CRC errors, per-kind
+  breakdown) plus an optional bounded ring buffer of ``(cycle, port,
+  msg_kind, txn, phase)`` trace events, exportable as Chrome-trace JSON
+  by ``tools/trace_export.py``.
+
+- **Optional reliable delivery.**  A port built with ``reliable=True``
+  runs every request through a link-level retry protocol: the transaction
+  id doubles as the sequence number, payloads carry a CRC, a lost or
+  corrupted transfer is detected (checksum mismatch at the receiver, ack
+  timeout at the sender) and retransmitted with exponential backoff, and
+  a bounded receive window suppresses duplicates so a handler's side
+  effects execute exactly once.  When the retry budget is exhausted the
+  request raises a typed :class:`DeliveryError` instead of silently
+  losing data.  The machinery only engages when a channel fault hook is
+  installed (:class:`repro.sim.faults.FaultInjector`); on a fault-free
+  run a reliable port takes the exact same code path — and therefore the
+  exact same yield sequence — as an unreliable one, which is what keeps
+  ``reliable=True`` bit-identical under the differential-fuzz and
+  Fig. 14 gates.
 
 Timing honesty: the port layer itself never charges cycles.  Latency
 lives in the connected *links* (for example the NoC transport returned by
@@ -29,14 +45,17 @@ lives in the connected *links* (for example the NoC transport returned by
 handlers — exactly where the modeled hardware pays it.  That is what
 keeps the refactor bit-identical to the pre-port model: the yield
 sequence of a transaction is the links' and the handler's, nothing more.
+The reliable-delivery path adds cycles only for the timeouts and
+retransmissions a *fault* actually caused.
 """
 
 from __future__ import annotations
 
-from collections import deque
+import zlib
+from collections import OrderedDict, deque
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
-from repro.sim.signal import Semaphore
+from repro.sim.signal import Semaphore, Signal
 
 #: One trace record: (cycle, port name, message kind, txn id, phase).
 #: Phases: "req" / "done" / "err" on the requesting port, "recv" / "resp"
@@ -45,6 +64,65 @@ TraceEvent = Tuple[int, str, str, int, str]
 
 #: Default ring-buffer capacity when tracing is enabled.
 DEFAULT_TRACE_DEPTH = 1 << 16
+
+#: Receive-window depth for reliable ports: how many served transactions
+#: the receiver remembers (txn -> result) to suppress duplicates.  Must
+#: exceed any port's channel depth so an in-flight txn is never evicted.
+RECV_WINDOW = 256
+
+
+class DataIntegrityError(RuntimeError):
+    """Detected-but-unrecoverable data corruption.
+
+    Raised when poison (or a checksum-flagged payload) reaches a consumer
+    that has no way left to re-fetch the clean value — the loud, typed
+    alternative to silently computing on a flipped bit.  ``component``
+    names the detecting component (a port, queue, or memory path),
+    ``kind`` the operation, ``addr`` the implicated address or slot.
+
+    ``diagnosis``/``dump_path`` are attached by the harness (the same
+    structured-dump plumbing the liveness watchdog uses).
+    """
+
+    def __init__(self, message: str, *, component: Optional[str] = None,
+                 kind: Optional[str] = None, addr: Optional[int] = None,
+                 attempts: Optional[int] = None):
+        self.component = component
+        self.kind = kind
+        self.addr = addr
+        self.attempts = attempts
+        self.diagnosis: Optional[Dict[str, Any]] = None
+        self.dump_path: Optional[str] = None
+        super().__init__(message)
+
+    def describe(self) -> Dict[str, Any]:
+        """Structured, JSON-able record of the failure (for dumps)."""
+        return {
+            "error": type(self).__name__,
+            "message": str(self),
+            "component": self.component,
+            "kind": self.kind,
+            "addr": self.addr,
+            "attempts": self.attempts,
+        }
+
+
+class DeliveryError(DataIntegrityError):
+    """A reliable port exhausted its retransmission budget.
+
+    Every attempt was dropped or corrupted en route; rather than lose the
+    transaction silently (or block forever, as an unprotected port
+    would), the sender fails loudly with the port, kind, and attempt
+    count attached.
+    """
+
+
+def _payload_crc(value: Any) -> int:
+    """The modeled per-message checksum: CRC-32 over a canonical
+    rendering of the payload.  Used by reliable ports to *detect*
+    corruption — a mangled payload whose rendering is unchanged (i.e. no
+    effective corruption) passes, everything else is caught."""
+    return zlib.crc32(repr(value).encode("utf-8", "backslashreplace"))
 
 
 class QuiescenceError(RuntimeError):
@@ -94,7 +172,8 @@ class PortTap:
     """Telemetry for one port: always-on counters, optional trace ring."""
 
     __slots__ = ("requests", "responses", "served", "posts", "probes",
-                 "stalls", "errors", "by_kind", "trace")
+                 "stalls", "errors", "retransmits", "dup_dropped",
+                 "crc_errors", "by_kind", "trace")
 
     def __init__(self) -> None:
         self.trace: Optional[Deque[TraceEvent]] = None
@@ -109,6 +188,12 @@ class PortTap:
         self.probes = 0
         self.stalls = 0
         self.errors = 0
+        #: Reliable-delivery telemetry: transmissions repeated after a
+        #: timeout, duplicates suppressed by the receive window, and
+        #: transfers rejected by the payload checksum.
+        self.retransmits = 0
+        self.dup_dropped = 0
+        self.crc_errors = 0
         self.by_kind: Dict[str, int] = {}
         if self.trace is not None:
             self.trace.clear()
@@ -133,6 +218,9 @@ class PortTap:
             "probes": self.probes,
             "stalls": self.stalls,
             "errors": self.errors,
+            "retransmits": self.retransmits,
+            "dup_dropped": self.dup_dropped,
+            "crc_errors": self.crc_errors,
             "by_kind": dict(self.by_kind),
         }
 
@@ -146,7 +234,9 @@ class Port:
     """
 
     def __init__(self, sim, name: str, tile: int = -1,
-                 depth: Optional[int] = None):
+                 depth: Optional[int] = None, reliable: bool = False,
+                 retry_timeout: int = 64, max_retries: int = 8,
+                 retry_backoff: int = 4):
         self._sim = sim
         self.name = name
         self.tile = tile
@@ -161,6 +251,23 @@ class Port:
         #: ``None`` (the default) is the zero-overhead, bit-identical path;
         #: :class:`repro.sim.faults.FaultInjector` installs it per plan.
         self.inject: Optional[Callable[["Port", Message], int]] = None
+        #: Channel-fault hook: ``channel(port, msg, leg, attempt)`` returns
+        #: ``None`` (clean transfer) or a ``("drop"|"dup"|"corrupt", ...)``
+        #: verdict for one traversal of the ``"req"`` or ``"resp"`` leg.
+        #: ``None`` (the default) keeps request() on the exact fast path,
+        #: so an armed-but-faultless run stays bit-identical even with
+        #: ``reliable=True``.
+        self.channel: Optional[Callable[["Port", Message, str, int], Any]] = None
+        #: Reliable-delivery knobs (see the module docstring).  With
+        #: ``reliable=False`` a faulty channel is survived by nobody:
+        #: drops hang, corruption silently delivers, duplicates re-run.
+        self.reliable = reliable
+        self.retry_timeout = retry_timeout
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        #: Server-side receive window: txn -> cached handler result, so a
+        #: retransmitted request never re-runs side effects.
+        self._recv_seen: "OrderedDict[int, Any]" = OrderedDict()
         self._next_txn = 0
         self._credits = (Semaphore(sim, depth, name=f"{name}.credits")
                          if depth is not None else None)
@@ -236,18 +343,27 @@ class Port:
                 extra = inject(self, msg)
                 if extra:
                     yield extra
-            if self._request_link is not None:
-                yield from self._request_link(msg)
-            peer_tap = peer.tap
-            peer_tap.served += 1
-            peer_trace = peer_tap.trace
-            if peer_trace is not None:
-                peer_trace.append((self._sim.now, peer.name, kind, txn, "recv"))
-            result = yield from peer._handler(msg)
-            if peer_trace is not None:
-                peer_trace.append((self._sim.now, peer.name, kind, txn, "resp"))
-            if self._response_link is not None:
-                yield from self._response_link(msg.response(result))
+            if self.channel is None:
+                # Fast path — the only path ever taken on a fault-free
+                # run, reliable or not (the bit-identity contract).
+                if self._request_link is not None:
+                    yield from self._request_link(msg)
+                peer_tap = peer.tap
+                peer_tap.served += 1
+                peer_trace = peer_tap.trace
+                if peer_trace is not None:
+                    peer_trace.append(
+                        (self._sim.now, peer.name, kind, txn, "recv"))
+                result = yield from peer._handler(msg)
+                if peer_trace is not None:
+                    peer_trace.append(
+                        (self._sim.now, peer.name, kind, txn, "resp"))
+                if self._response_link is not None:
+                    yield from self._response_link(msg.response(result))
+            elif self.reliable:
+                result = yield from self._reliable_exchange(peer, msg)
+            else:
+                result = yield from self._raw_exchange(peer, msg)
             if trace is not None:
                 trace.append((self._sim.now, self.name, kind, txn, "done"))
             tap.responses += 1
@@ -262,6 +378,142 @@ class Port:
             self.outstanding_txns.discard(txn)
             if credits is not None:
                 credits.release()
+
+    # -- faulty-channel delivery ------------------------------------------------
+
+    def _reliable_exchange(self, peer: "Port", msg: Message):
+        """Generator: one transaction under the link-retry protocol.
+
+        Each attempt pays the normal link latencies; a loss (drop, or a
+        transfer the checksum rejects) additionally costs the ack timeout
+        plus exponential backoff before the retransmission.  The txn id
+        doubles as the sequence number: the receive window makes
+        redelivery idempotent, so handler side effects run exactly once
+        no matter how many copies of the request arrive.
+        """
+        channel = self.channel
+        tap = self.tap
+        trace = tap.trace
+        kind, txn = msg.kind, msg.txn
+        sent_crc = _payload_crc(msg.payload)
+        window = peer._recv_seen
+        attempt = 0
+        while True:
+            if attempt > self.max_retries:
+                window.pop(txn, None)
+                raise DeliveryError(
+                    f"port {self.name}: txn #{txn} ({kind}) undeliverable "
+                    f"after {attempt - 1} retransmission(s)",
+                    component=self.name, kind=kind, attempts=attempt)
+            if attempt:
+                tap.retransmits += 1
+                if trace is not None:
+                    trace.append((self._sim.now, self.name, kind, txn,
+                                  "rexmit"))
+            fate = channel(self, msg, "req", attempt)
+            action = fate[0] if fate is not None else None
+            if self._request_link is not None:
+                yield from self._request_link(msg)
+            if action == "drop":
+                yield from self._ack_timeout(attempt)
+                attempt += 1
+                continue
+            if action == "corrupt":
+                # The wire mangled the payload; the receiver's checksum
+                # rejects the transfer (no ack) unless the mangling had
+                # no effect on the rendered payload.
+                if _payload_crc(fate[1](msg.payload)) != sent_crc:
+                    peer.tap.crc_errors += 1
+                    yield from self._ack_timeout(attempt)
+                    attempt += 1
+                    continue
+            peer_tap = peer.tap
+            if txn in window:
+                # Retransmit of an already-served request (its response
+                # was lost): re-answer from the window, no side effects.
+                peer_tap.dup_dropped += 1
+                result = window[txn]
+            else:
+                peer_tap.served += 1
+                peer_trace = peer_tap.trace
+                if peer_trace is not None:
+                    peer_trace.append(
+                        (self._sim.now, peer.name, kind, txn, "recv"))
+                result = yield from peer._handler(msg)
+                if peer_trace is not None:
+                    peer_trace.append(
+                        (self._sim.now, peer.name, kind, txn, "resp"))
+                window[txn] = result
+                while len(window) > RECV_WINDOW:
+                    window.popitem(last=False)
+            if action == "dup":
+                # The wire delivered a second copy; the window kills it.
+                peer_tap.dup_dropped += 1
+            fate = channel(self, msg, "resp", attempt)
+            action = fate[0] if fate is not None else None
+            if self._response_link is not None:
+                yield from self._response_link(msg.response(result))
+            if action == "drop":
+                yield from self._ack_timeout(attempt)
+                attempt += 1
+                continue
+            if action == "corrupt":
+                if _payload_crc(fate[1](result)) != _payload_crc(result):
+                    tap.crc_errors += 1
+                    yield from self._ack_timeout(attempt)
+                    attempt += 1
+                    continue
+            if action == "dup":
+                # Duplicate response: its sequence number marks it as
+                # already consumed; the client discards it.
+                tap.dup_dropped += 1
+            window.pop(txn, None)
+            return result
+
+    def _ack_timeout(self, attempt: int):
+        """Generator: the sender's wait before retransmission number
+        ``attempt + 1`` — base timeout plus capped exponential backoff."""
+        yield self.retry_timeout + self.retry_backoff * (1 << min(attempt, 10))
+
+    def _raw_exchange(self, peer: "Port", msg: Message):
+        """Generator: a faulty channel with NO protection (the negative
+        control).  A dropped transfer blocks forever — the handshake
+        never completes, and the deadlock diagnosis or quiescence audit
+        names this port.  A corrupted transfer silently delivers the
+        mangled value (only the kernel's golden-output oracle can tell).
+        A duplicated request re-runs the handler, duplicating its side
+        effects."""
+        channel = self.channel
+        kind, txn = msg.kind, msg.txn
+        fate = channel(self, msg, "req", 0)
+        action = fate[0] if fate is not None else None
+        if self._request_link is not None:
+            yield from self._request_link(msg)
+        if action == "drop":
+            yield Signal(self._sim, name=f"{self.name}.lost_req#{txn}")
+            raise AssertionError("lost request completed")  # pragma: no cover
+        if action == "corrupt":
+            msg = Message(kind, msg.src, msg.dst, fate[1](msg.payload), txn)
+        peer_tap = peer.tap
+        result = None
+        for _ in range(2 if action == "dup" else 1):
+            peer_tap.served += 1
+            peer_trace = peer_tap.trace
+            if peer_trace is not None:
+                peer_trace.append((self._sim.now, peer.name, kind, txn, "recv"))
+            result = yield from peer._handler(msg)
+            if peer_trace is not None:
+                peer_trace.append((self._sim.now, peer.name, kind, txn, "resp"))
+        fate = channel(self, msg, "resp", 0)
+        action = fate[0] if fate is not None else None
+        if self._response_link is not None:
+            yield from self._response_link(msg.response(result))
+        if action == "drop":
+            yield Signal(self._sim, name=f"{self.name}.lost_resp#{txn}")
+            raise AssertionError("lost response completed")  # pragma: no cover
+        if action == "corrupt":
+            result = fate[1](result)
+        return result
 
     def post(self, kind: str, payload: Any = None) -> Any:
         """Fire-and-forget command: counted and traced here, executed
@@ -306,12 +558,28 @@ class PortRegistry:
         self._sim = sim
         self.ports: List[Port] = []
         self._by_name: Dict[str, Port] = {}
+        self._reliability: Dict[str, Any] = {}
+
+    def configure_reliability(self, reliable: bool, retry_timeout: int = 64,
+                              max_retries: int = 8,
+                              retry_backoff: int = 4) -> None:
+        """Set the delivery mode every port created *after* this call
+        gets (the SoC builder calls it before wiring any seam).  With
+        ``reliable=True`` every seam runs the retry protocol when a
+        channel fault hook is armed; fault-free timing is unchanged."""
+        self._reliability = {
+            "reliable": reliable,
+            "retry_timeout": retry_timeout,
+            "max_retries": max_retries,
+            "retry_backoff": retry_backoff,
+        }
 
     def port(self, name: str, tile: int = -1,
              depth: Optional[int] = None) -> Port:
         if name in self._by_name:
             raise ValueError(f"duplicate port name {name!r}")
-        port = Port(self._sim, name, tile=tile, depth=depth)
+        port = Port(self._sim, name, tile=tile, depth=depth,
+                    **self._reliability)
         self.ports.append(port)
         self._by_name[name] = port
         return port

@@ -37,6 +37,12 @@ class Soc:
         #: Every cross-component seam is a Port pair wired through this
         #: registry — connect at build time, reset()/drain() around runs.
         self.ports = PortRegistry(self.sim)
+        if cfg.reliable_ports:
+            self.ports.configure_reliability(
+                reliable=True,
+                retry_timeout=cfg.port_retry_timeout,
+                max_retries=cfg.port_max_retries,
+                retry_backoff=cfg.port_retry_backoff)
         self.memsys = MemorySystem(self.sim, cfg, self.stats)
         self.os = SimOS(self.sim, self.memsys, cfg)
         self.mesh = Mesh(cfg.mesh_cols, cfg.mesh_rows)

@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.mem.dram import is_poisoned
+from repro.sim.port import DataIntegrityError
 from repro.sim.stats import ScopedStats
 from repro.vm.address import PAGE_SHIFT, page_offset, vpn_indices
 from repro.vm.page_table import pte_flags, pte_is_leaf, pte_is_valid, pte_ppn
@@ -68,6 +70,16 @@ class PageTableWalker:
         try:
             for level, index in enumerate(indices):
                 pte = yield from self._read_pte(table + 8 * index)
+                if is_poisoned(pte):
+                    # Not a page fault the OS could resolve: a mangled
+                    # PTE would translate to the wrong frame, so it must
+                    # surface as an integrity error, never a retry-able
+                    # TranslationFault.
+                    raise DataIntegrityError(
+                        f"poisoned PTE at {table + 8 * index:#x} during "
+                        f"walk of {vaddr:#x}",
+                        component="ptw", kind="ptw_read",
+                        addr=table + 8 * index)
                 if not isinstance(pte, int) or not pte_is_valid(pte):
                     if self._stats:
                         self._stats.bump("faults")

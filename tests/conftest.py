@@ -1,0 +1,24 @@
+"""Shared pytest configuration: deterministic Hypothesis profiles.
+
+Property tests must behave identically on every machine and every rerun
+— a fuzz gate that only fails sometimes is worse than none.  Three
+profiles, selected via ``HYPOTHESIS_PROFILE`` (CI pins ``ci``):
+
+- ``dev`` (default): Hypothesis's stock settings plus a fixed
+  ``derandomize=True`` so local runs are reproducible too;
+- ``ci``: derandomized, no deadline (shared runners are noisy), and a
+  bounded example count so the tier-1 wall time stays predictable;
+- ``thorough``: 4x the examples for local soak runs.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("dev", derandomize=True, deadline=None)
+settings.register_profile("ci", derandomize=True, deadline=None,
+                          max_examples=100, print_blob=True)
+settings.register_profile("thorough", derandomize=True, deadline=None,
+                          max_examples=400)
+
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

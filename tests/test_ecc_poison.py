@@ -1,0 +1,252 @@
+"""Unit tests for the ECC + poison-propagation model.
+
+The DRAM flip hook (``MemorySystem.flip(addr) -> None | (nflips, leaf,
+bit)``) is driven directly here, so each test controls exactly which
+read takes a flip.  Policy under test (SECDED):
+
+- ECC on, single-bit flip: corrected in place, data unchanged;
+- ECC on, double-bit flip: detected-but-uncorrectable — the line (or
+  word) is *poisoned*; demand paths scrub + re-fetch up to the
+  configured limit, then raise a typed :class:`DataIntegrityError`;
+  speculative prefetches simply drop the poisoned fill;
+- ECC off: the flip lands silently — on a coherent fill it corrupts
+  backing memory so the wrong value persists into program output (what
+  the negative-control oracle must catch).
+
+The scratchpad SRAM runs the same policy per slot
+(:meth:`HwQueue.corrupt_slot`).
+"""
+
+import pytest
+
+from repro.core.queues import HwQueue
+from repro.mem import MemorySystem
+from repro.mem.dram import Poison, is_poisoned
+from repro.params import SoCConfig
+from repro.sim import DataIntegrityError, Simulator, Stats, corrupt_value
+
+
+def make_system(**overrides):
+    cfg = SoCConfig().with_overrides(**overrides) if overrides else SoCConfig()
+    sim = Simulator()
+    stats = Stats()
+    ms = MemorySystem(sim, cfg, stats)
+    ms.add_core(0)
+    return sim, ms, stats
+
+
+def run_access(sim, gen):
+    box = {}
+
+    def wrapper():
+        box["value"] = yield from gen
+
+    sim.spawn(wrapper())
+    sim.run()
+    return box.get("value")
+
+
+def flip_once(fate):
+    """A flip hook that fires on the first read only — so the re-fetch
+    (a fresh DRAM access, hence a fresh fate draw) comes back clean."""
+    armed = {"on": True}
+
+    def flip(addr):
+        if armed["on"]:
+            armed["on"] = False
+            return fate
+        return None
+
+    return flip
+
+
+# -- coherent fills (load/store/amo) ----------------------------------------------
+
+
+def test_single_flip_on_fill_is_corrected():
+    sim, ms, stats = make_system()
+    ms.mem.write_word(0x1000, 42)
+    ms.flip = flip_once((1, 0.0, 0.4))
+    assert run_access(sim, ms.load(0, 0x1000)) == 42
+    assert stats.get("ecc.corrected") == 1
+    assert stats.get("ecc.poisoned") == 0
+
+
+def test_double_flip_on_fill_is_scrubbed_and_refetched():
+    sim, ms, stats = make_system()
+    ms.mem.write_word(0x1000, 42)
+    ms.flip = flip_once((2, 0.0, 0.4))
+    assert run_access(sim, ms.load(0, 0x1000)) == 42
+    assert stats.get("ecc.poisoned") == 1
+    assert stats.get("ecc.refetches") == 1
+    assert ms.debug_state()["l2_poisoned"] == []   # scrubbed, not resident
+
+
+def test_persistent_double_flips_raise_typed_error():
+    sim, ms, stats = make_system()
+    ms.flip = lambda addr: (2, 0.0, 0.4)           # every fetch poisons
+    with pytest.raises(DataIntegrityError) as exc:
+        run_access(sim, ms.load(0, 0x2000))
+    err = exc.value
+    assert err.component == "core0.l1"
+    assert err.kind == "dram_poison"
+    assert err.attempts == ms.config.poison_refetch_limit + 1
+    # One scrub per poisoned attempt, the final one included.
+    assert stats.get("ecc.refetches") == ms.config.poison_refetch_limit + 1
+
+
+def test_without_ecc_a_fill_flip_corrupts_backing_memory():
+    sim, ms, stats = make_system(ecc=False)
+    ms.mem.write_word(0x1000, 42)
+    ms.flip = flip_once((1, 0.0, 0.4))
+    value = run_access(sim, ms.load(0, 0x1000))
+    assert value != 42                             # silently wrong...
+    assert ms.mem.read_word(0x1000) == value       # ...and persistent
+    assert stats.get("ecc.silent") == 1
+    assert stats.get("ecc.corrected") == 0
+
+
+# -- device word/line paths (MAPLE, LIMA) -----------------------------------------
+
+
+def test_dram_word_double_flip_returns_poison_marker():
+    sim, ms, stats = make_system()
+    ms.mem.write_word(0x3000, 7)
+    ms.flip = lambda addr: (2, 0.0, 0.1)
+    value = run_access(sim, ms.load_dram(0x3000))
+    assert is_poisoned(value)
+    assert value.addr == 0x3000
+    assert stats.get("ecc.poisoned") == 1
+    ms.flip = None                                 # device re-fetch is clean
+    assert run_access(sim, ms.load_dram(0x3000)) == 7
+
+
+def test_dram_word_single_flip_is_corrected():
+    sim, ms, stats = make_system()
+    ms.mem.write_word(0x3000, 7)
+    ms.flip = lambda addr: (1, 0.0, 0.1)
+    assert run_access(sim, ms.load_dram(0x3000)) == 7
+    assert stats.get("ecc.corrected") == 1
+
+
+def test_dram_line_double_flip_poisons_one_word():
+    sim, ms, stats = make_system()
+    for i in range(8):
+        ms.mem.write_word(0x4000 + 8 * i, i)
+    ms.flip = flip_once((2, 0.5, 0.1))             # leaf 0.5 -> word 4
+    words = run_access(sim, ms.load_dram_line(0x4000))
+    assert [is_poisoned(w) for w in words].count(True) == 1
+    assert is_poisoned(words[4])
+    assert [w for w in words if not is_poisoned(w)] == [0, 1, 2, 3, 5, 6, 7]
+
+
+def test_llc_load_refetches_past_poison():
+    sim, ms, stats = make_system()
+    ms.mem.write_word(0x5000, 11)
+    ms.flip = flip_once((2, 0.0, 0.1))
+    assert run_access(sim, ms.load_llc(0x5000)) == 11
+    assert stats.get("ecc.refetches") == 1
+
+
+# -- speculative prefetches drop poison -------------------------------------------
+
+
+def test_poisoned_l1_prefetch_is_dropped_not_consumed():
+    sim, ms, stats = make_system()
+    ms.mem.write_word(0x6000, 13)
+    ms.flip = flip_once((2, 0.0, 0.1))
+    ms.prefetch_l1(0, 0x6000)
+    sim.run()
+    assert stats.get("ecc.prefetch_drops") == 1
+    line = 0x6000 & ~(ms.config.line_size - 1)
+    assert not ms.l1s[0].contains(line)
+    assert not ms.l2.contains(line)
+    assert run_access(sim, ms.load(0, 0x6000)) == 13   # demand path clean
+
+
+def test_poisoned_l2_prefetch_is_dropped():
+    sim, ms, stats = make_system()
+    ms.mem.write_word(0x7000, 17)
+    ms.flip = flip_once((2, 0.0, 0.1))
+    ms.prefetch_l2(0x7000)
+    sim.run()
+    assert stats.get("ecc.prefetch_drops") == 1
+    assert not ms.l2.contains(0x7000 & ~(ms.config.line_size - 1))
+    assert run_access(sim, ms.load(0, 0x7000)) == 17
+
+
+# -- scratchpad SRAM (HwQueue) ----------------------------------------------------
+
+
+def make_queue(capacity=4, ecc=True):
+    sim = Simulator()
+    stats = Stats()
+    return sim, HwQueue(sim, 0, capacity, stats.scoped("q"), ecc=ecc)
+
+
+def drive(sim, gen):
+    box = {}
+
+    def wrapper():
+        box["value"] = yield from gen
+
+    sim.spawn(wrapper())
+    sim.run()
+    return box.get("value")
+
+
+def test_corrupt_slot_outcomes_follow_the_ecc_policy():
+    sim, queue = make_queue()
+    assert queue.corrupt_slot(0, 1, 0.0, 0.1) == "dead"    # empty slot
+    index = drive(sim, queue.reserve())
+    assert queue.corrupt_slot(index, 1, 0.0, 0.1) == "dead"  # reserved, no data
+    queue.fill(index, 123)
+    assert queue.corrupt_slot(index, 1, 0.0, 0.1) == "corrected"
+    assert drive(sim, queue.pop()) == 123
+    assert queue.ecc_corrected == 1
+
+
+def test_double_flip_poisons_the_slot():
+    sim, queue = make_queue()
+    index = drive(sim, queue.reserve())
+    queue.fill(index, 123)
+    assert queue.corrupt_slot(index, 2, 0.0, 0.1) == "poisoned"
+    assert queue.ecc_poisoned == 1
+    assert is_poisoned(drive(sim, queue.pop()))
+
+
+def test_without_ecc_the_slot_is_silently_corrupted():
+    sim, queue = make_queue(ecc=False)
+    index = drive(sim, queue.reserve())
+    queue.fill(index, 123)
+    assert queue.corrupt_slot(index, 1, 0.0, 0.25) == "silent"
+    assert queue.silent_corruptions == 1
+    value = drive(sim, queue.pop())
+    assert value != 123 and not is_poisoned(value)
+
+
+# -- primitives -------------------------------------------------------------------
+
+
+def test_corrupt_value_bit_flips_are_involutions_on_ints():
+    once = corrupt_value(42, 0.0, 0.3)
+    assert once != 42
+    assert corrupt_value(once, 0.0, 0.3) == 42     # same bit flips back
+
+
+def test_corrupt_value_covers_the_payload_shapes():
+    assert corrupt_value(True, 0.0, 0.1) is False
+    assert corrupt_value(1.5, 0.0, 0.3) != 1.5
+    mangled = corrupt_value((7, 2.5, "tag"), 0.1, 0.3)
+    assert isinstance(mangled, tuple) and len(mangled) == 3
+    assert mangled != (7, 2.5, "tag")
+    assert mangled[2] == "tag"                     # strings pass through
+    assert corrupt_value(None, 0.0, 0.1) is None
+
+
+def test_poison_markers_compare_and_nest():
+    assert Poison(0x40) == Poison(0x40)
+    assert Poison(0x40) != Poison(0x80)
+    assert is_poisoned(Poison(0x40))
+    assert is_poisoned([1, (2, Poison(0x40)), 3])
+    assert not is_poisoned([1, (2, 3)])

@@ -1,0 +1,248 @@
+"""Unit tests for the reliable-delivery port protocol.
+
+A ``reliable=True`` port runs ack/timeout/retransmit with a payload CRC
+and a receive window (sequence number = txn id).  The contract under
+test, leg by leg:
+
+- fault-free (no channel hook): byte-for-byte the fast path — identical
+  timing to an unreliable port (the bit-identity gate);
+- a dropped or corrupted request is timed out and retransmitted, with
+  exponential backoff, and the handler still runs exactly once;
+- a dropped or corrupted *response* is re-requested and answered from
+  the receive window — no duplicated side effects;
+- an exhausted retry budget raises a typed :class:`DeliveryError`;
+- an *unreliable* port on the same faulty channel shows the failure
+  modes the protocol exists to prevent: drops hang, corruption silently
+  delivers, duplicates re-run the handler.
+"""
+
+import json
+
+import pytest
+
+from repro.sim import (
+    DataIntegrityError,
+    DeliveryError,
+    PortRegistry,
+    QuiescenceError,
+    Simulator,
+)
+
+HANDLER_CYCLES = 5
+
+
+def make_pair(reliable=True, retry_timeout=10, max_retries=4, retry_backoff=2):
+    sim = Simulator()
+    registry = PortRegistry(sim)
+    if reliable:
+        registry.configure_reliability(
+            reliable=True, retry_timeout=retry_timeout,
+            max_retries=max_retries, retry_backoff=retry_backoff)
+    client = registry.port("core0.mem", tile=0)
+    server = registry.port("mem.core0", tile=1)
+    calls = []
+
+    def handler(msg):
+        yield HANDLER_CYCLES
+        calls.append((msg.kind, msg.payload))
+        return ("ok", msg.payload)
+
+    server.bind(handler)
+    registry.connect(client, server)
+    return sim, registry, client, server, calls
+
+
+def drive(sim, gen):
+    box = {}
+
+    def wrapper():
+        box["value"] = yield from gen
+
+    sim.spawn(wrapper())
+    sim.run()
+    return box.get("value")
+
+
+def scripted_channel(verdicts):
+    """A channel hook that replays ``verdicts`` one per leg traversal
+    (request leg first, then response leg), clean once exhausted."""
+    pending = list(verdicts)
+
+    def channel(port, msg, leg, attempt):
+        if pending:
+            return pending.pop(0)
+        return None
+
+    return channel
+
+
+# -- fault-free: the fast path ----------------------------------------------------
+
+
+def test_reliable_port_is_timing_identical_when_fault_free():
+    plain = make_pair(reliable=False)
+    armed = make_pair(reliable=True)
+    for sim, registry, client, server, calls in (plain, armed):
+        assert drive(sim, client.request("load", 0x40)) == ("ok", 0x40)
+    assert plain[0].now == armed[0].now == HANDLER_CYCLES
+    tap = armed[2].tap
+    assert tap.retransmits == 0 and tap.crc_errors == 0
+    assert armed[3].tap.dup_dropped == 0
+
+
+# -- request-leg faults -----------------------------------------------------------
+
+
+def test_dropped_request_is_retransmitted():
+    sim, registry, client, server, calls = make_pair()
+    client.channel = scripted_channel([("drop",)])
+    assert drive(sim, client.request("load", 1)) == ("ok", 1)
+    assert len(calls) == 1
+    assert client.tap.retransmits == 1
+    # One ack timeout (base + 2^0 backoff) ahead of the clean retry.
+    assert sim.now == (10 + 2) + HANDLER_CYCLES
+
+
+def test_corrupted_request_is_caught_by_receiver_checksum():
+    sim, registry, client, server, calls = make_pair()
+    client.channel = scripted_channel([
+        ("corrupt", lambda payload: payload ^ 0x80)])
+    assert drive(sim, client.request("load", 7)) == ("ok", 7)
+    assert len(calls) == 1                      # mangled copy never served
+    assert server.tap.crc_errors == 1
+    assert client.tap.retransmits == 1
+
+
+def test_duplicated_request_runs_handler_once():
+    sim, registry, client, server, calls = make_pair()
+    client.channel = scripted_channel([("dup",)])
+    assert drive(sim, client.request("load", 3)) == ("ok", 3)
+    assert len(calls) == 1
+    assert server.tap.dup_dropped == 1
+    assert sim.now == HANDLER_CYCLES            # duplicates cost nothing
+
+
+def test_noop_corruption_passes_the_checksum():
+    """A 'corruption' that does not change the rendered payload is not
+    detectable — and must not cost a retransmission."""
+    sim, registry, client, server, calls = make_pair()
+    client.channel = scripted_channel([("corrupt", lambda payload: payload)])
+    assert drive(sim, client.request("load", 9)) == ("ok", 9)
+    assert client.tap.retransmits == 0
+    assert server.tap.crc_errors == 0
+    assert sim.now == HANDLER_CYCLES
+
+
+# -- response-leg faults -----------------------------------------------------------
+
+
+def test_dropped_response_is_reanswered_from_the_window():
+    sim, registry, client, server, calls = make_pair()
+    client.channel = scripted_channel([None, ("drop",)])
+    assert drive(sim, client.request("load", 2)) == ("ok", 2)
+    assert len(calls) == 1                      # side effects exactly once
+    assert client.tap.retransmits == 1
+    assert server.tap.dup_dropped == 1          # retransmit hit the window
+    # Handler ran on attempt 0; the window answers attempt 1 instantly.
+    assert sim.now == HANDLER_CYCLES + (10 + 2)
+
+
+def test_corrupted_response_is_caught_by_sender_checksum():
+    sim, registry, client, server, calls = make_pair()
+    client.channel = scripted_channel([
+        None, ("corrupt", lambda result: ("ok", 999))])
+    assert drive(sim, client.request("load", 4)) == ("ok", 4)
+    assert len(calls) == 1
+    assert client.tap.crc_errors == 1
+    assert client.tap.retransmits == 1
+
+
+# -- retry budget -----------------------------------------------------------------
+
+
+def test_backoff_grows_exponentially():
+    sim, registry, client, server, calls = make_pair()
+    client.channel = scripted_channel([("drop",)] * 3)
+    assert drive(sim, client.request("load", 5)) == ("ok", 5)
+    # Timeouts: (10+2), (10+4), (10+8) then the clean attempt.
+    assert sim.now == 12 + 14 + 18 + HANDLER_CYCLES
+    assert client.tap.retransmits == 3
+
+
+def test_exhausted_budget_raises_typed_delivery_error():
+    sim, registry, client, server, calls = make_pair(max_retries=2)
+    client.channel = scripted_channel([("drop",)] * 10)
+    with pytest.raises(DeliveryError) as exc:
+        drive(sim, client.request("load", 6))
+    err = exc.value
+    assert isinstance(err, DataIntegrityError)
+    assert err.component == "core0.mem"
+    assert err.kind == "load"
+    assert err.attempts == 3                    # initial send + 2 retries
+    assert err.describe()["error"] == "DeliveryError"
+    assert calls == []                          # nothing ever arrived
+    assert client.tap.errors == 1
+    assert client.outstanding == 0              # txn accounting unwound
+    assert server._recv_seen == {}              # window cleaned up
+
+
+# -- the unprotected port shows why the protocol exists ----------------------------
+
+
+def test_unreliable_drop_hangs_and_is_attributable():
+    sim, registry, client, server, calls = make_pair(reliable=False)
+    client.channel = scripted_channel([("drop",)])
+    box = {}
+
+    def wrapper():
+        box["value"] = yield from client.request("load", 8)
+
+    proc = sim.spawn(wrapper())                 # keep the handle alive
+    sim.run()                                   # event queue drains...
+    assert "value" not in box                   # ...with the request stuck
+    assert proc is not None and client.outstanding == 1
+    assert sim.live_processes == 1
+    with pytest.raises(QuiescenceError) as exc:
+        registry.drain()
+    assert "core0.mem" in exc.value.busy
+
+
+def test_unreliable_corruption_silently_delivers():
+    sim, registry, client, server, calls = make_pair(reliable=False)
+    client.channel = scripted_channel([None, ("corrupt", lambda r: ("ok", -1))])
+    assert drive(sim, client.request("load", 8)) == ("ok", -1)
+    assert client.tap.crc_errors == 0           # nobody checked
+
+
+def test_unreliable_duplicate_runs_handler_twice():
+    sim, registry, client, server, calls = make_pair(reliable=False)
+    client.channel = scripted_channel([("dup",)])
+    assert drive(sim, client.request("store", 8)) == ("ok", 8)
+    assert len(calls) == 2                      # duplicated side effects
+
+
+# -- telemetry --------------------------------------------------------------------
+
+
+def test_tap_snapshot_json_round_trips():
+    sim, registry, client, server, calls = make_pair()
+    client.channel = scripted_channel([("drop",), ("corrupt", lambda p: ~p)])
+    drive(sim, client.request("load", 1))
+    for port in (client, server):
+        snap = port.tap.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+    assert client.tap.snapshot()["retransmits"] == 2
+    assert server.tap.snapshot()["crc_errors"] == 1
+
+
+def test_registry_reset_zeroes_reliability_counters():
+    sim, registry, client, server, calls = make_pair()
+    client.channel = scripted_channel([("drop",), ("dup",)])
+    drive(sim, client.request("load", 1))
+    assert client.tap.retransmits and server.tap.dup_dropped
+    registry.reset()
+    for name, snap in registry.telemetry().items():
+        assert snap["retransmits"] == 0, name
+        assert snap["dup_dropped"] == 0, name
+        assert snap["crc_errors"] == 0, name
+        assert snap["requests"] == 0, name

@@ -1,33 +1,60 @@
 #!/usr/bin/env python
-"""Replay a fault-fuzz case (or an ad-hoc fault seed) with full logging.
+"""Replay a fault-fuzz or integrity-fuzz case with full logging.
 
-When ``tests/test_fault_fuzz.py`` fails on "case N", this reproduces it
-exactly — same config, kernel, technique, dataset, and fault plan — and
-prints the fault event log, the run summary, and (on a liveness trip or
-invariant violation) the structured diagnosis.  It can also drive an
-arbitrary (workload, technique, fault-seed) triple outside the sweep.
+When ``tests/test_fault_fuzz.py`` (or ``tests/test_integrity_fuzz.py``,
+with ``--integrity``) fails on "case N", this reproduces it exactly —
+same config, kernel, technique, dataset, and fault plan — and prints the
+fault event log, the run summary, and (on a liveness trip, invariant
+violation, or data-integrity failure) the structured diagnosis.  It can
+also drive an arbitrary (workload, technique, fault-seed) triple outside
+the sweeps.
+
+Determinism is checkable, not assumed: ``--record LOG`` saves the run's
+fault-hit log and cycle count as JSON; ``--check LOG`` replays and
+compares bit-for-bit, printing a diff and exiting nonzero on any
+divergence.
 
 Usage (from the repo root):
 
     PYTHONPATH=src python tools/fault_replay.py --case 17
     PYTHONPATH=src python tools/fault_replay.py --case 17 --events 50
+    PYTHONPATH=src python tools/fault_replay.py --integrity --case 3
     PYTHONPATH=src python tools/fault_replay.py --app bfs \\
         --technique maple-decouple --threads 2 --fault-seed 12345
+    PYTHONPATH=src python tools/fault_replay.py --integrity --app spmv \\
+        --technique maple-decouple --threads 2 --fault-seed 99
     PYTHONPATH=src python tools/fault_replay.py --case 3 \\
         --dump-dir /tmp/watchdog-dumps
+    PYTHONPATH=src python tools/fault_replay.py --case 5 --record /tmp/log.json
+    PYTHONPATH=src python tools/fault_replay.py --case 5 --check /tmp/log.json
+
+Exit codes: 0 ok, 2 liveness trip, 3 invariant violation, 4 result-check
+failure, 5 replay divergence (``--check``), 6 data-integrity error.
 """
 
 from __future__ import annotations
 
 import argparse
+import difflib
 import json
 import sys
+
+
+def _event_lines(cycles, events):
+    """The canonical, diffable rendering of one run's fault-hit log."""
+    lines = [f"cycles {cycles}"]
+    lines.extend(f"@{cycle} {kind} {detail}" for cycle, kind, detail in events)
+    return lines
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--case", type=int, default=None,
-                        help="fault-fuzz case number to replay exactly")
+                        help="fuzz case number to replay exactly")
+    parser.add_argument("--integrity", action="store_true",
+                        help="replay from the integrity-fuzz sweep (armed "
+                             "protection + corruption plan) instead of the "
+                             "fault-fuzz sweep")
     parser.add_argument("--master-seed", type=int, default=None,
                         help="override the sweep's master seed")
     parser.add_argument("--app", default="spmv",
@@ -37,31 +64,54 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", type=int, default=1)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--fault-seed", type=int, default=1,
-                        help="FaultPlan.random seed for ad-hoc mode")
+                        help="FaultPlan.random (or .random_integrity, with "
+                             "--integrity) seed for ad-hoc mode")
     parser.add_argument("--events", type=int, default=20,
                         help="how many injected fault events to print")
     parser.add_argument("--dump-dir", default=None,
                         help="directory for watchdog JSON dumps on failure")
+    parser.add_argument("--record", default=None, metavar="LOG",
+                        help="write the fault-hit log + cycles as JSON")
+    parser.add_argument("--check", default=None, metavar="LOG",
+                        help="replay and compare against a recorded log; "
+                             "exits 5 with a diff on divergence")
     args = parser.parse_args(argv)
 
     from repro.harness.faultfuzz import FUZZ_MASTER_SEED, FUZZ_WATCHDOG, fuzz_case
+    from repro.harness.integrityfuzz import INTEGRITY_MASTER_SEED, integrity_case
     from repro.harness.techniques import run_workload
-    from repro.sim import FaultPlan, InvariantViolation, LivenessError
+    from repro.sim import (
+        DataIntegrityError,
+        FaultPlan,
+        InvariantViolation,
+        LivenessError,
+    )
 
     if args.case is not None:
-        fc = fuzz_case(args.case, args.master_seed if args.master_seed
-                       is not None else FUZZ_MASTER_SEED)
+        if args.integrity:
+            fc = integrity_case(args.case, args.master_seed if args.master_seed
+                                is not None else INTEGRITY_MASTER_SEED)
+        else:
+            fc = fuzz_case(args.case, args.master_seed if args.master_seed
+                           is not None else FUZZ_MASTER_SEED)
         print(fc.describe())
         run_kwargs = dict(config=fc.config, threads=fc.threads,
                           dataset=fc.dataset, seed=fc.seed)
         workload, technique, plan = fc.workload, fc.technique, fc.plan
     else:
-        plan = FaultPlan.random(args.fault_seed)
+        plan = (FaultPlan.random_integrity(args.fault_seed) if args.integrity
+                else FaultPlan.random(args.fault_seed))
+        mode = "integrity" if args.integrity else "faults"
         print(f"ad-hoc: {args.app}/{args.technique} x{args.threads} "
-              f"scale={args.scale} faults[{plan.describe()}]")
+              f"scale={args.scale} {mode}[{plan.describe()}]")
         run_kwargs = dict(threads=args.threads, scale=args.scale,
                           seed=args.seed)
         workload, technique = args.app, args.technique
+
+    if args.integrity:
+        run_kwargs["integrity_plan"] = plan
+    else:
+        run_kwargs["fault_plan"] = plan
 
     watchdog = dict(FUZZ_WATCHDOG)
     if args.dump_dir:
@@ -69,7 +119,7 @@ def main(argv=None) -> int:
 
     try:
         result = run_workload(workload, technique, check=True,
-                              fault_plan=plan, check_invariants=True,
+                              check_invariants=True,
                               watchdog=watchdog, **run_kwargs)
     except LivenessError as err:
         print(f"\nLIVENESS TRIP: {err}", file=sys.stderr)
@@ -79,20 +129,50 @@ def main(argv=None) -> int:
     except InvariantViolation as err:
         print(f"\nINVARIANT VIOLATION:\n{err}", file=sys.stderr)
         return 3
+    except DataIntegrityError as err:
+        print(f"\nDATA-INTEGRITY FAILURE: {err}", file=sys.stderr)
+        print(json.dumps(err.describe(), indent=2, sort_keys=True),
+              file=sys.stderr)
+        if err.dump_path:
+            print(f"diagnosis dump: {err.dump_path}", file=sys.stderr)
+        return 6
     except AssertionError as err:
         print(f"\nRESULT CHECK FAILED: {err}", file=sys.stderr)
         return 4
 
     injector = result.soc.fault_injector
+    events = list(injector.events) if injector is not None else []
     print(f"\ncompleted correct: cycles={result.cycles} "
           f"fault_events={result.fault_events} "
           f"invariants_checked={result.invariants_checked}")
-    if injector is not None and injector.events:
-        shown = injector.events[:args.events]
-        print(f"\nfault event log (first {len(shown)} of "
-              f"{len(injector.events)}):")
+    if events:
+        shown = events[:args.events]
+        print(f"\nfault event log (first {len(shown)} of {len(events)}):")
         for cycle, kind, detail in shown:
             print(f"  @{cycle:<10} {kind:<12} {detail}")
+
+    if args.record:
+        with open(args.record, "w", encoding="utf-8") as handle:
+            json.dump({"case": args.case, "integrity": args.integrity,
+                       "cycles": result.cycles,
+                       "events": [list(e) for e in events]},
+                      handle, indent=2)
+        print(f"\nrecorded {len(events)} event(s) -> {args.record}")
+
+    if args.check:
+        with open(args.check, encoding="utf-8") as handle:
+            recorded = json.load(handle)
+        want = _event_lines(recorded["cycles"],
+                            [tuple(e) for e in recorded["events"]])
+        got = _event_lines(result.cycles, events)
+        if want != got:
+            print(f"\nREPLAY DIVERGED from {args.check}:", file=sys.stderr)
+            for line in difflib.unified_diff(want, got, fromfile="recorded",
+                                             tofile="replayed", lineterm=""):
+                print(line, file=sys.stderr)
+            return 5
+        print(f"\nreplay matches {args.check} "
+              f"({len(events)} event(s), {result.cycles} cycles)")
     return 0
 
 
