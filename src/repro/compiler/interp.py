@@ -22,6 +22,7 @@ from repro.compiler.ir import (
     Kernel,
     LoadStmt,
     StoreStmt,
+    compile_expr,
     eval_expr,
 )
 from repro.compiler.plan import LoadAction, SlicePlan
@@ -357,9 +358,17 @@ def _exec_body(body, env: dict, role: Role, runtime: Runtime):
         if not role.includes(stmt):
             continue
         cls = stmt.__class__
+        # Statement expressions are compiled to closures on first touch and
+        # cached on the statement object (statements live as long as their
+        # kernel, and an inner-loop statement re-evaluates the same
+        # expressions every iteration).
         if cls is ForStmt:
-            lo = int(eval_expr(stmt.lo, env))
-            hi = int(eval_expr(stmt.hi, env))
+            cc = stmt.__dict__.get("_compiled")
+            if cc is None:
+                cc = stmt._compiled = (compile_expr(stmt.lo),
+                                       compile_expr(stmt.hi))
+            lo = int(cc[0](env))
+            hi = int(cc[1](env))
             yield from role.on_loop_enter(stmt, lo, hi, env, runtime)
             for index in range(lo, hi):
                 env[stmt.var] = index
@@ -368,19 +377,33 @@ def _exec_body(body, env: dict, role: Role, runtime: Runtime):
         elif cls is LoadStmt:
             yield from _exec_load(stmt, env, role, runtime)
         elif cls is ComputeStmt:
-            env[stmt.dest] = eval_expr(stmt.expr, env)
+            cc = stmt.__dict__.get("_compiled")
+            if cc is None:
+                cc = stmt._compiled = compile_expr(stmt.expr)
+            env[stmt.dest] = cc(env)
             yield isa.Alu(stmt.cycles)
         elif cls is StoreStmt:
+            cc = stmt.__dict__.get("_compiled")
+            if cc is None:
+                cc = stmt._compiled = (compile_expr(stmt.index),
+                                       compile_expr(stmt.value))
             array = runtime.array(stmt.array)
-            addr = array.addr(int(eval_expr(stmt.index, env)))
-            yield from role.store(addr, eval_expr(stmt.value, env))
+            addr = array.addr(int(cc[0](env)))
+            yield from role.store(addr, cc[1](env))
         elif cls is IfStmt:
-            if eval_expr(stmt.cond, env):
+            cc = stmt.__dict__.get("_compiled")
+            if cc is None:
+                cc = stmt._compiled = compile_expr(stmt.cond)
+            if cc(env):
                 yield from _exec_body(stmt.body, env, role, runtime)
         elif cls is FetchAddStmt:
+            cc = stmt.__dict__.get("_compiled")
+            if cc is None:
+                cc = stmt._compiled = (compile_expr(stmt.index),
+                                       compile_expr(stmt.amount))
             array = runtime.array(stmt.array)
-            addr = array.addr(int(eval_expr(stmt.index, env)))
-            amount = eval_expr(stmt.amount, env)
+            addr = array.addr(int(cc[0](env)))
+            amount = cc[1](env)
             env[stmt.dest] = yield from role.fetch_add(addr, amount)
         else:
             raise TypeError(f"not a statement: {stmt!r}")
@@ -396,8 +419,11 @@ def _exec_load(stmt: LoadStmt, env: dict, role: Role, runtime: Runtime):
         else:
             env[stmt.dest] = yield from role.consume()
         return
+    cc = stmt.__dict__.get("_compiled")
+    if cc is None:
+        cc = stmt._compiled = compile_expr(stmt.index)
     array = runtime.array(stmt.array)
-    addr = array.addr(int(eval_expr(stmt.index, env)))
+    addr = array.addr(int(cc(env)))
     if action is LoadAction.PRODUCE_PTR:
         yield from role.produce_ptr(addr)
         return

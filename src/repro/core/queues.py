@@ -8,6 +8,11 @@ delivered in program order even though memory responses return out of
 order.  Back-pressure is structural: reserve blocks while the queue is
 full, pop blocks while the head entry has not arrived ("buffered, not
 polled").
+
+Quiescence audit (engine contract, see DESIGN.md): every blocking path
+here waits on a :class:`~repro.sim.signal.Gate` toggled by the state
+change it needs — nothing re-schedules itself to re-check ("yield 1"
+spinning), so an idle queue contributes zero events.
 """
 
 from __future__ import annotations

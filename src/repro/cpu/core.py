@@ -163,8 +163,13 @@ class Core:
 
     def _do_load(self, vaddr: int, aspace: AddressSpace):
         self._c_loads.value += 1
-        start = self._sim.now
-        paddr = yield from self._translate(aspace, vaddr)
+        sim = self._sim
+        start = sim._now
+        # TLB-hit translations are synchronous: resolve inline and only
+        # pay for a generator on the miss/walk path.
+        hit = self.tlb.translate(vaddr)
+        paddr = (hit[0] if hit is not None
+                 else (yield from self._translate_miss(aspace, vaddr)))
         port = self._mem_port
         if (not port.probe("is_uncacheable", paddr)
                 and not port.probe("l1_would_hit", paddr)):
@@ -178,13 +183,15 @@ class Core:
                 self._mshrs.release()
         else:
             value = yield from port.request("load", paddr)
-        self._h_load_latency.add(self._sim.now - start)
+        self._h_load_latency.add(sim._now - start)
         return value
 
     def _do_store(self, vaddr: int, value, aspace: AddressSpace):
         """One store, plain or fenced — the single retire path."""
         self._c_stores.value += 1
-        paddr = yield from self._translate(aspace, vaddr)
+        hit = self.tlb.translate(vaddr)
+        paddr = (hit[0] if hit is not None
+                 else (yield from self._translate_miss(aspace, vaddr)))
         port = self._mem_port
         if port.probe("is_uncacheable", paddr):
             # MMIO stores (MAPLE produces) are synchronous: the store
@@ -231,6 +238,11 @@ class Core:
         hit = self.tlb.translate(vaddr)
         if hit is not None:
             return hit[0]
+        return (yield from self._translate_miss(aspace, vaddr))
+
+    def _translate_miss(self, aspace: AddressSpace, vaddr: int):
+        """Generator: the walk/retry path after a TLB miss has already
+        been looked up (and counted) by the caller."""
         while True:
             try:
                 paddr, flags = yield from self._ptw.walk(aspace.root_paddr,

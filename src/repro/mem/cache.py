@@ -5,6 +5,11 @@ gets evicted if I insert?".  Data stays in :class:`PhysicalMemory`.  This is
 exactly the state the paper's effects depend on — software prefetching
 thrashes the 8 KB L1 because prefetched lines evict live ones, which this
 structure reproduces faithfully.
+
+Quiescence audit (engine contract, see DESIGN.md): the cache is pure
+synchronous state — it never schedules events, and its latencies are
+charged by the hierarchy only on accesses that happen.  An idle bank
+contributes zero events regardless of mesh size.
 """
 
 from __future__ import annotations

@@ -11,6 +11,12 @@ L2 line kills the L1 copies — matching OpenPiton's L1.5/L2 organization.
 Functionally, data lives only in :class:`PhysicalMemory`, so values are
 always current regardless of timing state.
 
+Quiescence audit (engine contract, see DESIGN.md): every generator here
+is driven by a port transaction and ends when the access resolves — the
+hierarchy never runs standing processes per bank or per core, and the
+only waits are timed latency charges and the DRAM channel's bounded-
+concurrency semaphore.  Idle banks schedule nothing.
+
 MMIO regions registered with :meth:`MemorySystem.register_mmio` bypass the
 caches entirely; this is how cores reach MAPLE with plain loads and stores.
 """

@@ -3,6 +3,13 @@
 Tiles are numbered row-major: tile ``i`` sits at ``(i % cols, i // cols)``.
 Each tile hosts either a core (with its private caches) or a device such as
 a MAPLE instance; the mesh just answers geometric questions.
+
+Quiescence audit (engine contract, see DESIGN.md): the mesh holds no
+simulation processes — there are no per-tile router loops to idle-skip,
+because routers were never modeled as processes in the first place;
+traversal cost is charged by :class:`~repro.noc.network.Network` on
+packets that exist.  A 16x16 mesh with two active cores schedules the
+same events as a 2x2 one.
 """
 
 from __future__ import annotations

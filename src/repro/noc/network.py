@@ -13,6 +13,11 @@ cross-tile transaction (e.g. a core's MMIO access to MAPLE) pays the mesh
 traversal here and shows up in the per-plane counters — and the Fig. 14
 latency breakdown falls out of the port trace instead of hand-placed
 instrumentation.
+
+Quiescence audit (engine contract, see DESIGN.md): the network models
+latency, not occupancy — there are no router processes to idle-skip;
+an idle fabric of any size schedules zero events, and each traversal
+is one timed wait charged on the transaction paying it.
 """
 
 from __future__ import annotations
@@ -103,10 +108,19 @@ class Network:
         ``request_link``/``response_link`` to make this network the
         transport for that seam.
         """
+        # transfer_msg inlined so each leg costs one generator, not two;
+        # the per-plane accounting still happens when the mesh traversal
+        # starts (after the pre segment), exactly as before.
+        route = self._route
+        packets_c, hops_c = self._plane_counters[plane]
+
         def _link(msg: Message):
             if pre:
                 yield pre
-            yield from self.transfer_msg(msg, plane)
+            latency, hops = route(msg.src, msg.dst)
+            packets_c.value += 1
+            hops_c.value += hops
+            yield latency
             if post:
                 yield post
         return _link

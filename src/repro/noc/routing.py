@@ -4,6 +4,10 @@ OpenPiton's P-Mesh routes packets fully along X, then along Y.  XY routing
 is deadlock-free on a mesh without extra virtual channels, which is why
 tiled SoCs favor it.  We expose the exact hop sequence so tests can verify
 the path and the harness can count hops for latency breakdowns.
+
+Quiescence audit (engine contract, see DESIGN.md): routing is pure
+arithmetic — no per-hop processes, no events; path cost is charged by
+the network on traffic that exists.
 """
 
 from __future__ import annotations

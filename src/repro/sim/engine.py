@@ -1,8 +1,8 @@
 """The discrete-event simulator core.
 
-The engine keeps a priority queue of event records and a notion of
-*processes*.  A process wraps a generator; whatever the generator yields
-decides when it is resumed:
+The engine keeps pending event records and a notion of *processes*.  A
+process wraps a generator; whatever the generator yields decides when it
+is resumed:
 
 ``int``
     Resume after that many cycles (0 is legal: resume later this cycle).
@@ -16,26 +16,49 @@ so a broken model fails loudly instead of silently dropping events.
 
 Hot-path design (the engine executes millions of events per figure):
 
-- Event records are plain 4-tuples ``(time, seq, proc, payload)`` — no
-  per-event lambda closures.  ``proc is None`` marks a bare callback from
-  :meth:`Simulator.schedule`; otherwise the record is a pending generator
-  step and ``payload`` is the value to send.  Tuples double as heap
-  entries: ``heapq`` compares ``(time, seq)`` at C speed and never
-  reaches the payload fields because ``seq`` is unique.
-- Same-cycle work (``spawn``, ``_resume``, ``yield 0``) bypasses the heap
-  entirely through a FIFO *ready* deque.  Events the heap delivers for a
+- Future events live in a **timing wheel**: a power-of-two ring of
+  per-cycle buckets indexed by ``target_time & mask``.  Enqueue and
+  dequeue are O(1) list appends — no heap comparisons, no per-event
+  sequence numbers.  Because the clock only ever advances to the
+  *minimum* pending time, every occupied bucket holds exactly one
+  timestamp, so bucket order == insertion order == the global
+  ``(time, seq)`` order the seed engine defines.
+- Bucket occupancy is a single big-int **bitmap**; finding the next
+  pending cycle is one shift plus one lowest-set-bit extraction instead
+  of a ring scan.
+- Delays beyond the wheel horizon overflow into a small ``heapq``
+  fallback carrying explicit sequence numbers.  At any timestamp every
+  heap record was enqueued strictly before every wheel record for that
+  timestamp (a record only reaches the heap because its delay exceeded
+  the horizon, and the horizon never shrinks), so draining heap-then-
+  bucket reproduces the seed engine's tie-break exactly.
+- The wheel is sized adaptively: when overflow traffic shows the
+  observed delay distribution outgrowing the horizon, the wheel doubles
+  (up to a cap) at the next moment it is empty, so no redistribution is
+  ever needed.
+- Event records are **polymorphic, allocation-free in the common case**:
+  a bare :class:`Process` means "step this generator, sending ``None``"
+  (every ``yield <int>`` resume and every spawn), a bare callable is a
+  :meth:`Simulator.schedule` callback, and only a resume that carries a
+  value (signal fires, join results) costs a ``(proc, payload)`` tuple.
+- Same-cycle work (``spawn``, ``_resume``, ``yield 0``) bypasses the
+  wheel entirely through a FIFO *ready* deque.  Events due at a
   timestamp are batch-drained into the same deque, which preserves the
   global (time, seq) execution order: delay-0 events are always created
-  *while executing* an event at the current cycle, so they sequence after
-  every already-queued event of that cycle.
+  *while executing* an event at the current cycle, so they sequence
+  after every already-queued event of that cycle.
 - The generator step (send / StopIteration / dispatch-on-yield) is
   inlined into :meth:`Simulator.run` with the dominant ``yield <int>``
   case handled in-loop; only non-int yields take the out-of-line
-  :meth:`_dispatch` path.
+  :meth:`_dispatch` path.  Plain runs take a loop with no per-event
+  ``max_events`` bookkeeping, so :attr:`run_wall_seconds` measures the
+  model, not disabled instrumentation; bounded runs use the separate
+  :meth:`_run_bounded` loop.
 
 The scheduling *semantics* are identical to the original engine, which is
 preserved as :mod:`repro.sim.reference` and checked against this one by
-the golden determinism test.
+the golden determinism test, the differential fuzz sweep, and the
+randomized-schedule property suite.
 """
 
 from __future__ import annotations
@@ -44,6 +67,19 @@ import time as _walltime
 from collections import deque
 from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Optional
+
+#: Initial wheel span in cycles (one bucket per cycle).  Covers every
+#: latency parameter in the stock SoC configs (DRAM ~300) with room.
+_WHEEL_SIZE = 1024
+#: Adaptive growth cap.  Delays beyond this always take the heap.
+_WHEEL_MAX = 8192
+#: Heap inserts that *would* have fit a bigger wheel before we grow.
+_GROW_AFTER = 64
+
+#: Precomputed per-slot masks so the hot path never re-materialises
+#: ``1 << slot`` / ``~(1 << slot)`` big-ints.
+_BIT = [1 << s for s in range(_WHEEL_MAX)]
+_NBIT = [~(1 << s) for s in range(_WHEEL_MAX)]
 
 
 class SimulationError(RuntimeError):
@@ -82,26 +118,45 @@ class Process:
         self.result = result
         joiners, self._joiners = self._joiners, []
         ready = self._sim._ready
-        for joiner in joiners:
-            ready.append((0, 0, joiner, result))
+        if result is None:
+            ready.extend(joiners)
+        else:
+            for joiner in joiners:
+                ready.append((joiner, result))
 
 
 class Simulator:
     """Cycle-accurate event loop.
 
-    Time is an integer cycle count.  All scheduling is deterministic: events
-    at the same cycle run in insertion order (a monotonically increasing
-    sequence number breaks ties), so simulations are exactly reproducible.
+    Time is an integer cycle count.  All scheduling is deterministic:
+    events at the same cycle run in insertion order (the wheel buckets
+    preserve it structurally; the overflow heap carries explicit sequence
+    numbers), so simulations are exactly reproducible.
     """
 
     def __init__(self) -> None:
         self._now = 0
+        #: Tie-break counter for the overflow heap only; wheel buckets
+        #: need none because insertion order is execution order.
         self._seq = 0
-        #: Future events: ``(time, seq, proc, payload)`` heap entries.
+        #: Far-future overflow: ``(time, seq, record)`` heap entries for
+        #: delays beyond the wheel horizon.  ``seq`` is unique, so the
+        #: heap never compares records.
         self._queue: list = []
-        #: Current-cycle events in execution order; same record layout
-        #: (the first two fields are ignored for delay-0 appends).
+        #: Current-cycle records in execution order.  A record is a bare
+        #: :class:`Process` (send ``None``), a ``(proc, payload)`` tuple
+        #: (send ``payload``), or a bare callable (invoke).
         self._ready: deque = deque()
+        #: The timing wheel: ``_wheel[t & _mask]`` is the bucket for cycle
+        #: ``t``; ``_occ`` has bit ``s`` set iff bucket ``s`` is non-empty.
+        self._wheel: list = [[] for _ in range(_WHEEL_SIZE)]
+        self._wheel_size = _WHEEL_SIZE
+        self._mask = _WHEEL_SIZE - 1
+        self._occ = 0
+        #: Observed-delay feedback for adaptive sizing: count and max of
+        #: heap inserts that a ``_WHEEL_MAX`` wheel would have absorbed.
+        self._far_fits = 0
+        self._far_max = 0
         self._live_processes = 0
         #: Cumulative events executed / wall-clock seconds spent inside
         #: :meth:`run` — the raw material for the simcore perf harness.
@@ -125,11 +180,16 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Events queued (heap + same-cycle deque).  Zero with live
-        processes remaining means every one of them is blocked on a
-        handshake that can never fire — the deadlock signature the
-        watchdog reports on."""
-        return len(self._queue) + len(self._ready)
+        """Events queued (wheel + overflow heap + same-cycle deque).
+        Zero with live processes remaining means every one of them is
+        blocked on a handshake that can never fire — the deadlock
+        signature the watchdog reports on.  The wheel population is
+        summed lazily; callers are diagnostic (watchdog ticks), not the
+        per-event hot path."""
+        count = len(self._queue) + len(self._ready)
+        if self._occ:
+            count += sum(map(len, self._wheel))
+        return count
 
     @property
     def model_events(self) -> int:
@@ -137,23 +197,32 @@ class Simulator:
         the self-rescheduling utility ticks.  The re-arm condition for
         those ticks: once this hits zero the run is over (or deadlocked)
         and ticking on would keep the queue alive artificially."""
-        return len(self._queue) + len(self._ready) - self.utility_ticks
+        return self.pending_events - self.utility_ticks
 
     def schedule(self, delay: int, callback: Callable[[], None]) -> None:
         """Run ``callback`` after ``delay`` cycles (0 = later this cycle)."""
         if delay:
             if delay < 0:
                 raise SimulationError(f"cannot schedule into the past (delay={delay})")
-            heappush(self._queue, (self._now + delay, self._seq, None, callback))
-            self._seq += 1
+            if delay <= self._wheel_size:
+                slot = (self._now + delay) & self._mask
+                self._wheel[slot].append(callback)
+                self._occ |= _BIT[slot]
+            else:
+                heappush(self._queue, (self._now + delay, self._seq, callback))
+                self._seq += 1
+                if delay <= _WHEEL_MAX:
+                    self._far_fits += 1
+                    if delay > self._far_max:
+                        self._far_max = delay
         else:
-            self._ready.append((0, 0, None, callback))
+            self._ready.append(callback)
 
     def spawn(self, gen: Generator, name: str = "proc") -> Process:
         """Register a generator as a process and start it this cycle."""
         proc = Process(self, gen, name)
         self._live_processes += 1
-        self._ready.append((0, 0, proc, None))
+        self._ready.append(proc)
         return proc
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
@@ -165,32 +234,38 @@ class Simulator:
         clock always ends at ``until``, whether or not the queue drained
         before reaching it.
         """
+        if max_events is not None:
+            return self._run_bounded(until, max_events)
         queue = self._queue
         ready = self._ready
+        wheel = self._wheel
+        mask = self._mask
+        size = self._wheel_size
+        popleft = ready.popleft
+        append = ready.append
+        now = self._now
         events = 0
+        # Occupancy bits set by the inline wheel inserts below are
+        # accumulated locally and merged when the cycle drains — bits
+        # only ever get *added* during a cycle (schedule/_dispatch OR
+        # their own bits straight into ``_occ``), so the merge is safe,
+        # and the ``finally`` flushes stragglers if a model exception
+        # (or an early ``until`` return) interrupts the batch.
+        occ_add = 0
         start = _walltime.perf_counter()
         try:
             while True:
-                if not ready:
-                    if not queue:
-                        break
-                    time = queue[0][0]
-                    if until is not None and time > until:
-                        self._now = until
-                        return until
-                    self._now = time
-                    # Batch-drain every event sharing this timestamp.  New
-                    # heap entries for this cycle cannot appear afterwards
-                    # (a delay-0 schedule goes to ``ready``, any other
-                    # delay lands strictly later), so this move is safe.
-                    ready.append(heappop(queue))
-                    while queue and queue[0][0] == time:
-                        ready.append(heappop(queue))
-                _t, _s, proc, payload = ready.popleft()
-                events += 1
-                if proc is None:
-                    payload()
-                else:
+                while ready:
+                    rec = popleft()
+                    events += 1
+                    cls = rec.__class__
+                    if cls is Process:
+                        proc, payload = rec, None
+                    elif cls is tuple:
+                        proc, payload = rec
+                    else:
+                        rec()
+                        continue
                     # Inlined generator step: the per-event hot path.
                     try:
                         yielded = proc._gen.send(payload)
@@ -199,22 +274,80 @@ class Simulator:
                         proc._finish(stop.value)
                     else:
                         if yielded.__class__ is int:
-                            if yielded > 0:
-                                heappush(queue, (self._now + yielded,
-                                                 self._seq, proc, None))
-                                self._seq += 1
+                            if 0 < yielded <= size:
+                                # Bit-set only on the empty->occupied edge;
+                                # busy buckets skip the big-int OR entirely.
+                                slot = (now + yielded) & mask
+                                lst = wheel[slot]
+                                if not lst:
+                                    occ_add |= _BIT[slot]
+                                lst.append(proc)
                             elif yielded == 0:
-                                ready.append((0, 0, proc, None))
+                                append(proc)
+                            elif yielded > 0:
+                                heappush(queue, (now + yielded, self._seq, proc))
+                                self._seq += 1
+                                if yielded <= _WHEEL_MAX:
+                                    self._far_fits += 1
+                                    if yielded > self._far_max:
+                                        self._far_max = yielded
                             else:
                                 raise SimulationError(
                                     f"cannot schedule into the past "
                                     f"(delay={yielded})")
                         else:
                             self._dispatch(proc, yielded)
-                if max_events is not None and events >= max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events} at cycle {self._now}")
+                # This cycle is drained: advance the clock to the next
+                # pending timestamp across the wheel and the overflow heap.
+                occ = self._occ | occ_add
+                occ_add = 0
+                self._occ = occ
+                if not occ:
+                    if self._far_fits >= _GROW_AFTER and size < _WHEEL_MAX:
+                        # The wheel is momentarily empty — the only safe
+                        # point to resize, since nothing needs re-slotting.
+                        size = self._grow()
+                        wheel = self._wheel
+                        mask = self._mask
+                    if not queue:
+                        break
+                    time = queue[0][0]
+                    wheel_due = False
+                else:
+                    start_slot = (now + 1) & mask
+                    hi = occ >> start_slot
+                    if hi:
+                        wt = now + 1 + ((hi & -hi).bit_length() - 1)
+                    else:
+                        wt = (now + 1 + size - start_slot
+                              + ((occ & -occ).bit_length() - 1))
+                    if queue:
+                        ht = queue[0][0]
+                        time = ht if ht <= wt else wt
+                    else:
+                        time = wt
+                    wheel_due = wt == time
+                if until is not None and time > until:
+                    self._now = until
+                    return until
+                self._now = now = time
+                # Heap records drain first: at equal timestamps they were
+                # enqueued strictly earlier than any wheel record (their
+                # delay exceeded the horizon, which never shrinks), so
+                # this order is exactly the seed engine's seq order.
+                while queue and queue[0][0] == time:
+                    append(heappop(queue)[2])
+                if wheel_due:
+                    # Records are copied out and the bucket list is kept
+                    # for reuse — no per-cycle list allocation.
+                    slot = time & mask
+                    lst = wheel[slot]
+                    ready.extend(lst)
+                    lst.clear()
+                    self._occ = occ & _NBIT[slot]
         finally:
+            if occ_add:
+                self._occ |= occ_add
             self.events_executed += events
             self.run_wall_seconds += _walltime.perf_counter() - start
         if until is not None and until > self._now:
@@ -223,31 +356,140 @@ class Simulator:
             self._now = until
         return self._now
 
+    def _run_bounded(self, until: Optional[int], max_events: int) -> int:
+        """The instrumented run loop: per-event ``max_events`` accounting.
+
+        Kept out of :meth:`run` so plain runs never pay for the backstop
+        check and ``run_wall_seconds`` stays an honest model-time meter.
+        """
+        ready = self._ready
+        events = 0
+        start = _walltime.perf_counter()
+        try:
+            while True:
+                if not ready:
+                    time = self._next_time()
+                    if time is None:
+                        break
+                    if until is not None and time > until:
+                        self._now = until
+                        return until
+                    self._now = time
+                    self._drain_into_ready(time)
+                rec = ready.popleft()
+                events += 1
+                cls = rec.__class__
+                if cls is Process:
+                    self._step(rec, None)
+                elif cls is tuple:
+                    self._step(rec[0], rec[1])
+                else:
+                    rec()
+                if events >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} at cycle {self._now}")
+        finally:
+            self.events_executed += events
+            self.run_wall_seconds += _walltime.perf_counter() - start
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    # -- queue plumbing ----------------------------------------------------
+
+    def _next_time(self) -> Optional[int]:
+        """The next pending timestamp across wheel and heap, or None."""
+        occ = self._occ
+        wt = None
+        if occ:
+            start_slot = (self._now + 1) & self._mask
+            hi = occ >> start_slot
+            if hi:
+                wt = self._now + 1 + ((hi & -hi).bit_length() - 1)
+            else:
+                wt = (self._now + 1 + self._wheel_size - start_slot
+                      + ((occ & -occ).bit_length() - 1))
+        if self._queue:
+            ht = self._queue[0][0]
+            return ht if wt is None or ht <= wt else wt
+        return wt
+
+    def _drain_into_ready(self, time: int) -> None:
+        """Move every record due at ``time`` into the ready deque,
+        heap records first (see the ordering note in :meth:`run`)."""
+        queue = self._queue
+        ready = self._ready
+        while queue and queue[0][0] == time:
+            ready.append(heappop(queue)[2])
+        occ = self._occ
+        if occ:
+            slot = time & self._mask
+            if occ & _BIT[slot]:
+                lst = self._wheel[slot]
+                ready.extend(lst)
+                lst.clear()
+                self._occ = occ & _NBIT[slot]
+
+    def _grow(self) -> int:
+        """Double the (empty) wheel toward the observed delay ceiling.
+
+        Called only when the wheel is empty, so no record ever needs
+        re-slotting; records already in the overflow heap stay there,
+        which keeps the heap-before-bucket tie-break valid (the horizon
+        only ever grows).
+        """
+        target = 1 << max(self._far_max - 1, 1).bit_length()
+        size = min(_WHEEL_MAX, max(self._wheel_size * 2, target))
+        self._wheel = [[] for _ in range(size)]
+        self._wheel_size = size
+        self._mask = size - 1
+        self._far_fits = 0
+        self._far_max = 0
+        return size
+
     # -- process machinery -------------------------------------------------
 
     def _resume(self, proc: Process, value: Any) -> None:
-        self._ready.append((0, 0, proc, value))
+        self._ready.append(proc if value is None else (proc, value))
+
+    def _step(self, proc: Process, payload: Any) -> None:
+        """One generator step, out of line (bounded-run path)."""
+        try:
+            yielded = proc._gen.send(payload)
+        except StopIteration as stop:
+            self._live_processes -= 1
+            proc._finish(stop.value)
+        else:
+            self._dispatch(proc, yielded)
 
     def _dispatch(self, proc: Process, yielded: Any) -> None:
-        """Route a non-int yield (Signal, Process, int subclasses)."""
+        """Route a yield from the out-of-line paths (bounded runs, int
+        subclasses such as bool, Signals, joins)."""
         if isinstance(yielded, int):
-            # bool or other int subclass that missed the exact-type fast
-            # path; same delay rules as the inline case.
             if yielded < 0:
                 raise SimulationError(f"cannot schedule into the past (delay={yielded})")
             if yielded:
-                heappush(self._queue, (self._now + yielded, self._seq, proc, None))
-                self._seq += 1
+                if yielded <= self._wheel_size:
+                    slot = (self._now + yielded) & self._mask
+                    self._wheel[slot].append(proc)
+                    self._occ |= _BIT[slot]
+                else:
+                    heappush(self._queue, (self._now + yielded, self._seq, proc))
+                    self._seq += 1
+                    if yielded <= _WHEEL_MAX:
+                        self._far_fits += 1
+                        if yielded > self._far_max:
+                            self._far_max = yielded
             else:
-                self._ready.append((0, 0, proc, None))
+                self._ready.append(proc)
         elif hasattr(yielded, "_add_waiter"):  # Signal-like
             if yielded.fired:
-                self._ready.append((0, 0, proc, yielded.value))
+                self._resume(proc, yielded.value)
             else:
                 yielded._add_waiter(proc)
         elif isinstance(yielded, Process):
             if yielded.finished:
-                self._ready.append((0, 0, proc, yielded.result))
+                self._resume(proc, yielded.result)
             else:
                 yielded._add_joiner(proc)
         else:

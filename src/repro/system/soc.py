@@ -17,6 +17,25 @@ from repro.vm.alloc import SimArray, alloc_array
 from repro.vm.os_model import AddressSpace, SimOS
 
 
+def stress_mesh_config(side: int = 16, maple_instances: int = 1,
+                       base: Optional[SoCConfig] = None) -> SoCConfig:
+    """A ``side`` x ``side`` mesh stress configuration (16x16 = 256 tiles
+    by default), every non-MAPLE tile seating a core.
+
+    This is the scaling testbed for the quiescence contract: components
+    are event-driven (nothing polls on ``yield 1``), so a mostly-idle
+    large mesh must execute events proportional to *active traffic*, not
+    tile count.  ``benchmarks/test_bench_simcore.py`` runs the same
+    thread count on growing meshes built from this config and asserts
+    the event count stays flat.
+    """
+    cfg = base or SoCConfig()
+    return cfg.with_overrides(
+        mesh_cols=side, mesh_rows=side,
+        num_cores=side * side - maple_instances,
+        maple_instances=maple_instances)
+
+
 class Soc:
     """One simulated SoC instance: build, allocate, run, measure.
 

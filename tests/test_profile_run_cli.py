@@ -1,0 +1,72 @@
+"""Direct CLI tests for ``tools/profile_run.py``.
+
+Run the profiler the way a user does — as a subprocess from the repo
+root — covering argument parsing, the events/sec header line, the
+pstats table (top-N rows, sort key), the raw-dump ``--outfile`` path,
+and the exit code.
+"""
+
+import marshal
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def run_tool(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.run(
+        [sys.executable, str(REPO / "tools" / "profile_run.py"), *args],
+        capture_output=True, text=True, env=env, cwd=str(REPO), timeout=300)
+
+
+def test_profile_run_default_cell_prints_rate_and_profile():
+    proc = run_tool("--app", "spmv", "--technique", "doall",
+                    "--threads", "2", "--scale", "1")
+    assert proc.returncode == 0, proc.stderr
+    # Header line: cell id, cycle count, event count, engine-level ev/s.
+    header = re.search(
+        r"spmv/doall threads=2 scale=1: (\d+) cycles, (\d+) events, "
+        r"[\d.]+s in Simulator\.run -> [\d,]+ ev/s",
+        proc.stdout)
+    assert header, proc.stdout
+    assert int(header.group(1)) > 0
+    assert int(header.group(2)) > 0
+    # pstats table follows, with hot simulation functions in it.
+    assert "ncalls" in proc.stdout and "cumtime" in proc.stdout
+    assert "engine.py" in proc.stdout
+
+
+def test_profile_run_top_n_limits_rows():
+    proc = run_tool("--app", "spmv", "--technique", "doall",
+                    "--threads", "2", "--scale", "1",
+                    "--sort", "tottime", "--top", "5")
+    assert proc.returncode == 0, proc.stderr
+    assert "Ordered by: internal time" in proc.stdout
+    assert "to 5 due to restriction" in proc.stdout
+    # Five data rows after the column header.
+    table_rows = re.findall(r"^\s*[\d/]+\s+[\d.]+\s", proc.stdout, re.M)
+    assert len(table_rows) == 5, proc.stdout
+
+
+def test_profile_run_outfile_dumps_raw_pstats(tmp_path):
+    out = tmp_path / "profile.pstats"
+    proc = run_tool("--app", "spmv", "--technique", "doall",
+                    "--threads", "2", "--scale", "1",
+                    "--top", "3", "--outfile", str(out))
+    assert proc.returncode == 0, proc.stderr
+    assert f"raw profile written to {out}" in proc.stdout
+    # The dump is a valid marshal'd pstats payload a Stats object loads.
+    with out.open("rb") as fh:
+        payload = marshal.load(fh)
+    assert isinstance(payload, dict) and payload
+
+
+def test_profile_run_rejects_unknown_sort_key():
+    proc = run_tool("--sort", "callees")
+    assert proc.returncode != 0
+    assert "invalid choice" in proc.stderr
