@@ -15,7 +15,7 @@ The driver is the kernel half of the co-design:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.api import MapleApi
 from repro.core.engine import Maple
@@ -35,6 +35,16 @@ class MapleDriver:
         for maple in maples:
             os.register_shootdown_callback(maple.mmu.shootdown)
         self._attached = {}
+        # Deterministic core->instance binding, fixed at boot the way the
+        # §5.3 OS policy would compute it: every core tile binds to the
+        # instance minimizing (mesh hops, instance id).  Pure geometry —
+        # the same SoC layout yields the same map on every host, so the
+        # map is part of a run's deterministic identity.
+        self._assignment: Dict[int, int] = {
+            tile.tile_id: self._nearest_instance(tile.tile_id).instance_id
+            for tile in mesh.tiles.values()
+            if tile.occupant is not None and tile.occupant.startswith("core")
+        }
 
     @property
     def instances(self) -> List[Maple]:
@@ -44,14 +54,38 @@ class MapleDriver:
         """Current ``(asid, instance_id)`` attachments (diagnostics)."""
         return sorted(self._attached)
 
-    def pick_instance(self, core_tile: Optional[int] = None) -> Maple:
-        """Nearest instance to the requesting core; first one otherwise."""
-        if core_tile is None or len(self._maples) == 1:
-            return self._maples[0]
-        best = min(self._maples,
+    def _nearest_instance(self, core_tile: int) -> Maple:
+        return min(self._maples,
                    key=lambda m: (self._mesh.hops(core_tile, m.tile_id),
                                   m.instance_id))
-        return best
+
+    def assignment_map(self) -> Dict[int, int]:
+        """The boot-time binding: core tile -> nearest instance id."""
+        return dict(self._assignment)
+
+    def mean_hops(self) -> float:
+        """Mean core->assigned-MAPLE hop count across every core tile —
+        the figure of merit the placement-policy sweeps compare."""
+        if not self._assignment:
+            return 0.0
+        by_id = {m.instance_id: m for m in self._maples}
+        total = sum(self._mesh.hops(tile, by_id[instance].tile_id)
+                    for tile, instance in self._assignment.items())
+        return total / len(self._assignment)
+
+    def pick_instance(self, core_tile: Optional[int] = None) -> Maple:
+        """Nearest instance to the requesting core; first one otherwise.
+
+        Known core tiles resolve through the boot-time assignment map;
+        unknown tiles (devices, tests poking arbitrary coordinates) fall
+        back to computing the same (hops, instance id) minimum.
+        """
+        if core_tile is None or len(self._maples) == 1:
+            return self._maples[0]
+        instance = self._assignment.get(core_tile)
+        if instance is not None:
+            return self._maples[instance]
+        return self._nearest_instance(core_tile)
 
     def attach(self, aspace: AddressSpace, core_tile: Optional[int] = None,
                maple: Optional[Maple] = None) -> MapleApi:

@@ -435,6 +435,105 @@ def queue_sweep(scale: int = 1, apps: Sequence[str] = SCALING_APPS,
               "the queue size.")
 
 
+# -- Large-mesh scaling: MAPLE placement on MemPool-class meshes -------------------------------
+
+
+#: Default axes for the large-mesh study.  The 32x32 point is exercised
+#: by the ``slow``-marked scaling tests; the orchestrator smoke run stops
+#: at 16x16 to stay fast.
+MESH_SIDES = (4, 8, 16)
+MESH_PLACEMENTS = ("edge", "center", "per-quadrant")
+NOC_PLANES = ("request", "response", "memory")
+
+
+def mesh_scaling_study(scale: int = 1, app: str = "spmv", threads: int = 4,
+                       sides: Sequence[int] = MESH_SIDES,
+                       placements: Sequence[str] = MESH_PLACEMENTS,
+                       maple_instances: int = 4,
+                       directory: bool = False,
+                       config: Optional[SoCConfig] = None,
+                       orch: Optional[Orchestrator] = None
+                       ) -> Tuple[FigureResult, FigureResult]:
+    """Speedup and per-plane NoC utilization vs tile count, with MAPLE
+    placement as the sweep axis (ROADMAP item 1: does latency tolerance
+    survive MemPool-class meshes?).
+
+    Every non-MAPLE tile seats a core (the stress-mesh geometry), the
+    ``threads`` worker threads run on cores 0..threads-1 — tiles in the
+    top-left region — and each Access/Execute pair binds to the MAPLE
+    instance nearest its access core via the driver's assignment map.
+    The columns are mesh sides, not applications: ``"8x8"`` is a 64-tile
+    mesh.  Utilization is NoC hops per elapsed cycle on each of the three
+    planes, from the ``maple-decouple`` cell of each configuration.
+
+    Pass ``directory=True`` to route coherence upgrades/transfers over
+    the NoC as real messages (adds directory traffic to the utilization
+    planes; off by default to keep the sweep comparable with the
+    bit-identity baseline).
+    """
+    from repro.system.soc import stress_mesh_config
+
+    base = config or FPGA_CONFIG
+    specs: List[RunSpec] = []
+    for side in sides:
+        for placement in placements:
+            cfg = stress_mesh_config(side, maple_instances, base) \
+                .with_overrides(maple_placement=placement,
+                                directory=directory)
+            specs.append(RunSpec(app, "doall", threads=threads, scale=scale,
+                                 config=cfg))
+            specs.append(RunSpec(app, "maple-decouple", threads=threads,
+                                 scale=scale, config=cfg))
+    results = iter(_gather(specs, orch))
+    labels = [f"{side}x{side}" for side in sides]
+    speedup = {p: Series(p) for p in placements}
+    util: Dict[str, Series] = {}
+    for side in sides:
+        col = f"{side}x{side}"
+        for placement in placements:
+            doall, dec = next(results), next(results)
+            speedup[placement].values[col] = doall.cycles / dec.cycles
+            for plane in NOC_PLANES:
+                key = f"{placement}/{plane}"
+                series = util.setdefault(key, Series(key))
+                series.values[col] = (dec.stats.get(f"noc.{plane}.hops", 0.0)
+                                      / dec.cycles)
+    fig_speedup = FigureResult(
+        "mesh-speedup",
+        f"Decoupling speedup vs mesh size ({app}, {threads} threads, "
+        f"{maple_instances} MAPLEs)",
+        labels, [speedup[p] for p in placements],
+        notes="threads sit in the top-left tile region, so placements "
+              "far from it pay the full core<->MAPLE distance")
+    # A plane with zero traffic everywhere (e.g. the memory plane when
+    # the workload's fetches never ride a MEMORY-plane link) cannot be
+    # plotted on a geomean scale — drop it and say so.
+    active = [s for s in (util[f"{p}/{plane}"] for p in placements
+                          for plane in NOC_PLANES)
+              if any(s.values.values())]
+    idle_planes = sorted({s.label.split("/", 1)[1]
+                          for key, s in util.items() if s not in active})
+    fig_util = FigureResult(
+        "mesh-noc",
+        f"NoC utilization (hops/cycle) vs mesh size ({app}, "
+        f"maple-decouple)",
+        labels, active,
+        notes="per-plane hop counters over elapsed cycles"
+              + (f"; idle plane(s) omitted: {', '.join(idle_planes)}"
+                 if idle_planes else ""))
+    return fig_speedup, fig_util
+
+
+def mesh_speedup(scale: int = 1,
+                 orch: Optional[Orchestrator] = None) -> FigureResult:
+    return mesh_scaling_study(scale=scale, orch=orch)[0]
+
+
+def mesh_noc(scale: int = 1,
+             orch: Optional[Orchestrator] = None) -> FigureResult:
+    return mesh_scaling_study(scale=scale, orch=orch)[1]
+
+
 # -- §5.4: area --------------------------------------------------------------------------------
 
 

@@ -229,6 +229,41 @@ def run_workload(workload_name: str, technique: str, *,
 # -- loop workloads -------------------------------------------------------------
 
 
+class _QueueAllocator:
+    """Boot-time binding of consumer threads to MAPLE instances + queues.
+
+    Each requesting core binds to its nearest instance (the driver's
+    deterministic §5.3 assignment map) and takes the next free hardware
+    queue on that instance.  With one instance this reproduces the
+    historical numbering exactly — thread/pair ``p`` gets queue ``p`` on
+    ``maple0`` — so single-instance runs stay bit-identical; with several
+    instances the load spreads by mesh distance.
+    """
+
+    def __init__(self, soc: Soc, aspace):
+        self._soc = soc
+        self._aspace = aspace
+        self._next: Dict[int, int] = {}
+        self._apis: Dict[int, object] = {}
+
+    def bind(self, core_id: int):
+        """Returns ``(api, queue_id)`` on the instance nearest the core."""
+        maple = self._soc.driver.pick_instance(
+            self._soc.cores[core_id].tile_id)
+        api = self._apis.get(maple.instance_id)
+        if api is None:
+            api = self._soc.driver.attach(self._aspace, maple=maple)
+            self._apis[maple.instance_id] = api
+        queue_id = self._next.get(maple.instance_id, 0)
+        if queue_id >= self._soc.config.maple_num_queues:
+            raise ValueError(
+                f"core {core_id} needs a queue on maple{maple.instance_id} "
+                f"but all {self._soc.config.maple_num_queues} queues are "
+                "taken — use more instances or fewer threads")
+        self._next[maple.instance_id] = queue_id + 1
+        return api, queue_id
+
+
 def _loop_assignments(soc: Soc, aspace, binding: WorkloadBinding,
                       technique: str, threads: int, distance: int,
                       lima_packed: bool = True):
@@ -299,23 +334,19 @@ def _aspace_of(binding: WorkloadBinding):
 
 def _lima_threads(soc: Soc, aspace, binding: WorkloadBinding, plan,
                   threads: int, lima_packed: bool = True):
-    api = soc.driver.attach(aspace)
+    alloc = _QueueAllocator(soc, aspace)
     chains = plan.lima_chains
-    queues_needed = threads * len(chains)
-    if queues_needed > soc.config.maple_num_queues:
-        raise ValueError(
-            f"LIMA needs {queues_needed} queues but the instance has "
-            f"{soc.config.maple_num_queues}")
     packed = lima_packed and soc.config.queue_entry_bytes == 4
     assignments = []
     for tid in range(threads):
         params = binding.slice_params(tid, threads)
         runtime = binding.runtime.with_params(**params)
+        bindings = [alloc.bind(tid) for _ in chains]
 
-        def program(rt=runtime, tid=tid):
+        def program(rt=runtime, bindings=bindings):
             handles = {}
-            for ci, chain in enumerate(chains):
-                handle = yield from api.open(tid * len(chains) + ci)
+            for (api, queue_id), chain in zip(bindings, chains):
+                handle = yield from api.open(queue_id)
                 handles[chain.ima_load.stmt_id] = handle
             role = LimaRole(plan, handles, packed=packed)
             yield from interpret(binding.kernel, rt, role)
@@ -327,7 +358,8 @@ def _lima_threads(soc: Soc, aspace, binding: WorkloadBinding, plan,
 def _decoupled_threads(soc: Soc, aspace, binding: WorkloadBinding, plan,
                        technique: str, threads: int):
     pairs = threads // 2
-    api = soc.driver.attach(aspace) if technique == "maple-decouple" else None
+    alloc = (_QueueAllocator(soc, aspace)
+             if technique == "maple-decouple" else None)
     assignments = []
     for pair in range(pairs):
         params = binding.slice_params(pair, pairs)
@@ -335,7 +367,7 @@ def _decoupled_threads(soc: Soc, aspace, binding: WorkloadBinding, plan,
         access_core = 2 * pair
         execute_core = 2 * pair + 1
         _, execute_backend, access_open = _backend_factory(
-            soc, aspace, api, technique, pair, access_core)
+            soc, aspace, alloc, technique, pair, access_core)
 
         def access_program(rt=runtime, open_gen=access_open):
             backend = yield from open_gen()
@@ -360,7 +392,7 @@ def _decoupled_threads(soc: Soc, aspace, binding: WorkloadBinding, plan,
     return assignments
 
 
-def _backend_factory(soc: Soc, aspace, api, technique: str, pair: int,
+def _backend_factory(soc: Soc, aspace, alloc, technique: str, pair: int,
                      access_core: int):
     """(access_open generator factory, execute backend factory).
 
@@ -368,12 +400,16 @@ def _backend_factory(soc: Soc, aspace, api, technique: str, pair: int,
     (OPEN), hence the generator shape.
     """
     if technique == "maple-decouple":
+        # The pair binds to the instance nearest its access core; both
+        # endpoints share the instance and queue (one SPSC channel).
+        api, queue_id = alloc.bind(access_core)
+
         def access_open():
-            handle = yield from api.open(pair)
+            handle = yield from api.open(queue_id)
             return MapleBackend(handle)
 
         def execute_backend():
-            return MapleBackend(QueueHandle(api, pair))
+            return MapleBackend(QueueHandle(api, queue_id))
 
         return None, execute_backend, access_open
 
@@ -436,15 +472,17 @@ def _bfs_assignments(soc: Soc, aspace, binding, technique: str, threads: int,
                 plan = plan_for(analysis, Technique.DOALL)
                 factory = lambda tid: _const_role_gen(DoallRole(plan))
             else:
-                api = soc.driver.attach(aspace)
+                alloc = _QueueAllocator(soc, aspace)
                 packed = lima_packed and soc.config.queue_entry_bytes == 4
 
-                def factory(tid, plan=plan, api=api, packed=packed):
+                def factory(tid, plan=plan, alloc=alloc, packed=packed):
+                    bindings = [alloc.bind(tid) for _ in plan.lima_chains]
+
                     def open_role():
                         handles = {}
-                        for ci, chain in enumerate(plan.lima_chains):
-                            handle = yield from api.open(
-                                tid * len(plan.lima_chains) + ci)
+                        for (api, queue_id), chain in zip(
+                                bindings, plan.lima_chains):
+                            handle = yield from api.open(queue_id)
                             handles[chain.ima_load.stmt_id] = handle
                         return LimaRole(plan, handles, packed=packed)
                     return open_role
@@ -475,12 +513,13 @@ def _bfs_assignments(soc: Soc, aspace, binding, technique: str, threads: int,
         return assignments, True
 
     pairs = threads // 2
-    api = soc.driver.attach(aspace) if technique == "maple-decouple" else None
+    alloc = (_QueueAllocator(soc, aspace)
+             if technique == "maple-decouple" else None)
     for pair in range(pairs):
         access_core = 2 * pair
         execute_core = 2 * pair + 1
         _, execute_backend, access_open = _backend_factory(
-            soc, aspace, api, technique, pair, access_core)
+            soc, aspace, alloc, technique, pair, access_core)
 
         def access_program(pair=pair, open_gen=access_open):
             backend = yield from open_gen()

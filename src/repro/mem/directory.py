@@ -1,0 +1,301 @@
+"""Address-interleaved home-node directory over per-tile L2 slices.
+
+On MemPool-class meshes (16x16 and up) the shared L2 is physically
+sliced: each line has a *home* tile chosen by address interleaving, and
+the home's directory bank arbitrates write ownership.  This module makes
+that structure real in the model — and, crucially, makes the coherence
+*messages* real: every invalidation and ownership-transfer round trip is
+a :class:`~repro.sim.port.Port` transaction whose request/response legs
+ride the NoC planes through :meth:`repro.noc.network.Network.link`.  The
+traffic is therefore visible to per-port taps, countable per plane,
+subject to injected channel faults, and protected by reliable delivery
+when ``SoCConfig.reliable_ports`` is armed — none of which a fixed
+``yield l2_latency`` charge (the ``directory=False`` legacy model in
+:mod:`repro.mem.hierarchy`) can offer.
+
+Protocol (MESI-flavored, invalidate-based):
+
+- **Silent grant** — a store whose line has no other sharer upgrades
+  locally: the L1's state already implies exclusivity, so no message is
+  sent.  This is what keeps a single-core run cycle-identical whether
+  the directory is on or off (a property test enforces it).
+- **Upgrade** — a store to a line other cores share sends ``dir_upgrade``
+  to the line's home tile (request plane out, response plane back).  The
+  home serializes per line, fans ``dir_inval`` messages out to every
+  other sharer *in parallel* (each one a home->sharer port transaction
+  that invalidates the sharer's L1 copy and acks back), then grants
+  ownership to the requester.
+- **Ownership transfer** — a load of a line dirty in another L1 sends
+  ``dir_fetch`` to the home; the home recalls the data with a
+  ``dir_recall`` to the owner (who downgrades to shared-clean and loses
+  write ownership) and answers the requester.
+
+The directory's sharer state is the memory hierarchy's own sharers map
+(one source of truth); what this module adds is the *owner* ledger, the
+per-line home serialization, and the message fabric.  ``owners`` can
+hold at most one core per line by construction, and :meth:`_grant`
+additionally hard-checks that no other L1 still holds the line dirty at
+grant time — a violated check raises :class:`DirectoryError` rather than
+letting two writers coexist silently.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, Dict, List, Sequence, Tuple
+
+from repro.noc import Network, Plane
+from repro.params import SoCConfig
+from repro.sim import Semaphore, Simulator
+from repro.sim.port import Message, Port, PortRegistry
+from repro.sim.stats import Stats
+
+if TYPE_CHECKING:
+    from repro.mem.hierarchy import MemorySystem
+
+#: Bounded audit ring: (cycle, event, line, core, detail) records.  The
+#: property tests replay these against the sharer sets; the bound keeps
+#: long directory-on experiments from accumulating unbounded history.
+AUDIT_DEPTH = 1 << 16
+
+
+class DirectoryError(RuntimeError):
+    """The single-writer invariant was about to be violated."""
+
+
+class Directory:
+    """Home-node directory: per-tile slices, NoC-carried coherence traffic."""
+
+    def __init__(self, sim: Simulator, memsys: "MemorySystem",
+                 network: Network, registry: PortRegistry,
+                 home_tiles: Sequence[int], core_tiles: Dict[int, int],
+                 config: SoCConfig, stats: Stats):
+        if not home_tiles:
+            raise ValueError("directory needs at least one home tile")
+        self._sim = sim
+        self._memsys = memsys
+        self.home_tiles: List[int] = list(home_tiles)
+        self._nslices = len(self.home_tiles)
+        self._line_size = config.line_size
+        self.stats = stats.scoped("directory")
+        self._c_upgrades = self.stats.counter("upgrades")
+        self._c_silent_grants = self.stats.counter("silent_grants")
+        self._c_invalidations = self.stats.counter("invalidations")
+        self._c_transfers = self.stats.counter("transfers")
+        self._c_slice_lookups = [self.stats.counter(f"slice{i}.lookups")
+                                 for i in range(self._nslices)]
+        #: line -> core_id holding write ownership (at most one, ever).
+        self.owners: Dict[int, int] = {}
+        #: Per-line home serialization (created on demand, reaped when idle).
+        self._locks: Dict[int, Semaphore] = {}
+        #: Audit ring the property tests check invariants against.
+        self.audit: Deque[Tuple[int, str, int, int, Any]] = deque(
+            maxlen=AUDIT_DEPTH)
+
+        # Port fabric: per core, one request pair (core tile -> home, the
+        # dst tile is set per message so the NoC charges the real route)
+        # and one invalidation pair (home -> core tile).  All four legs
+        # ride the request/response planes exactly like MMIO traffic.
+        self._req_ports: Dict[int, Port] = {}
+        self._inval_ports: Dict[int, Port] = {}
+        depth = 1 + config.core_mshrs + config.store_buffer_entries
+        for core_id, tile in sorted(core_tiles.items()):
+            req = registry.port(f"core{core_id}.dir", tile=tile, depth=depth)
+            srv = registry.port(f"dir.core{core_id}", tile=-1)
+            srv.bind(self._serve_home)
+            registry.connect(req, srv,
+                             request_link=network.link(Plane.REQUEST),
+                             response_link=network.link(Plane.RESPONSE))
+            self._req_ports[core_id] = req
+            inv = registry.port(f"dir.inval{core_id}", tile=-1)
+            inv_srv = registry.port(f"core{core_id}.inval", tile=tile)
+            inv_srv.bind(self._make_core_handler(core_id))
+            registry.connect(inv, inv_srv,
+                             request_link=network.link(Plane.REQUEST),
+                             response_link=network.link(Plane.RESPONSE))
+            self._inval_ports[core_id] = inv
+
+    # -- geometry ----------------------------------------------------------
+
+    def slice_of(self, line: int) -> int:
+        """Home slice of a line: consecutive lines interleave round-robin."""
+        return (line // self._line_size) % self._nslices
+
+    def home_tile(self, line: int) -> int:
+        return self.home_tiles[self.slice_of(line)]
+
+    def has_pending(self, line: int) -> bool:
+        """True while a home transaction for ``line`` is being served (or
+        queued) — the window in which silent upgrades are unsafe."""
+        return line in self._locks
+
+    # -- requester-side entry points (called from the hierarchy) -----------
+
+    def grant_silent(self, line: int, core_id: int) -> None:
+        """Zero-message upgrade: the requester is the only sharer (or the
+        line is nowhere), so its L1 state already implies exclusivity."""
+        self._c_silent_grants.value += 1
+        self._grant(line, core_id, silent=True)
+
+    def upgrade(self, core_id: int, line: int):
+        """Generator: store-upgrade round trip through the line's home.
+
+        Returns the number of sharers invalidated.
+        """
+        port = self._req_ports[core_id]
+        return (yield from port.request("dir_upgrade", (line, core_id),
+                                        dst=self.home_tile(line)))
+
+    def fetch(self, core_id: int, line: int):
+        """Generator: ownership-transfer round trip for a load of a line
+        dirty in another L1.  Returns the number of recalls issued."""
+        port = self._req_ports[core_id]
+        return (yield from port.request("dir_fetch", (line, core_id),
+                                        dst=self.home_tile(line)))
+
+    # -- home-side service -------------------------------------------------
+
+    def _serve_home(self, msg: Message):
+        """Generator: one directory transaction at the line's home bank."""
+        line, core_id = msg.payload
+        self._c_slice_lookups[self.slice_of(line)].value += 1
+        lock = self._locks.get(line)
+        if lock is None:
+            lock = self._locks[line] = Semaphore(self._sim, 1,
+                                                 name=f"dir.line{line:#x}")
+        if not lock.try_acquire():
+            yield from lock.acquire()
+        try:
+            if msg.kind == "dir_upgrade":
+                count = yield from self._home_upgrade(line, core_id)
+            elif msg.kind == "dir_fetch":
+                count = yield from self._home_fetch(line, core_id)
+            else:
+                raise ValueError(f"directory: unknown request {msg.kind!r}")
+        finally:
+            lock.release()
+            if not lock.in_use and not lock.waiting:
+                self._locks.pop(line, None)
+        return count
+
+    def _home_upgrade(self, line: int, core_id: int):
+        # Re-read under the lock: the sharer set may have changed while
+        # the request crossed the mesh or waited behind another writer.
+        others = sorted(self._memsys.sharers_of(line) - {core_id})
+        self.audit.append((self._sim.now, "upgrade", line, core_id,
+                           tuple(others)))
+        if others:
+            yield from self._fan_out(line, others, "dir_inval")
+        self._c_upgrades.value += 1
+        self._c_invalidations.value += len(others)
+        self._grant(line, core_id, silent=False)
+        return len(others)
+
+    def _home_fetch(self, line: int, core_id: int):
+        holder = self._memsys.dirty_holder(line, excluding=core_id)
+        if holder is None:
+            return 0  # downgraded/evicted while the request was in flight
+        yield from self._fan_out(line, [holder], "dir_recall")
+        self._c_transfers.value += 1
+        return 1
+
+    def _fan_out(self, line: int, cores: Sequence[int], kind: str):
+        """Generator: send ``kind`` to every core in parallel, join all.
+
+        Each message is a full home->core->home port transaction (request
+        NoC out, ack on the response NoC); fanning out concurrently means
+        an upgrade pays the *max* sharer distance, not the sum.
+        """
+        home = self.home_tile(line)
+        if len(cores) == 1:
+            yield from self._inval_ports[cores[0]].request(
+                kind, line, src=home)
+            return
+        procs = [self._sim.spawn(
+            self._inval_ports[core].request(kind, line, src=home),
+            name=f"dir.{kind}") for core in cores]
+        for proc in procs:
+            yield proc
+
+    def _make_core_handler(self, core_id: int):
+        """The core-tile side of the invalidation fabric: apply the
+        protocol action to this core's L1, then ack (zero service time —
+        the cost is the two NoC traversals)."""
+        def handler(msg: Message):
+            if msg.kind == "dir_inval":
+                self._memsys.apply_inval(core_id, msg.payload)
+            elif msg.kind == "dir_recall":
+                self._memsys.apply_downgrade(core_id, msg.payload)
+            else:
+                raise ValueError(f"directory: unknown inval {msg.kind!r}")
+            self.audit.append((self._sim.now, msg.kind, msg.payload,
+                               core_id, None))
+            return None
+            yield  # pragma: no cover — generator shape, zero latency
+        return handler
+
+    # -- ownership ledger --------------------------------------------------
+
+    def _grant(self, line: int, core_id: int, silent: bool) -> None:
+        sharers = frozenset(self._memsys.sharers_of(line))
+        for other in sharers:
+            if other != core_id and self._memsys.l1s[other].is_dirty(line):
+                raise DirectoryError(
+                    f"line {line:#x}: granting ownership to core {core_id} "
+                    f"while core {other} still holds it dirty")
+        previous = self.owners.get(line)
+        if (previous is not None and previous != core_id
+                and self._memsys.l1s[previous].is_dirty(line)):
+            raise DirectoryError(
+                f"line {line:#x}: core {previous} still owns the line "
+                f"dirty at grant to core {core_id}")
+        if core_id in sharers:
+            self.owners[line] = core_id
+            event = "grant_silent" if silent else "grant"
+        else:
+            # The requester's own copy was invalidated while its upgrade
+            # was queued at the home; the grant is void (the store's
+            # ``l1.contains`` guard will skip the dirty bit too).
+            event = "grant_void"
+        self.audit.append((self._sim.now, event, line, core_id, sharers))
+
+    def on_sharer_dropped(self, line: int, core_id: int) -> None:
+        """Hierarchy callback: a core lost its copy (invalidation, L1
+        eviction, inclusive-L2 recall) — write ownership goes with it."""
+        if self.owners.get(line) == core_id:
+            del self.owners[line]
+
+    def on_downgrade(self, line: int, core_id: int) -> None:
+        """Hierarchy callback: the owner's copy was downgraded to
+        shared-clean (ownership transfer) — nobody owns the line now."""
+        if self.owners.get(line) == core_id:
+            del self.owners[line]
+
+    # -- telemetry ---------------------------------------------------------
+
+    def debug_state(self) -> Dict[str, Any]:
+        return {
+            "slices": self._nslices,
+            "home_tiles": list(self.home_tiles),
+            "owned_lines": len(self.owners),
+            "locked_lines": sorted(self._locks),
+        }
+
+    def telemetry(self) -> Dict[str, int]:
+        """Flat counter snapshot (upgrades/invalidations/transfers)."""
+        return {
+            "upgrades": self._c_upgrades.value,
+            "silent_grants": self._c_silent_grants.value,
+            "invalidations": self._c_invalidations.value,
+            "transfers": self._c_transfers.value,
+        }
+
+
+def interleaved_home_tiles(cols: int, rows: int, slices: int) -> List[int]:
+    """Home tiles for ``slices`` L2 banks: the per-quadrant geometry, so
+    directory traffic distributes across the mesh the way MemPool's
+    physical L2 slices do."""
+    from repro.noc.mesh import placement_tiles
+
+    return placement_tiles(cols, rows, min(slices, cols * rows),
+                           "per-quadrant")

@@ -100,6 +100,12 @@ class MemorySystem:
         self._c_ecc_refetches = stats.counter("ecc.refetches")
         self._c_ecc_prefetch_drops = stats.counter("ecc.prefetch_drops")
         self._sharers: Dict[int, Set[int]] = {}
+        #: Optional home-node directory (``SoCConfig.directory=True``).
+        #: When attached, store upgrades and dirty-forwards become real
+        #: NoC message round trips instead of flat ``l2_latency`` charges;
+        #: when ``None`` every path below is bit-identical to the legacy
+        #: model.  See ``repro/mem/directory.py``.
+        self.directory = None
         self._l2_inflight: Dict[int, Signal] = {}
         self._l1_inflight: Dict[Tuple[int, int], Signal] = {}
         self._mmio: List[MMIORegion] = []
@@ -124,6 +130,11 @@ class MemorySystem:
             f"l1.{core_id}.prefetches")
         self._c_l1_writebacks[core_id] = self.stats.counter(
             f"l1.{core_id}.writebacks")
+
+    def attach_directory(self, directory) -> None:
+        """Install the sliced-L2 home-node directory (built by the SoC
+        when ``config.directory`` is set)."""
+        self.directory = directory
 
     def register_mmio(self, region: MMIORegion) -> None:
         if region.end <= region.start:
@@ -481,12 +492,21 @@ class MemorySystem:
             signal.fire()
 
     def _snoop_dirty_elsewhere(self, core_id: int, line: int):
-        """If another L1 holds the line dirty, pay a forwarding round trip."""
+        """If another L1 holds the line dirty, pay a forwarding round trip.
+
+        With a directory attached, the round trip is a real fetch/recall
+        message exchange through the line's home tile; without one it is
+        the legacy flat ``l2_latency`` charge.  The dirty-holder scan is
+        yield-free, so the directory-off event sequence is unchanged.
+        """
         sharers = self._sharers.get(line)
         if not sharers:
             return
         for other in list(sharers):
             if other != core_id and self.l1s[other].is_dirty(line):
+                if self.directory is not None:
+                    yield from self.directory.fetch(core_id, line)
+                    break
                 yield self._l2_latency
                 self._c_coh_forwards.value += 1
                 # The owner's copy is downgraded to shared-clean — unless
@@ -498,7 +518,24 @@ class MemorySystem:
     def _upgrade_for_store(self, core_id: int, line: int):
         """Invalidate other sharers before a store (directory upgrade)."""
         sharers = self._sharers.get(line)
-        if not sharers or (core_id in sharers and len(sharers) == 1):
+        sole = not sharers or (core_id in sharers and len(sharers) == 1)
+        if self.directory is not None:
+            # Sole sharer: exclusivity is implied by the L1 state — the
+            # directory grants silently, with no message, which keeps
+            # single-core runs cycle-identical either way.  Not safe
+            # while a home transaction for this line is mid-flight: a
+            # silent dirty bit set behind an in-progress fan-out would
+            # never be invalidated, so such stores take the message path
+            # and serialize at the home like everyone else.
+            if sole and not self.directory.has_pending(line):
+                self.directory.grant_silent(line, core_id)
+                return
+            # Real upgrade round trip: requester -> home tile -> parallel
+            # invalidations to every other sharer -> grant.  The home
+            # applies each invalidation via :meth:`apply_inval`.
+            yield from self.directory.upgrade(core_id, line)
+            return
+        if sole:
             return
         yield self._l2_latency
         # Re-read after the round trip: sharers may have changed.
@@ -565,6 +602,8 @@ class MemorySystem:
         for core_id in self._sharers.pop(line, set()):
             self.l1s[core_id].invalidate(line)
             self._c_coh_recalls.value += 1
+            if self.directory is not None:
+                self.directory.on_sharer_dropped(line, core_id)
         if dirty:
             self._c_l2_writebacks.value += 1
 
@@ -574,3 +613,35 @@ class MemorySystem:
             sharers.discard(core_id)
             if not sharers:
                 del self._sharers[line]
+        if self.directory is not None:
+            self.directory.on_sharer_dropped(line, core_id)
+
+    # -- directory-facing state (see repro/mem/directory.py) -----------------
+
+    def sharers_of(self, line: int) -> Set[int]:
+        """Cores currently holding ``line`` in their L1 (a copy)."""
+        return set(self._sharers.get(line, ()))
+
+    def dirty_holder(self, line: int, excluding: int) -> Optional[int]:
+        """The core (other than ``excluding``) holding ``line`` dirty, if
+        any — the recall target of an ownership transfer."""
+        for other in self._sharers.get(line, ()):
+            if other != excluding and self.l1s[other].is_dirty(line):
+                return other
+        return None
+
+    def apply_inval(self, core_id: int, line: int) -> None:
+        """Directory invalidation landed at ``core_id``'s tile: kill the
+        L1 copy and drop the sharer (which also clears ownership)."""
+        self.l1s[core_id].invalidate(line)
+        self._drop_sharer(line, core_id)
+        self._c_coh_invalidations.value += 1
+
+    def apply_downgrade(self, core_id: int, line: int) -> None:
+        """Directory recall landed at the dirty owner's tile: downgrade
+        the copy to shared-clean and surrender write ownership."""
+        if self.l1s[core_id].contains(line):
+            self.l1s[core_id].clean(line)
+        if self.directory is not None:
+            self.directory.on_downgrade(line, core_id)
+        self._c_coh_forwards.value += 1

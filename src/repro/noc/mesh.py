@@ -14,12 +14,84 @@ same events as a 2x2 one.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.noc.routing import hop_count
 
 Coord = Tuple[int, int]
+
+#: Placement policies for device (MAPLE) tiles on large meshes.
+#: ``legacy`` is the historical row-major layout (devices right after the
+#: cores) and is resolved by the SoC builder, not here.
+PLACEMENT_POLICIES = ("legacy", "edge", "center", "per-quadrant")
+
+
+def placement_tiles(cols: int, rows: int, count: int, policy: str) -> List[int]:
+    """Deterministic device-tile choices for one placement policy.
+
+    - ``edge``: corners first (row-major corner order), then the
+      remaining border tiles in tile-id order — the pessimal layout a
+      floorplan with a hard macro in the middle forces.
+    - ``center``: the ``count`` tiles nearest the mesh midpoint
+      (Euclidean distance to the center of the grid, ties by tile id).
+    - ``per-quadrant``: the mesh is split into a near-square grid of
+      ``count`` regions and each device sits at its region's midpoint —
+      the MemPool-style layout minimizing the mean core->device hop
+      count.
+
+    All policies are pure geometry: same inputs, same tiles, on every
+    host — the binding maps derived from them are part of a run's
+    deterministic identity.
+    """
+    if count < 1:
+        raise ValueError("placement needs at least one device")
+    if count > cols * rows:
+        raise ValueError(f"{count} devices cannot seat on a {cols}x{rows} mesh")
+    if policy == "edge":
+        corners = [(0, 0), (cols - 1, 0), (0, rows - 1), (cols - 1, rows - 1)]
+        seen: List[int] = []
+        for x, y in corners:
+            tile = y * cols + x
+            if tile not in seen:
+                seen.append(tile)
+        border = [y * cols + x
+                  for y in range(rows) for x in range(cols)
+                  if x in (0, cols - 1) or y in (0, rows - 1)]
+        for tile in border:
+            if tile not in seen:
+                seen.append(tile)
+        # Degenerate meshes (everything is border): fall back to tile order.
+        for tile in range(cols * rows):
+            if tile not in seen:
+                seen.append(tile)
+        return seen[:count]
+    if policy == "center":
+        cx, cy = (cols - 1) / 2.0, (rows - 1) / 2.0
+        ranked = sorted(
+            range(cols * rows),
+            key=lambda t: ((t % cols - cx) ** 2 + (t // cols - cy) ** 2, t))
+        return ranked[:count]
+    if policy == "per-quadrant":
+        qc = max(1, math.ceil(math.sqrt(count)))
+        qr = math.ceil(count / qc)
+        tiles: List[int] = []
+        for region in range(count):
+            rx, ry = region % qc, region // qc
+            # Region bounds, splitting the mesh as evenly as possible.
+            x0, x1 = (cols * rx) // qc, (cols * (rx + 1)) // qc
+            y0, y1 = (rows * ry) // qr, (rows * (ry + 1)) // qr
+            x1, y1 = max(x1, x0 + 1), max(y1, y0 + 1)
+            mx, my = (x0 + x1 - 1) / 2.0, (y0 + y1 - 1) / 2.0
+            tile = min(
+                (y * cols + x for y in range(y0, y1) for x in range(x0, x1)
+                 if (y * cols + x) not in tiles),
+                key=lambda t: ((t % cols - mx) ** 2 + (t // cols - my) ** 2, t))
+            tiles.append(tile)
+        return tiles
+    raise ValueError(f"unknown placement policy {policy!r} "
+                     f"(expected one of {PLACEMENT_POLICIES})")
 
 
 @dataclass

@@ -65,6 +65,13 @@ class SoCConfig:
     # MAPLE (Table 2: 1 instance, 1 KB scratchpad; §5.3/§5.4: 8 queues of
     # 32 entries x 4 B; 16-entry fully associative TLB, like the cores).
     maple_instances: int = 1
+    #: Where MAPLE tiles sit on the mesh.  ``legacy`` (the default, and
+    #: the bit-identity baseline) packs them row-major right after the
+    #: cores; ``edge`` / ``center`` / ``per-quadrant`` are the sweepable
+    #: geometric policies (see :func:`repro.noc.mesh.placement_tiles`).
+    #: Cores then fill the remaining tiles in ascending tile order and
+    #: bind to their nearest instance (driver assignment map, §5.3).
+    maple_placement: str = "legacy"
     scratchpad_bytes: int = 1024
     maple_num_queues: int = 8
     queue_entry_bytes: int = 4
@@ -91,6 +98,17 @@ class SoCConfig:
     ecc: bool = True
     poison_refetch_limit: int = 3
 
+    # Sliced-L2 home-node directory (MemPool-class meshes).  Opt-in:
+    # with ``directory=False`` (the default) coherence round trips are
+    # charged as flat L2 latencies exactly as before, keeping every
+    # existing config bit-identical.  With ``directory=True`` the L2's
+    # directory state is address-interleaved across ``directory_slices``
+    # home tiles and every invalidation / ownership-transfer round trip
+    # becomes real Port traffic on the NoC planes (visible to taps,
+    # faults, and reliable delivery) — see ``repro/mem/directory.py``.
+    directory: bool = False
+    directory_slices: int = 4
+
     def __post_init__(self) -> None:
         if self.line_size & (self.line_size - 1):
             raise ValueError("line_size must be a power of two")
@@ -102,6 +120,12 @@ class SoCConfig:
             raise ValueError("page_size must be a multiple of line_size")
         if self.scratchpad_bytes % self.maple_num_queues:
             raise ValueError("scratchpad must divide evenly across queues")
+        if self.maple_placement not in ("legacy", "edge", "center",
+                                        "per-quadrant"):
+            raise ValueError(
+                f"unknown maple_placement {self.maple_placement!r}")
+        if self.directory_slices < 1:
+            raise ValueError("directory needs at least one home slice")
 
     @property
     def queue_entries(self) -> int:

@@ -3,18 +3,40 @@
 from __future__ import annotations
 
 import math
+import warnings
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.driver import MapleDriver
 from repro.core.engine import Maple
 from repro.cpu.core import Core, Thread
+from repro.mem.directory import Directory, interleaved_home_tiles
 from repro.mem.hierarchy import MemorySystem
-from repro.noc import Mesh, Network
+from repro.noc import Mesh, Network, placement_tiles
 from repro.params import SoCConfig
 from repro.sim import Barrier, PortRegistry, Simulator, Stats, Watchdog
 from repro.sim.watchdog import raise_liveness
 from repro.vm.alloc import SimArray, alloc_array
 from repro.vm.os_model import AddressSpace, SimOS
+
+
+class MeshGrownWarning(UserWarning):
+    """The configured mesh could not seat every tile and was resized.
+
+    Silent growth used to be a footgun: a sweep that sets ``num_cores``
+    without touching ``mesh_cols/rows`` quietly simulates a *different
+    geometry* than the config names, skewing hop counts.  The warning
+    carries the numbers so harnesses can log or escalate it.
+    """
+
+    def __init__(self, requested: Tuple[int, int], grown: Tuple[int, int],
+                 needed: int):
+        self.requested = requested
+        self.grown = grown
+        self.needed = needed
+        super().__init__(
+            f"mesh {requested[0]}x{requested[1]} cannot seat {needed} "
+            f"tiles (cores + MAPLEs); grown to {grown[0]}x{grown[1]} — "
+            "set mesh_cols/mesh_rows explicitly to silence this")
 
 
 def stress_mesh_config(side: int = 16, maple_instances: int = 1,
@@ -68,24 +90,50 @@ class Soc:
         self.network = Network(self.sim, self.mesh, cfg, self.stats,
                                hop_latency_override=hop_latency_override)
 
+        # Tile geometry.  ``legacy`` (the bit-identity baseline) packs
+        # cores at 0..num_cores-1 and MAPLEs right after, row-major; the
+        # geometric policies place the MAPLE tiles first and cores fill
+        # the remaining tiles in ascending order.
+        if cfg.maple_placement == "legacy":
+            self.maple_tiles: List[int] = [
+                cfg.num_cores + i for i in range(cfg.maple_instances)]
+        else:
+            self.maple_tiles = placement_tiles(
+                cfg.mesh_cols, cfg.mesh_rows, cfg.maple_instances,
+                cfg.maple_placement)
+        maple_tile_set = set(self.maple_tiles)
+        core_seats = [t for t in range(self.mesh.size)
+                      if t not in maple_tile_set][:cfg.num_cores]
+
         self.cores: List[Core] = []
-        for core_id in range(cfg.num_cores):
-            tile = core_id
+        for core_id, tile in enumerate(core_seats):
             self.mesh.place(tile, f"core{core_id}")
             self.memsys.add_core(core_id)
             mem_port = self.memsys.connect_core_port(self.ports, core_id, tile)
             self.cores.append(Core(core_id, tile, self.sim, mem_port,
                                    self.os, cfg, self.stats))
+        self.core_tiles: Dict[int, int] = {
+            core.core_id: core.tile_id for core in self.cores}
 
         self.maples: List[Maple] = []
-        for instance in range(cfg.maple_instances):
-            tile = cfg.num_cores + instance
+        for instance, tile in enumerate(self.maple_tiles):
             self.mesh.place(tile, f"maple{instance}")
             maple = Maple(instance, tile, self.sim, self.memsys, self.network,
                           cfg, self.stats, mmio_base=SimOS.MMIO_BASE,
                           ports=self.ports)
-            maple.core_tiles = {core.core_id: core.tile_id for core in self.cores}
+            maple.core_tiles = dict(self.core_tiles)
             self.maples.append(maple)
+
+        #: Sliced-L2 home-node directory (opt-in; ``None`` keeps the
+        #: legacy flat-latency coherence charges bit-identical).
+        self.directory: Optional[Directory] = None
+        if cfg.directory:
+            self.directory = Directory(
+                self.sim, self.memsys, self.network, self.ports,
+                interleaved_home_tiles(cfg.mesh_cols, cfg.mesh_rows,
+                                       cfg.directory_slices),
+                self.core_tiles, cfg, self.stats)
+            self.memsys.attach_directory(self.directory)
 
         self.driver = MapleDriver(self.os, self.maples, self.mesh)
         #: The active :class:`~repro.sim.faults.FaultInjector`, if any —
@@ -95,12 +143,18 @@ class Soc:
 
     @staticmethod
     def _fit_mesh(cfg: SoCConfig) -> SoCConfig:
-        """Grow the mesh if the configured one cannot seat every tile."""
+        """Grow the mesh if the configured one cannot seat every tile,
+        warning with :class:`MeshGrownWarning` (the simulated geometry is
+        no longer the one the config names)."""
         needed = cfg.num_cores + cfg.maple_instances
         if cfg.mesh_cols * cfg.mesh_rows >= needed:
             return cfg
         cols = max(cfg.mesh_cols, math.ceil(math.sqrt(needed)))
         rows = math.ceil(needed / cols)
+        warnings.warn(
+            MeshGrownWarning((cfg.mesh_cols, cfg.mesh_rows), (cols, rows),
+                             needed),
+            stacklevel=3)
         return cfg.with_overrides(mesh_cols=cols, mesh_rows=rows)
 
     # -- process / data setup ---------------------------------------------------

@@ -1,0 +1,130 @@
+"""Property tests for the sliced-L2 home-node directory.
+
+Hypothesis drives random write-sharing interleavings (several cores,
+random load/store sequences over a small shared array) across mesh
+geometries from 2x2 to 8x8 and 1-4 directory slices, and checks the
+protocol's load-bearing invariants:
+
+- **Single writer, ever.**  :meth:`Directory._grant` raises
+  :class:`DirectoryError` the moment a grant would coexist with another
+  dirty copy, so *any* interleaving that completes proves the invariant
+  held at every grant.  The post-run ledger must also be consistent:
+  every owned line's owner still shares it, and no non-owner holds it
+  dirty.
+- **Invalidation accounting.**  Each upgrade invalidates exactly the
+  sharer set the home observed (the audit ring records it), so the
+  ``directory.invalidations`` counter must equal the summed audit sharer
+  counts — and every invalidation/recall must have crossed the NoC as a
+  message served by some ``core*.inval`` port tap.
+- **Silent-grant neutrality.**  With one core there is never another
+  sharer, so the directory must add *zero* messages and zero cycles:
+  a single-core run is cycle- and event-identical with the directory on
+  or off.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import Load, Store, Thread
+from repro.mem.directory import Directory, interleaved_home_tiles
+from repro.params import SoCConfig
+from repro.system import Soc
+
+#: One op: (is_store, word index into a 32-word shared array, value).
+#: 32 words span several cache lines, so home slices and sharer sets
+#: both get exercised without the state space exploding.
+_OP = st.tuples(st.booleans(), st.integers(0, 31), st.integers(1, 9))
+_PROGRAM = st.lists(_OP, min_size=1, max_size=10)
+_SIDES = st.sampled_from((2, 2, 3, 4, 8))
+_SLICES = st.sampled_from((1, 2, 4))
+
+
+def _build_soc(side: int, slices: int, n_threads: int,
+               directory: bool = True) -> Soc:
+    return Soc(SoCConfig(
+        name=f"dirprop-{side}x{side}",
+        num_cores=min(n_threads, side * side - 1),
+        mesh_cols=side, mesh_rows=side, maple_instances=1,
+        maple_placement="per-quadrant" if side >= 3 else "legacy",
+        directory=directory, directory_slices=slices))
+
+
+def _run_sharing(soc: Soc, programs):
+    """Run one random program per core over one shared array; quiesce."""
+    aspace = soc.new_process()
+    arr = soc.array(aspace, [0.0] * 32, name="shared")
+
+    def prog(ops, me):
+        for is_store, idx, val in ops:
+            if is_store:
+                yield Store(arr.addr(idx), float(me * 1000 + val))
+            else:
+                yield Load(arr.addr(idx))
+
+    cycles = soc.run_threads(
+        [(c, Thread(prog(ops, c), aspace, f"t{c}"))
+         for c, ops in enumerate(programs[:len(soc.cores)])])
+    soc.drain()
+    return cycles
+
+
+@settings(max_examples=40)
+@given(side=_SIDES, slices=_SLICES,
+       programs=st.lists(_PROGRAM, min_size=2, max_size=4))
+def test_never_two_simultaneous_owners(side, slices, programs):
+    soc = _build_soc(side, slices, len(programs))
+    # Any grant that would coexist with another dirty copy raises
+    # DirectoryError inside this run — completing it IS the invariant.
+    _run_sharing(soc, programs)
+    for line, owner in soc.directory.owners.items():
+        sharers = soc.memsys.sharers_of(line)
+        assert owner in sharers, (
+            f"line {line:#x} owned by core {owner} who no longer shares it")
+        for other in sharers - {owner}:
+            assert not soc.memsys.l1s[other].is_dirty(line), (
+                f"line {line:#x}: non-owner core {other} is dirty")
+
+
+@settings(max_examples=40)
+@given(side=_SIDES, slices=_SLICES,
+       programs=st.lists(_PROGRAM, min_size=2, max_size=4))
+def test_invalidation_count_matches_sharer_sets(side, slices, programs):
+    soc = _build_soc(side, slices, len(programs))
+    _run_sharing(soc, programs)
+    tele = soc.directory.telemetry()
+    audited = sum(len(detail) for _, event, _, _, detail in
+                  soc.directory.audit if event == "upgrade")
+    assert tele["invalidations"] == audited
+    # Every invalidation and recall crossed the NoC as a real message.
+    served = sum(t["served"] for name, t in soc.port_telemetry().items()
+                 if name.endswith(".inval"))
+    assert served == tele["invalidations"] + tele["transfers"]
+    assert soc.stats_snapshot()["directory.invalidations"] == \
+        tele["invalidations"]
+
+
+@settings(max_examples=25)
+@given(slices=_SLICES, program=_PROGRAM)
+def test_single_core_run_identical_with_directory_on_or_off(slices, program):
+    results = {}
+    for directory in (False, True):
+        soc = _build_soc(2, slices, 1, directory=directory)
+        cycles = _run_sharing(soc, [program])
+        results[directory] = (cycles, soc.sim.events_executed)
+    assert results[True] == results[False], (
+        f"directory changed a single-core run: {results}")
+
+
+def test_home_tiles_interleave_across_the_mesh():
+    tiles = interleaved_home_tiles(8, 8, 4)
+    assert len(tiles) == len(set(tiles)) == 4
+    assert all(0 <= t < 64 for t in tiles)
+    # One home per quadrant, so slices sit in distinct mesh quadrants.
+    quadrants = {(t % 8 >= 4, t // 8 >= 4) for t in tiles}
+    assert len(quadrants) == 4
+
+
+def test_directory_requires_a_home_tile():
+    with pytest.raises(ValueError, match="home tile"):
+        Directory(None, None, None, None, [], {}, None, None)

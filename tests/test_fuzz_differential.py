@@ -43,15 +43,26 @@ KERNELS = ("spmv", "spmv", "spmv", "sdhp", "sdhp", "sdhp", "spmm", "bfs")
 
 
 def random_config(rng: random.Random) -> SoCConfig:
-    """A valid random SoCConfig spanning the knobs the sweeps touch."""
+    """A valid random SoCConfig spanning the knobs the sweeps touch.
+
+    The mesh axis reaches 8x8 with up to 4 MAPLE instances under every
+    placement policy, so the bit-identity gate covers the multi-MAPLE
+    binding and placement code paths, not just the 2x2/3x3 seeds.
+    """
     num_queues = rng.choice((4, 8))
     entries = rng.choice((4, 8, 16, 32))
     l1_ways = rng.choice((2, 4))
+    mesh_side = rng.choice((2, 2, 3, 4, 8))
+    maple_instances = rng.choice((1, 1, 2, 4))
     return SoCConfig(
         name=f"fuzz-{rng.randrange(1 << 30)}",
         num_cores=rng.choice((2, 4)),
-        mesh_cols=rng.choice((2, 3)),
-        mesh_rows=rng.choice((2, 3)),
+        mesh_cols=mesh_side,
+        mesh_rows=rng.choice((2, 3)) if mesh_side <= 3 else mesh_side,
+        maple_instances=maple_instances,
+        maple_placement=(rng.choice(("legacy", "edge", "center",
+                                     "per-quadrant"))
+                         if mesh_side >= 3 else "legacy"),
         hop_latency=rng.choice((1, 2)),
         mmio_path_latency=rng.choice((4, 8)),
         l1_size=rng.choice((4, 8)) * 1024,
@@ -139,6 +150,28 @@ def test_fuzz_fast_engine_matches_reference(case, monkeypatch):
     assert cycles_fast == cycles_ref, f"cycle divergence in case {case}"
     assert events_fast == events_ref, f"event-count divergence in case {case}"
     assert stats_fast == stats_ref, f"stats divergence in case {case}"
+
+
+@pytest.mark.slow
+def test_fuzz_16x16_smoke_matches_reference(monkeypatch):
+    """One 16x16, 4-MAPLE differential case (the large-mesh CI job's
+    bit-identity gate; too slow for every tier-1 run)."""
+    config = SoCConfig(name="fuzz-16x16", num_cores=8,
+                       mesh_cols=16, mesh_rows=16, maple_instances=4,
+                       maple_placement="per-quadrant")
+    dataset = random_dataset(random.Random(MASTER_SEED), "spmv")
+
+    def run(engine=None):
+        if engine is not None:
+            monkeypatch.setattr(soc_module, "Simulator", engine)
+        result = run_workload("spmv", "maple-decouple", config=config,
+                              threads=8, dataset=dataset, check=True)
+        return (result.cycles, result.soc.sim.events_executed,
+                result.soc.stats_snapshot())
+
+    fast = run()
+    ref = run(ReferenceSimulator)
+    assert fast == ref
 
 
 def test_fuzz_cases_are_reproducible():

@@ -1,10 +1,14 @@
 """Tests for SoC assembly: placement, wiring, execution helpers."""
 
+import warnings
+
 import pytest
 
 from repro.cpu import Alu, Thread
+from repro.noc import placement_tiles
 from repro.params import SoCConfig
 from repro.system import Soc
+from repro.system.soc import MeshGrownWarning
 from repro.vm.os_model import SimOS
 
 
@@ -31,8 +35,67 @@ def test_mesh_grows_only_when_needed():
     soc = Soc(SoCConfig(num_cores=2, maple_instances=1,
                         mesh_cols=2, mesh_rows=2))
     assert (soc.config.mesh_cols, soc.config.mesh_rows) == (2, 2)
-    big = Soc(SoCConfig(num_cores=6, maple_instances=2))
+    with pytest.warns(MeshGrownWarning):
+        big = Soc(SoCConfig(num_cores=6, maple_instances=2))
     assert big.config.mesh_cols * big.config.mesh_rows >= 8
+
+
+def test_mesh_growth_warns_with_geometry():
+    """Silent mesh growth was a footgun: a 2x2 request quietly became
+    whatever fit.  Growth still happens (workloads routinely over-seat
+    small default meshes) but now announces itself with the requested
+    and grown geometry attached."""
+    with pytest.warns(MeshGrownWarning) as record:
+        Soc(SoCConfig(num_cores=6, maple_instances=2,
+                      mesh_cols=2, mesh_rows=2))
+    w = record[0].message
+    assert w.requested == (2, 2)
+    assert w.needed == 8
+    grown_cols, grown_rows = w.grown
+    assert grown_cols * grown_rows >= 8
+    assert "2x2" in str(w)
+
+
+def test_exact_fit_mesh_does_not_warn():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", MeshGrownWarning)
+        soc = Soc(SoCConfig(num_cores=2, maple_instances=2,
+                            mesh_cols=2, mesh_rows=2))
+    assert (soc.config.mesh_cols, soc.config.mesh_rows) == (2, 2)
+
+
+def test_placement_policy_seats_maples_at_policy_tiles():
+    for policy in ("edge", "center", "per-quadrant"):
+        cfg = SoCConfig(num_cores=8, maple_instances=4,
+                        mesh_cols=4, mesh_rows=4, maple_placement=policy)
+        soc = Soc(cfg)
+        expected = placement_tiles(4, 4, 4, policy)
+        assert soc.maple_tiles == expected, policy
+        for i, tile in enumerate(expected):
+            assert soc.mesh.tiles[tile].occupant == f"maple{i}"
+        # Cores fill the remaining tiles in tile order.
+        seats = [t for t in range(16) if t not in set(expected)][:8]
+        assert [soc.core_tiles[c] for c in range(8)] == seats
+
+
+def test_legacy_placement_unchanged():
+    soc = Soc(SoCConfig(num_cores=2, maple_instances=1,
+                        maple_placement="legacy"))
+    assert soc.maple_tiles == [2]
+    assert soc.core_tiles == {0: 0, 1: 1}
+
+
+def test_driver_assignment_binds_cores_to_nearest_maple():
+    soc = Soc(SoCConfig(num_cores=12, maple_instances=4,
+                        mesh_cols=4, mesh_rows=4,
+                        maple_placement="per-quadrant"))
+    assignment = soc.driver.assignment_map()
+    assert set(assignment) == set(soc.core_tiles.values())
+    for tile, inst in assignment.items():
+        hops_chosen = soc.mesh.hops(tile, soc.maple_tiles[inst])
+        for other, maple_tile in enumerate(soc.maple_tiles):
+            hops_other = soc.mesh.hops(tile, maple_tile)
+            assert (hops_chosen, inst) <= (hops_other, other)
 
 
 def test_run_threads_rejects_double_assignment():
