@@ -77,6 +77,13 @@ class Core:
         """Spawn the thread on this core; returns the sim Process handle."""
         return self._sim.spawn(self._execute(thread), name=f"core{self.core_id}.{thread.name}")
 
+    def l1_line_state(self, paddr: int):
+        """MESI state of this core's L1 line covering ``paddr`` (a
+        zero-time port probe; INVALID when absent).  Coherence tests and
+        audits read tag-array truth through this official seam instead
+        of reaching into the memory system."""
+        return self._mem_port.probe("l1_state", paddr)
+
     # -- execution loop ------------------------------------------------------
 
     def _execute(self, thread: Thread):

@@ -28,8 +28,8 @@ from repro.harness import figures, tables
 from repro.harness.orchestrator import Orchestrator, make_orchestrator
 
 _TARGETS = ("fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-            "fig15", "queue-sweep", "mesh-speedup", "mesh-noc", "area",
-            "table1", "table2", "table3")
+            "fig15", "queue-sweep", "mesh-speedup", "mesh-noc",
+            "mesh-coherence", "area", "table1", "table2", "table3")
 
 
 def _render(target: str, scale: int,
@@ -53,6 +53,8 @@ def _render(target: str, scale: int,
     if target in ("mesh-speedup", "mesh-noc"):
         pair = figures.mesh_scaling_study(scale=scale, orch=orch)
         return pair[0 if target == "mesh-speedup" else 1].render()
+    if target == "mesh-coherence":
+        return figures.mesh_coherence_study(scale=scale, orch=orch).render()
     if target == "area":
         report = figures.area_analysis()
         lines = ["area analysis (12 nm model, §5.4)"]

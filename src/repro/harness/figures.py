@@ -534,6 +534,65 @@ def mesh_noc(scale: int = 1,
     return mesh_scaling_study(scale=scale, orch=orch)[1]
 
 
+def mesh_coherence_study(scale: int = 1, app: str = "spmv", threads: int = 4,
+                         sides: Sequence[int] = MESH_SIDES,
+                         placements: Sequence[str] = ("edge", "per-quadrant"),
+                         maple_instances: int = 4,
+                         directory_slices: int = 4,
+                         config: Optional[SoCConfig] = None,
+                         orch: Optional[Orchestrator] = None) -> FigureResult:
+    """Decoupling speedup with the coherence backend as the sweep axis:
+    flat-latency charges (``dir-off``) vs the protocol-accurate home-node
+    directory with refill/writeback traffic on the MEMORY plane
+    (``dir-on``), across placements and mesh sizes.
+
+    The question this answers: does MAPLE's latency tolerance survive
+    when coherence round trips become *real* NoC messages that contend
+    with the decoupled traffic, instead of fixed L2 charges?  Each
+    ``dir-on`` cell pays per-hop invalidation fan-out, ownership
+    recalls at the home slices, and home->memory-controller refill
+    round trips; the paired ``dir-off`` cell is the bit-identity
+    baseline on the same geometry.
+    """
+    from repro.system.soc import stress_mesh_config
+
+    base = config or FPGA_CONFIG
+    specs: List[RunSpec] = []
+    for side in sides:
+        for placement in placements:
+            for directory in (False, True):
+                cfg = stress_mesh_config(side, maple_instances, base) \
+                    .with_overrides(maple_placement=placement,
+                                    directory=directory,
+                                    directory_slices=directory_slices,
+                                    directory_mem_traffic=directory)
+                specs.append(RunSpec(app, "doall", threads=threads,
+                                     scale=scale, config=cfg))
+                specs.append(RunSpec(app, "maple-decouple", threads=threads,
+                                     scale=scale, config=cfg))
+    results = iter(_gather(specs, orch))
+    labels = [f"{side}x{side}" for side in sides]
+    series = {f"{p}/dir-{'on' if d else 'off'}":
+              Series(f"{p}/dir-{'on' if d else 'off'}")
+              for p in placements for d in (False, True)}
+    for side in sides:
+        col = f"{side}x{side}"
+        for placement in placements:
+            for directory in (False, True):
+                doall, dec = next(results), next(results)
+                key = f"{placement}/dir-{'on' if directory else 'off'}"
+                series[key].values[col] = doall.cycles / dec.cycles
+    return FigureResult(
+        "mesh-coherence",
+        f"Decoupling speedup: flat vs directory MESI backend ({app}, "
+        f"{threads} threads, {maple_instances} MAPLEs, "
+        f"{directory_slices} home slices)",
+        labels, list(series.values()),
+        notes="dir-on routes invalidations, recalls, and L2 refills/"
+              "writebacks over the NoC planes; dir-off charges flat L2 "
+              "latencies (the bit-identity baseline)")
+
+
 # -- §5.4: area --------------------------------------------------------------------------------
 
 

@@ -2,15 +2,22 @@
 
 The hierarchy is functional + timed: data always lives in the flat
 :class:`~repro.mem.backing.PhysicalMemory` (so values are always current),
-while the caches track only tags/LRU/dirty state and charge latencies.
+while the caches track only tags/LRU/MESI state and charge latencies.
 This "write-through functional, write-back timing" split makes the model
 immune to data-coherence bugs while still reproducing miss costs, cache
-thrashing, and invalidation ping-pong.
+thrashing, and invalidation ping-pong.  The MESI protocol itself — line
+states, sharer sets, write ownership, and the typed transition table —
+lives in :mod:`repro.mem.coherence` and is shared by both coherence
+backends (the flat-latency hierarchy and the sliced home-node
+directory).
 """
 
 from repro.mem.backing import PhysicalMemory
-from repro.mem.cache import Cache
+from repro.mem.cache import Cache, EvictedLine
+from repro.mem.coherence import CoherenceBook, CoherenceError, LineState
 from repro.mem.dram import DramChannel
 from repro.mem.hierarchy import MemorySystem, MMIORegion
 
-__all__ = ["Cache", "DramChannel", "MemorySystem", "MMIORegion", "PhysicalMemory"]
+__all__ = ["Cache", "CoherenceBook", "CoherenceError", "DramChannel",
+           "EvictedLine", "LineState", "MemorySystem", "MMIORegion",
+           "PhysicalMemory"]

@@ -1,10 +1,16 @@
-"""Set-associative cache with true-LRU replacement.
+"""Set-associative cache with true-LRU replacement and MESI line states.
 
-The cache is a tag store only: it answers "is this line present, and what
-gets evicted if I insert?".  Data stays in :class:`PhysicalMemory`.  This is
-exactly the state the paper's effects depend on — software prefetching
-thrashes the 8 KB L1 because prefetched lines evict live ones, which this
-structure reproduces faithfully.
+The cache is a tag store only: it answers "is this line present, in what
+coherence state, and what gets evicted if I insert?".  Data stays in
+:class:`PhysicalMemory`.  This is exactly the state the paper's effects
+depend on — software prefetching thrashes the 8 KB L1 because prefetched
+lines evict live ones, which this structure reproduces faithfully.
+
+Each resident line carries a :class:`~repro.mem.coherence.LineState`
+(MODIFIED replaces the old boolean dirty bit; EXCLUSIVE/SHARED are the
+clean states).  The state *transitions* are owned by
+:class:`~repro.mem.coherence.CoherenceBook` — this class only stores
+what it is told via :meth:`insert` / :meth:`set_state`.
 
 Quiescence audit (engine contract, see DESIGN.md): the cache is pure
 synchronous state — it never schedules events, and its latencies are
@@ -18,21 +24,19 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import List, Optional
 
-
-#: Sentinel distinguishing "absent" from a stored False dirty bit.
-_ABSENT = object()
+from repro.mem.coherence import LineState
 
 
 @dataclass
 class EvictedLine:
-    """What :meth:`Cache.insert` displaced."""
+    """What :meth:`Cache.insert` displaced (MODIFIED = needs writeback)."""
 
     line: int
-    dirty: bool
+    state: LineState
 
 
 class Cache:
-    """Tags + LRU + dirty bits for a size/ways/line_size geometry."""
+    """Tags + LRU + MESI states for a size/ways/line_size geometry."""
 
     def __init__(self, size: int, ways: int, line_size: int, name: str = "cache"):
         if size % (ways * line_size):
@@ -48,8 +52,9 @@ class Cache:
         # fallback covers exotic configs).
         self._set_mask = self.num_sets - 1 if not (self.num_sets &
                                                    (self.num_sets - 1)) else None
-        # Each set maps line -> dirty flag; OrderedDict order is LRU order
-        # (least recent first).
+        # Each set maps line -> LineState; OrderedDict order is LRU order
+        # (least recent first).  INVALID is never stored — absence IS the
+        # invalid state.
         self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
 
     def _set_for(self, line: int) -> OrderedDict:
@@ -72,49 +77,55 @@ class Cache:
         """Probe without disturbing LRU state (for assertions/snoops)."""
         return line in self._set_for(line)
 
-    def insert(self, line: int, dirty: bool = False) -> Optional[EvictedLine]:
+    def insert(self, line: int,
+               state: LineState = LineState.SHARED) -> Optional[EvictedLine]:
         """Install a line, returning the victim if the set was full.
 
-        Inserting a line that is already present refreshes LRU and merges
-        the dirty bit (a fill never cleans a dirty line).
+        Inserting a line that is already present refreshes LRU and keeps
+        the stronger state (a fill never downgrades a MODIFIED line).
         """
+        if state is LineState.INVALID:
+            raise ValueError(f"{self.name}: cannot insert line {line:#x} INVALID")
         entry = self._set_for(line)
         # Collapsed present-probe: pop-and-reappend both tests residency
         # and refreshes LRU in one dict operation each.
-        prev = entry.pop(line, _ABSENT)
-        if prev is not _ABSENT:
-            entry[line] = prev or dirty
+        prev = entry.pop(line, None)
+        if prev is not None:
+            entry[line] = prev if prev >= state else state
             return None
         victim = None
         if len(entry) >= self.ways:
-            victim_line, victim_dirty = entry.popitem(last=False)
-            victim = EvictedLine(victim_line, victim_dirty)
-        entry[line] = dirty
+            victim_line, victim_state = entry.popitem(last=False)
+            victim = EvictedLine(victim_line, victim_state)
+        entry[line] = state
         return victim
 
-    def mark_dirty(self, line: int) -> None:
+    def set_state(self, line: int, state: LineState) -> None:
+        """Coherence transition on a resident line (store upgrade to
+        MODIFIED, downgrade to SHARED, ...)."""
         entry = self._set_for(line)
         if line not in entry:
-            raise KeyError(f"{self.name}: cannot dirty absent line {line:#x}")
-        entry[line] = True
+            raise KeyError(
+                f"{self.name}: cannot set state of absent line {line:#x}")
+        if state is LineState.INVALID:
+            raise ValueError(
+                f"{self.name}: use invalidate() to drop line {line:#x}")
+        entry[line] = state
 
-    def clean(self, line: int) -> None:
-        """Clear the dirty bit (coherence downgrade to shared-clean)."""
+    def state_of(self, line: int) -> LineState:
+        """The line's MESI state (INVALID when absent; no LRU update)."""
         entry = self._set_for(line)
-        if line not in entry:
-            raise KeyError(f"{self.name}: cannot clean absent line {line:#x}")
-        entry[line] = False
+        return entry.get(line, LineState.INVALID)
 
-    def is_dirty(self, line: int) -> bool:
+    def invalidate(self, line: int) -> Optional[LineState]:
+        """Drop a line (coherence invalidation).  Returns the state it
+        held, or ``None`` if it was absent."""
         entry = self._set_for(line)
-        return entry.get(line, False)
-
-    def invalidate(self, line: int) -> bool:
-        """Drop a line (coherence invalidation). True if it was present."""
-        entry = self._set_for(line)
-        return entry.pop(line, None) is not None
+        return entry.pop(line, None)
 
     def flush(self) -> None:
+        """Drop every line, MODIFIED ones included (power-on / test
+        reset, not a writeback flush)."""
         for entry in self._sets:
             entry.clear()
 

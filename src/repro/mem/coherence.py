@@ -1,0 +1,373 @@
+"""The shared per-line MESI coherence state machine.
+
+Both coherence backends — the legacy flat-latency model in
+:mod:`repro.mem.hierarchy` and the sliced home-node directory in
+:mod:`repro.mem.directory` — drive the same :class:`CoherenceBook`:
+one source of truth for per-line sharer sets, write ownership, and the
+M/E/S/I state stored in each L1's tag array.  The backends differ only
+in *timing* (flat ``l2_latency`` charges vs real NoC message round
+trips); the protocol state transitions are identical, typed, and
+validated by :data:`TRANSITIONS` — an illegal transition raises
+:class:`CoherenceError` at the exact event that caused it instead of
+silently corrupting the sharer books.
+
+State meanings (per L1 line; the L2 reuses the same enum with
+``SHARED`` = clean, ``MODIFIED`` = holds dirty data written back from
+an L1):
+
+- ``MODIFIED``  — this core wrote the line; its copy is the only dirty
+  one and the core holds write ownership.
+- ``EXCLUSIVE`` — this core is the only sharer and its copy is clean; a
+  store upgrades silently (no invalidations needed).
+- ``SHARED``    — clean, possibly held by several cores.
+- ``INVALID``   — not resident (never stored in a tag array; it is the
+  state :meth:`repro.mem.cache.Cache.state_of` reports for absent
+  lines).
+
+One deliberate deviation from textbook MESI, inherited from the timing
+model it must stay bit-identical to: data functionally lives in
+:class:`~repro.mem.backing.PhysicalMemory`, so a fill that lands while
+another core holds the line MODIFIED (the filling core snooped *before*
+the owner's store — both orderings are reachable across a fill's DRAM
+latency) joins as a SHARED reader without forcing a writeback.  The
+quiescence audit therefore checks single-*ownership* (at most one M/E
+holder, every other resident copy SHARED), not strict M-excludes-
+sharers.  See DESIGN.md for the full table and the audit's invariants.
+
+Sharding: :meth:`CoherenceBook.shard` splits the entry store across the
+directory's home slices (``slice_of`` address interleaving), so each
+directory bank literally owns the MESI state of its lines — the
+directory reads its slice of the book, not a seam into the hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.sim.stats import Stats
+
+
+class CoherenceError(RuntimeError):
+    """An illegal MESI transition or a single-writer violation."""
+
+
+class LineState(IntEnum):
+    """Per-line MESI state.  Ordered so ``max`` merges conservatively
+    (a dirty copy never loses its dirtiness to a clean re-fill)."""
+
+    INVALID = 0
+    SHARED = 1
+    EXCLUSIVE = 2
+    MODIFIED = 3
+
+
+_I = LineState.INVALID
+_S = LineState.SHARED
+_E = LineState.EXCLUSIVE
+_M = LineState.MODIFIED
+
+#: The typed transition table: ``(state, event) -> next state``.  Any
+#: pair not listed is illegal and raises :class:`CoherenceError`.
+#:
+#: Events:
+#:
+#: - ``fill_exclusive`` — demand/prefetch fill, no other sharer exists.
+#: - ``fill_shared``    — fill while other cores already share the line.
+#: - ``share``          — another core's fill joins: a clean exclusive
+#:   copy silently degrades to SHARED (zero cycles, no message).
+#: - ``store``          — the core writes the line *after* the upgrade
+#:   path guaranteed exclusivity (or while already M/E).
+#: - ``downgrade``      — a forwarding round trip / directory recall
+#:   landed: surrender write ownership, keep a clean copy.  Legal from
+#:   SHARED too: two concurrent snoops of one owner both commit, and
+#:   the second lands after the first already downgraded.
+#: - ``invalidate``     — upgrade invalidation or inclusive-L2 recall.
+TRANSITIONS: Dict[Tuple[LineState, str], LineState] = {
+    (_I, "fill_exclusive"): _E,
+    (_I, "fill_shared"): _S,
+    (_E, "share"): _S,
+    (_S, "store"): _M,
+    (_E, "store"): _M,
+    (_M, "store"): _M,
+    (_M, "downgrade"): _S,
+    (_E, "downgrade"): _S,
+    (_S, "downgrade"): _S,
+    (_S, "invalidate"): _I,
+    (_E, "invalidate"): _I,
+    (_M, "invalidate"): _I,
+}
+
+
+def transition(state: LineState, event: str) -> LineState:
+    """The next state for ``event``, or :class:`CoherenceError`."""
+    try:
+        return TRANSITIONS[(state, event)]
+    except KeyError:
+        raise CoherenceError(
+            f"illegal MESI transition: {event!r} in state {state.name}"
+        ) from None
+
+
+@dataclass
+class Entry:
+    """Book-side record for one line somebody holds: who shares it, and
+    which core (if any) holds write ownership (state M, or E from a
+    solo fill)."""
+
+    sharers: Set[int] = field(default_factory=set)
+    owner: Optional[int] = None
+
+
+class CoherenceBook:
+    """Sharer sets + ownership ledger + the L1 state transitions.
+
+    The hierarchy and the directory both mutate coherence state only
+    through these methods; each one validates its transition against
+    :data:`TRANSITIONS` and keeps the book's sharer sets synchronized
+    with actual tag-array residency.  The three protocol counters
+    (``coherence.forwards`` / ``invalidations`` / ``recalls``) live
+    here so both backends account identically.
+    """
+
+    def __init__(self, stats: Stats):
+        self._l1s: Dict[int, "Cache"] = {}
+        self._l2: Optional["Cache"] = None
+        #: Entry store, sharded by the directory's home interleaving
+        #: (one shard until :meth:`shard` is called).
+        self._shards: List[Dict[int, Entry]] = [{}]
+        self._slice_fn: Callable[[int], int] = lambda line: 0
+        self._c_forwards = stats.counter("coherence.forwards")
+        self._c_invalidations = stats.counter("coherence.invalidations")
+        self._c_recalls = stats.counter("coherence.recalls")
+        #: Fills dropped because the line's L2 copy was evicted while the
+        #: fill was in flight (keeping the inclusive invariant airtight;
+        #: the access still returns correct data and re-misses later).
+        self._c_dropped_fills = stats.counter("coherence.dropped_fills")
+
+    # -- construction -----------------------------------------------------
+
+    def register_l1(self, core_id: int, cache: "Cache") -> None:
+        self._l1s[core_id] = cache
+
+    def attach_l2(self, cache: "Cache") -> None:
+        self._l2 = cache
+
+    def shard(self, nslices: int, slice_fn: Callable[[int], int]) -> None:
+        """Split the entry store across ``nslices`` directory home
+        slices.  Legal only while the book is empty (the SoC builds the
+        directory before anything runs)."""
+        if any(self._shards):
+            raise CoherenceError("cannot reshard a non-empty book")
+        self._shards = [{} for _ in range(nslices)]
+        self._slice_fn = slice_fn
+
+    def shard_lines(self, index: int) -> Dict[int, Entry]:
+        """Slice ``index``'s own entries — the MESI state a directory
+        bank stores (read-only by convention)."""
+        return self._shards[index]
+
+    def _lookup(self, line: int) -> Optional[Entry]:
+        return self._shards[self._slice_fn(line)].get(line)
+
+    # -- protocol events --------------------------------------------------
+
+    def fill(self, core_id: int, line: int):
+        """A fill for ``core_id`` completed: install the line in its L1
+        with the protocol-correct state and return the L1 victim (an
+        :class:`~repro.mem.cache.EvictedLine`) if the set was full.
+
+        Solo fills take EXCLUSIVE; joining an existing sharer set takes
+        SHARED (silently degrading a clean EXCLUSIVE owner).  A fill
+        whose L2 line was evicted during its flight is dropped to keep
+        the inclusive invariant — the caller's access still returns
+        correct data from backing memory.
+        """
+        if self._l2 is not None and not self._l2.contains(line):
+            self._c_dropped_fills.value += 1
+            return None
+        shard = self._shards[self._slice_fn(line)]
+        entry = shard.get(line)
+        if entry is None:
+            state = transition(_I, "fill_exclusive")
+            shard[line] = Entry({core_id}, core_id)
+        elif core_id in entry.sharers:
+            # Re-fill of a line this core already shares (prefetch vs
+            # demand overlap): refresh LRU, never downgrade the state.
+            state = _S
+        else:
+            state = transition(_I, "fill_shared")
+            owner = entry.owner
+            if owner is not None:
+                owner_l1 = self._l1s[owner]
+                if owner_l1.state_of(line) is _E:
+                    owner_l1.set_state(line, transition(_E, "share"))
+                    entry.owner = None
+            entry.sharers.add(core_id)
+        victim = self._l1s[core_id].insert(line, state)
+        if victim is not None:
+            self.drop(core_id, victim.line)
+        return victim
+
+    def store(self, core_id: int, line: int) -> None:
+        """``core_id`` writes a line it holds (the upgrade path already
+        ran): transition its copy to MODIFIED and take ownership."""
+        entry = self._lookup(line)
+        if entry is None or core_id not in entry.sharers:
+            raise CoherenceError(
+                f"line {line:#x}: store by core {core_id}, who is not "
+                "a sharer")
+        owner = entry.owner
+        if owner is not None and owner != core_id:
+            raise CoherenceError(
+                f"line {line:#x}: store by core {core_id} while core "
+                f"{owner} holds ownership — single-writer violated")
+        l1 = self._l1s[core_id]
+        l1.set_state(line, transition(l1.state_of(line), "store"))
+        entry.owner = core_id
+
+    def downgrade(self, core_id: int, line: int) -> None:
+        """A forwarding round trip / directory recall landed at the
+        owner: surrender write ownership, keep the copy shared-clean.
+        Counts a ``coherence.forwards`` even when the copy was evicted
+        during the round trip (the requester paid it regardless)."""
+        self._c_forwards.value += 1
+        l1 = self._l1s[core_id]
+        state = l1.state_of(line)
+        if state is not _I:
+            if state is _M:
+                self.write_back(line)
+            l1.set_state(line, transition(state, "downgrade"))
+        entry = self._lookup(line)
+        if entry is not None and entry.owner == core_id:
+            entry.owner = None
+
+    def invalidate(self, core_id: int, line: int,
+                   recall: bool = False) -> None:
+        """Kill ``core_id``'s copy: an upgrade invalidation, or (with
+        ``recall=True``) an inclusive-L2 eviction recall."""
+        (self._c_recalls if recall else self._c_invalidations).value += 1
+        state = self._l1s[core_id].invalidate(line)
+        if state is not None:
+            transition(state, "invalidate")
+        self._remove_sharer(line, core_id)
+
+    def write_back(self, line: int) -> None:
+        """Dirty L1 data landed in the shared L2 (an M->S downgrade or a
+        MODIFIED victim's eviction writeback): mark the L2 copy
+        MODIFIED so its own eviction knows to write DRAM back."""
+        if self._l2 is not None and self._l2.contains(line):
+            self._l2.set_state(line, _M)
+
+    def drop(self, core_id: int, line: int) -> None:
+        """``core_id``'s copy left its L1 by capacity eviction (the tag
+        array already removed it) — no protocol message, no counter."""
+        self._remove_sharer(line, core_id)
+
+    def _remove_sharer(self, line: int, core_id: int) -> None:
+        shard = self._shards[self._slice_fn(line)]
+        entry = shard.get(line)
+        if entry is None:
+            return
+        entry.sharers.discard(core_id)
+        if entry.owner == core_id:
+            entry.owner = None
+        if not entry.sharers:
+            del shard[line]
+
+    # -- queries ----------------------------------------------------------
+
+    def sharers_of(self, line: int) -> Set[int]:
+        """Cores currently holding ``line`` in their L1 (a copy)."""
+        entry = self._lookup(line)
+        return set(entry.sharers) if entry is not None else set()
+
+    def owner_of(self, line: int) -> Optional[int]:
+        entry = self._lookup(line)
+        return entry.owner if entry is not None else None
+
+    def dirty_holder(self, line: int, excluding: int) -> Optional[int]:
+        """The core (other than ``excluding``) holding ``line`` MODIFIED,
+        if any — the recall target of an ownership transfer."""
+        entry = self._lookup(line)
+        if entry is None:
+            return None
+        owner = entry.owner
+        if (owner is not None and owner != excluding
+                and self._l1s[owner].state_of(line) is _M):
+            return owner
+        return None
+
+    def owners(self) -> Dict[int, int]:
+        """``line -> owning core`` across every shard (M holders plus
+        clean EXCLUSIVE fills)."""
+        return {line: entry.owner
+                for shard in self._shards
+                for line, entry in shard.items()
+                if entry.owner is not None}
+
+    def pending_lines(self) -> int:
+        """Tracked lines across all shards (lifecycle audits)."""
+        return sum(len(shard) for shard in self._shards)
+
+    # -- quiescence audit -------------------------------------------------
+
+    def check(self) -> List[str]:
+        """The SWMR/inclusion audit, run at quiescence.
+
+        Verified invariants: every tracked sharer actually holds the
+        line; at most one owner per line; the owner's copy is M or E
+        and every non-owner copy is SHARED; a MODIFIED or EXCLUSIVE
+        copy implies recorded ownership; every L1-resident line is
+        tracked by the book; and the L2 includes every L1 line.
+        """
+        problems: List[str] = []
+        for shard in self._shards:
+            for line, entry in shard.items():
+                if not entry.sharers:
+                    problems.append(
+                        f"line {line:#x}: tracked with an empty sharer set")
+                    continue
+                owner = entry.owner
+                if owner is not None and owner not in entry.sharers:
+                    problems.append(
+                        f"line {line:#x}: owner core {owner} is not a "
+                        "sharer")
+                for core_id in entry.sharers:
+                    state = self._l1s[core_id].state_of(line)
+                    if state is _I:
+                        problems.append(
+                            f"line {line:#x}: core {core_id} recorded as "
+                            "sharer but holds no copy")
+                    elif core_id == owner:
+                        if state is _S:
+                            problems.append(
+                                f"line {line:#x}: owner core {core_id} "
+                                "holds only a SHARED copy")
+                    elif state is not _S:
+                        problems.append(
+                            f"line {line:#x}: non-owner core {core_id} in "
+                            f"state {state.name} — single-writer violated")
+                if self._l2 is not None and not self._l2.contains(line):
+                    problems.append(
+                        f"line {line:#x}: held by cores "
+                        f"{sorted(entry.sharers)} but absent from the "
+                        "inclusive L2")
+        for core_id, l1 in self._l1s.items():
+            for line in l1.resident_lines():
+                entry = self._lookup(line)
+                if entry is None or core_id not in entry.sharers:
+                    problems.append(
+                        f"line {line:#x}: resident in l1.{core_id} but "
+                        "untracked by the book")
+        return problems
+
+    def telemetry(self) -> Dict[str, int]:
+        return {
+            "forwards": self._c_forwards.value,
+            "invalidations": self._c_invalidations.value,
+            "recalls": self._c_recalls.value,
+            "dropped_fills": self._c_dropped_fills.value,
+            "tracked_lines": self.pending_lines(),
+        }

@@ -13,30 +13,39 @@ when ``SoCConfig.reliable_ports`` is armed — none of which a fixed
 ``yield l2_latency`` charge (the ``directory=False`` legacy model in
 :mod:`repro.mem.hierarchy`) can offer.
 
-Protocol (MESI-flavored, invalidate-based):
+Protocol (MESI, invalidate-based; the state machine itself lives in
+:mod:`repro.mem.coherence` and is shared with the legacy backend):
 
 - **Silent grant** — a store whose line has no other sharer upgrades
-  locally: the L1's state already implies exclusivity, so no message is
-  sent.  This is what keeps a single-core run cycle-identical whether
-  the directory is on or off (a property test enforces it).
+  locally: the L1's EXCLUSIVE/MODIFIED state already implies
+  exclusivity, so no message is sent.  This is what keeps a single-core
+  run cycle-identical whether the directory is on or off (a property
+  test enforces it).
 - **Upgrade** — a store to a line other cores share sends ``dir_upgrade``
   to the line's home tile (request plane out, response plane back).  The
   home serializes per line, fans ``dir_inval`` messages out to every
   other sharer *in parallel* (each one a home->sharer port transaction
   that invalidates the sharer's L1 copy and acks back), then grants
   ownership to the requester.
-- **Ownership transfer** — a load of a line dirty in another L1 sends
+- **Ownership transfer** — a load of a line MODIFIED in another L1 sends
   ``dir_fetch`` to the home; the home recalls the data with a
   ``dir_recall`` to the owner (who downgrades to shared-clean and loses
   write ownership) and answers the requester.
+- **Refill / writeback** (``SoCConfig.directory_mem_traffic``) — an L2
+  miss sends ``dir_refill`` from the line's home slice to the memory
+  controller tile over the MEMORY NoC plane (the DRAM access happens
+  server-side); evicting a MODIFIED L2 line fires an asynchronous
+  ``dir_writeback`` the same way.  Off by default: the memory plane
+  stays silent and refills are direct DRAM calls, bit-identical to the
+  legacy timing.
 
-The directory's sharer state is the memory hierarchy's own sharers map
-(one source of truth); what this module adds is the *owner* ledger, the
-per-line home serialization, and the message fabric.  ``owners`` can
-hold at most one core per line by construction, and :meth:`_grant`
-additionally hard-checks that no other L1 still holds the line dirty at
-grant time — a violated check raises :class:`DirectoryError` rather than
-letting two writers coexist silently.
+The directory's MESI state lives *in the slices themselves*: building
+the directory shards the hierarchy's :class:`~repro.mem.coherence.
+CoherenceBook` by :meth:`slice_of`, so each home bank literally owns the
+``line -> (sharers, owner)`` entries it arbitrates (:meth:`slice_state`
+exposes a bank's shard).  :meth:`_grant` hard-checks the single-writer
+invariant at every grant — a violation raises :class:`DirectoryError`
+rather than letting two writers coexist silently.
 """
 
 from __future__ import annotations
@@ -44,6 +53,7 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Any, Deque, Dict, List, Sequence, Tuple
 
+from repro.mem.coherence import Entry, LineState
 from repro.noc import Network, Plane
 from repro.params import SoCConfig
 from repro.sim import Semaphore, Simulator
@@ -77,15 +87,19 @@ class Directory:
         self.home_tiles: List[int] = list(home_tiles)
         self._nslices = len(self.home_tiles)
         self._line_size = config.line_size
+        #: The shared MESI state machine, sharded so each home bank owns
+        #: the entries for its own lines.
+        self._book = memsys.book
+        self._book.shard(self._nslices, self.slice_of)
         self.stats = stats.scoped("directory")
         self._c_upgrades = self.stats.counter("upgrades")
         self._c_silent_grants = self.stats.counter("silent_grants")
         self._c_invalidations = self.stats.counter("invalidations")
         self._c_transfers = self.stats.counter("transfers")
+        self._c_refills = self.stats.counter("refills")
+        self._c_writebacks = self.stats.counter("writebacks")
         self._c_slice_lookups = [self.stats.counter(f"slice{i}.lookups")
                                  for i in range(self._nslices)]
-        #: line -> core_id holding write ownership (at most one, ever).
-        self.owners: Dict[int, int] = {}
         #: Per-line home serialization (created on demand, reaped when idle).
         self._locks: Dict[int, Semaphore] = {}
         #: Audit ring the property tests check invariants against.
@@ -115,6 +129,21 @@ class Directory:
                              response_link=network.link(Plane.RESPONSE))
             self._inval_ports[core_id] = inv
 
+        # MEMORY-plane fabric (opt-in): per slice, home tile -> memory
+        # controller tile, carrying dir_refill/dir_writeback messages.
+        self._mem_ports: List[Port] = []
+        if config.directory_mem_traffic:
+            for index, tile in enumerate(self.home_tiles):
+                mem_req = registry.port(f"dir.slice{index}.mem", tile=tile,
+                                        depth=config.dram_max_inflight)
+                mem_srv = registry.port(f"mem.slice{index}",
+                                        tile=config.mem_ctrl_tile)
+                mem_srv.bind(self._serve_memory)
+                registry.connect(mem_req, mem_srv,
+                                 request_link=network.link(Plane.MEMORY),
+                                 response_link=network.link(Plane.MEMORY))
+                self._mem_ports.append(mem_req)
+
     # -- geometry ----------------------------------------------------------
 
     def slice_of(self, line: int) -> int:
@@ -128,6 +157,17 @@ class Directory:
         """True while a home transaction for ``line`` is being served (or
         queued) — the window in which silent upgrades are unsafe."""
         return line in self._locks
+
+    def slice_state(self, index: int) -> Dict[int, Entry]:
+        """Home bank ``index``'s own MESI entries (its shard of the
+        book): ``line -> (sharers, owner)``."""
+        return self._book.shard_lines(index)
+
+    @property
+    def owners(self) -> Dict[int, int]:
+        """``line -> owning core`` across every slice (the book's
+        ownership ledger: MODIFIED holders plus clean EXCLUSIVE fills)."""
+        return self._book.owners()
 
     # -- requester-side entry points (called from the hierarchy) -----------
 
@@ -148,10 +188,25 @@ class Directory:
 
     def fetch(self, core_id: int, line: int):
         """Generator: ownership-transfer round trip for a load of a line
-        dirty in another L1.  Returns the number of recalls issued."""
+        MODIFIED in another L1.  Returns the number of recalls issued."""
         port = self._req_ports[core_id]
         return (yield from port.request("dir_fetch", (line, core_id),
                                         dst=self.home_tile(line)))
+
+    def refill(self, line: int):
+        """Generator: an L2 miss's DRAM fetch, as a home-slice ->
+        memory-controller round trip on the MEMORY plane."""
+        return (yield from self._mem_ports[self.slice_of(line)].request(
+            "dir_refill", line))
+
+    def writeback_async(self, line: int) -> None:
+        """Fire-and-forget: a MODIFIED L2 victim's writeback crosses the
+        MEMORY plane in the background (eviction is synchronous; the
+        dirty data drains to DRAM behind it)."""
+        self._sim.spawn(
+            self._mem_ports[self.slice_of(line)].request("dir_writeback",
+                                                         line),
+            name="dir.writeback")
 
     # -- home-side service -------------------------------------------------
 
@@ -178,10 +233,22 @@ class Directory:
                 self._locks.pop(line, None)
         return count
 
+    def _serve_memory(self, msg: Message):
+        """Generator: the memory-controller side of the MEMORY plane —
+        one DRAM access per refill or writeback."""
+        if msg.kind == "dir_refill":
+            self._c_refills.value += 1
+        elif msg.kind == "dir_writeback":
+            self._c_writebacks.value += 1
+        else:
+            raise ValueError(f"directory: unknown memory request {msg.kind!r}")
+        yield from self._memsys.dram.access(msg.payload)
+        return None
+
     def _home_upgrade(self, line: int, core_id: int):
         # Re-read under the lock: the sharer set may have changed while
         # the request crossed the mesh or waited behind another writer.
-        others = sorted(self._memsys.sharers_of(line) - {core_id})
+        others = sorted(self._book.sharers_of(line) - {core_id})
         self.audit.append((self._sim.now, "upgrade", line, core_id,
                            tuple(others)))
         if others:
@@ -192,7 +259,7 @@ class Directory:
         return len(others)
 
     def _home_fetch(self, line: int, core_id: int):
-        holder = self._memsys.dirty_holder(line, excluding=core_id)
+        holder = self._book.dirty_holder(line, excluding=core_id)
         if holder is None:
             return 0  # downgraded/evicted while the request was in flight
         yield from self._fan_out(line, [holder], "dir_recall")
@@ -219,13 +286,14 @@ class Directory:
 
     def _make_core_handler(self, core_id: int):
         """The core-tile side of the invalidation fabric: apply the
-        protocol action to this core's L1, then ack (zero service time —
-        the cost is the two NoC traversals)."""
+        protocol transition to this core's L1 through the shared book,
+        then ack (zero service time — the cost is the two NoC
+        traversals)."""
         def handler(msg: Message):
             if msg.kind == "dir_inval":
-                self._memsys.apply_inval(core_id, msg.payload)
+                self._book.invalidate(core_id, msg.payload)
             elif msg.kind == "dir_recall":
-                self._memsys.apply_downgrade(core_id, msg.payload)
+                self._book.downgrade(core_id, msg.payload)
             else:
                 raise ValueError(f"directory: unknown inval {msg.kind!r}")
             self.audit.append((self._sim.now, msg.kind, msg.payload,
@@ -237,39 +305,30 @@ class Directory:
     # -- ownership ledger --------------------------------------------------
 
     def _grant(self, line: int, core_id: int, silent: bool) -> None:
-        sharers = frozenset(self._memsys.sharers_of(line))
+        sharers = frozenset(self._book.sharers_of(line))
+        l1s = self._memsys.l1s
         for other in sharers:
-            if other != core_id and self._memsys.l1s[other].is_dirty(line):
+            if (other != core_id
+                    and l1s[other].state_of(line) is LineState.MODIFIED):
                 raise DirectoryError(
                     f"line {line:#x}: granting ownership to core {core_id} "
-                    f"while core {other} still holds it dirty")
-        previous = self.owners.get(line)
+                    f"while core {other} still holds it MODIFIED")
+        previous = self._book.owner_of(line)
         if (previous is not None and previous != core_id
-                and self._memsys.l1s[previous].is_dirty(line)):
+                and l1s[previous].state_of(line) is LineState.MODIFIED):
             raise DirectoryError(
                 f"line {line:#x}: core {previous} still owns the line "
-                f"dirty at grant to core {core_id}")
+                f"MODIFIED at grant to core {core_id}")
         if core_id in sharers:
-            self.owners[line] = core_id
+            # Ownership itself is recorded by the book when the store
+            # lands (CoherenceBook.store, right after this grant).
             event = "grant_silent" if silent else "grant"
         else:
             # The requester's own copy was invalidated while its upgrade
             # was queued at the home; the grant is void (the store's
-            # ``l1.contains`` guard will skip the dirty bit too).
+            # ``l1.contains`` guard will skip the MODIFIED transition too).
             event = "grant_void"
         self.audit.append((self._sim.now, event, line, core_id, sharers))
-
-    def on_sharer_dropped(self, line: int, core_id: int) -> None:
-        """Hierarchy callback: a core lost its copy (invalidation, L1
-        eviction, inclusive-L2 recall) — write ownership goes with it."""
-        if self.owners.get(line) == core_id:
-            del self.owners[line]
-
-    def on_downgrade(self, line: int, core_id: int) -> None:
-        """Hierarchy callback: the owner's copy was downgraded to
-        shared-clean (ownership transfer) — nobody owns the line now."""
-        if self.owners.get(line) == core_id:
-            del self.owners[line]
 
     # -- telemetry ---------------------------------------------------------
 
@@ -278,16 +337,20 @@ class Directory:
             "slices": self._nslices,
             "home_tiles": list(self.home_tiles),
             "owned_lines": len(self.owners),
+            "tracked_lines": self._book.pending_lines(),
             "locked_lines": sorted(self._locks),
         }
 
     def telemetry(self) -> Dict[str, int]:
-        """Flat counter snapshot (upgrades/invalidations/transfers)."""
+        """Flat counter snapshot (upgrades/invalidations/transfers and
+        the MEMORY-plane refill/writeback message counts)."""
         return {
             "upgrades": self._c_upgrades.value,
             "silent_grants": self._c_silent_grants.value,
             "invalidations": self._c_invalidations.value,
             "transfers": self._c_transfers.value,
+            "refills": self._c_refills.value,
+            "writebacks": self._c_writebacks.value,
         }
 
 

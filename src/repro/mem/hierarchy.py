@@ -28,6 +28,7 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.mem.backing import WORD_BYTES, PhysicalMemory
 from repro.mem.cache import Cache
+from repro.mem.coherence import CoherenceBook, LineState
 from repro.mem.dram import DramChannel, Poison
 from repro.params import SoCConfig
 from repro.sim import Signal, Simulator
@@ -77,9 +78,11 @@ class MemorySystem:
         self._c_l2_merged = stats.counter("l2.merged_misses")
         self._c_l2_prefetches = stats.counter("l2.prefetches")
         self._c_l2_writebacks = stats.counter("l2.writebacks")
-        self._c_coh_forwards = stats.counter("coherence.forwards")
-        self._c_coh_invalidations = stats.counter("coherence.invalidations")
-        self._c_coh_recalls = stats.counter("coherence.recalls")
+        #: The shared MESI state machine both coherence backends drive
+        #: (sharer sets, ownership, L1 state transitions, and the
+        #: ``coherence.*`` counters) — see ``repro/mem/coherence.py``.
+        self.book = CoherenceBook(stats)
+        self.book.attach_l2(self.l2)
         self._c_l1_hits: Dict[int, Counter] = {}
         self._c_l1_misses: Dict[int, Counter] = {}
         self._c_l1_amos: Dict[int, Counter] = {}
@@ -99,13 +102,16 @@ class MemorySystem:
         self._c_ecc_silent = stats.counter("ecc.silent")
         self._c_ecc_refetches = stats.counter("ecc.refetches")
         self._c_ecc_prefetch_drops = stats.counter("ecc.prefetch_drops")
-        self._sharers: Dict[int, Set[int]] = {}
         #: Optional home-node directory (``SoCConfig.directory=True``).
         #: When attached, store upgrades and dirty-forwards become real
         #: NoC message round trips instead of flat ``l2_latency`` charges;
         #: when ``None`` every path below is bit-identical to the legacy
         #: model.  See ``repro/mem/directory.py``.
         self.directory = None
+        #: With ``SoCConfig.directory_mem_traffic`` armed, L2 refills and
+        #: dirty writebacks ride the MEMORY NoC plane as real port
+        #: messages through the directory's slice ports.
+        self._mem_traffic = config.directory_mem_traffic
         self._l2_inflight: Dict[int, Signal] = {}
         self._l1_inflight: Dict[Tuple[int, int], Signal] = {}
         self._mmio: List[MMIORegion] = []
@@ -123,6 +129,7 @@ class MemorySystem:
         cfg = self.config
         self.l1s[core_id] = Cache(cfg.l1_size, cfg.l1_ways, cfg.line_size,
                                   name=f"l1.{core_id}")
+        self.book.register_l1(core_id, self.l1s[core_id])
         self._c_l1_hits[core_id] = self.stats.counter(f"l1.{core_id}.hits")
         self._c_l1_misses[core_id] = self.stats.counter(f"l1.{core_id}.misses")
         self._c_l1_amos[core_id] = self.stats.counter(f"l1.{core_id}.amos")
@@ -202,6 +209,8 @@ class MemorySystem:
                 return self.is_uncacheable(paddr)
             if kind == "l1_would_hit":
                 return self.l1_would_hit(core_id, paddr)
+            if kind == "l1_state":
+                return self.l1s[core_id].state_of(self._line_of(paddr))
             raise ValueError(f"core mem port: unknown probe kind {kind!r}")
 
         server.bind(handler, posts=posts, probes=probes)
@@ -288,7 +297,7 @@ class MemorySystem:
             yield from self._l1_fill_clean(core_id, line)
         yield from self._upgrade_for_store(core_id, line)
         if l1.contains(line):
-            l1.mark_dirty(line)
+            self.book.store(core_id, line)
         if apply:
             self.mem.write_word(paddr, value)
         return None
@@ -320,7 +329,7 @@ class MemorySystem:
         old = self.mem.read_word(paddr)
         self.mem.write_word(paddr, op(old))
         if l1.contains(line):
-            l1.mark_dirty(line)
+            self.book.store(core_id, line)
         self._c_l1_amos[core_id].value += 1
         return old
 
@@ -447,10 +456,9 @@ class MemorySystem:
         the inclusive discipline) so the next demand triggers a fresh
         DRAM read with a fresh flip fate."""
         self._l2_poisoned.discard(line)
-        if self.l2.contains(line):
-            dirty = self.l2.is_dirty(line)
-            self.l2.invalidate(line)
-            self._evict_l2_victim(line, dirty)
+        state = self.l2.invalidate(line)
+        if state is not None:
+            self._evict_l2_victim(line, state)
 
     def _poison_exhausted(self, component: str, line: int) -> None:
         raise DataIntegrityError(
@@ -481,43 +489,38 @@ class MemorySystem:
         try:
             yield from self._snoop_dirty_elsewhere(core_id, line)
             yield from self._ensure_l2(line)
-            victim = self.l1s[core_id].insert(line)
-            if victim is not None:
-                self._drop_sharer(victim.line, core_id)
-                if victim.dirty:
-                    self._c_l1_writebacks[core_id].value += 1
-            self._sharers.setdefault(line, set()).add(core_id)
+            victim = self.book.fill(core_id, line)
+            if victim is not None and victim.state is LineState.MODIFIED:
+                self._c_l1_writebacks[core_id].value += 1
+                self.book.write_back(victim.line)
         finally:
             del self._l1_inflight[key]
             signal.fire()
 
     def _snoop_dirty_elsewhere(self, core_id: int, line: int):
-        """If another L1 holds the line dirty, pay a forwarding round trip.
+        """If another L1 holds the line MODIFIED, pay a forwarding round
+        trip.
 
         With a directory attached, the round trip is a real fetch/recall
         message exchange through the line's home tile; without one it is
-        the legacy flat ``l2_latency`` charge.  The dirty-holder scan is
-        yield-free, so the directory-off event sequence is unchanged.
+        the legacy flat ``l2_latency`` charge.  The dirty-holder lookup
+        is yield-free, so the directory-off event sequence is unchanged.
         """
-        sharers = self._sharers.get(line)
-        if not sharers:
+        holder = self.book.dirty_holder(line, excluding=core_id)
+        if holder is None:
             return
-        for other in list(sharers):
-            if other != core_id and self.l1s[other].is_dirty(line):
-                if self.directory is not None:
-                    yield from self.directory.fetch(core_id, line)
-                    break
-                yield self._l2_latency
-                self._c_coh_forwards.value += 1
-                # The owner's copy is downgraded to shared-clean — unless
-                # it was evicted/invalidated during the forwarding delay.
-                if self.l1s[other].contains(line):
-                    self.l1s[other].clean(line)
-                break
+        if self.directory is not None:
+            yield from self.directory.fetch(core_id, line)
+            return
+        yield self._l2_latency
+        # The owner's copy is downgraded to shared-clean — unless it was
+        # evicted/invalidated during the forwarding delay.  Its dirty
+        # data lands in the shared L2 (the book marks it MODIFIED there).
+        self.book.downgrade(holder, line)
 
     def _upgrade_for_store(self, core_id: int, line: int):
         """Invalidate other sharers before a store (directory upgrade)."""
-        sharers = self._sharers.get(line)
+        sharers = self.book.sharers_of(line)
         sole = not sharers or (core_id in sharers and len(sharers) == 1)
         if self.directory is not None:
             # Sole sharer: exclusivity is implied by the L1 state — the
@@ -539,11 +542,8 @@ class MemorySystem:
             return
         yield self._l2_latency
         # Re-read after the round trip: sharers may have changed.
-        others = self._sharers.get(line, set()) - {core_id}
-        self._c_coh_invalidations.value += len(others)
-        for other in others:
-            self.l1s[other].invalidate(line)
-            self._drop_sharer(line, other)
+        for other in self.book.sharers_of(line) - {core_id}:
+            self.book.invalidate(other, line)
 
     def _ensure_l2(self, line: int):
         if self.l2.lookup(line):
@@ -560,12 +560,18 @@ class MemorySystem:
         try:
             self._c_l2_misses.value += 1
             yield self._l2_latency
-            yield from self.dram.access(line)
+            if self._mem_traffic and self.directory is not None:
+                # The refill crosses the MEMORY NoC plane as a real port
+                # message through the line's home slice (tap-visible,
+                # fault-injectable); the DRAM access happens server-side.
+                yield from self.directory.refill(line)
+            else:
+                yield from self.dram.access(line)
             if self.flip is not None:
                 self._fill_flip(line)
             victim = self.l2.insert(line)
             if victim is not None:
-                self._evict_l2_victim(victim.line, victim.dirty)
+                self._evict_l2_victim(victim.line, victim.state)
             was_prefetch = line in self._l2_prefetching
             for listener in self.l2_fill_listeners:
                 listener(line, was_prefetch)
@@ -597,51 +603,24 @@ class MemorySystem:
             self._c_ecc_poisoned.value += 1
             self._l2_poisoned.add(line)
 
-    def _evict_l2_victim(self, line: int, dirty: bool) -> None:
-        """Inclusive L2: an eviction recalls the line from every L1."""
-        for core_id in self._sharers.pop(line, set()):
-            self.l1s[core_id].invalidate(line)
-            self._c_coh_recalls.value += 1
-            if self.directory is not None:
-                self.directory.on_sharer_dropped(line, core_id)
-        if dirty:
+    def _evict_l2_victim(self, line: int, state: LineState) -> None:
+        """Inclusive L2: an eviction recalls the line from every L1; a
+        MODIFIED victim is written back to DRAM (a real MEMORY-plane
+        message when ``directory_mem_traffic`` is armed)."""
+        for core_id in self.book.sharers_of(line):
+            self.book.invalidate(core_id, line, recall=True)
+        if state is LineState.MODIFIED:
             self._c_l2_writebacks.value += 1
-
-    def _drop_sharer(self, line: int, core_id: int) -> None:
-        sharers = self._sharers.get(line)
-        if sharers is not None:
-            sharers.discard(core_id)
-            if not sharers:
-                del self._sharers[line]
-        if self.directory is not None:
-            self.directory.on_sharer_dropped(line, core_id)
+            if self._mem_traffic and self.directory is not None:
+                self.directory.writeback_async(line)
 
     # -- directory-facing state (see repro/mem/directory.py) -----------------
 
     def sharers_of(self, line: int) -> Set[int]:
         """Cores currently holding ``line`` in their L1 (a copy)."""
-        return set(self._sharers.get(line, ()))
+        return self.book.sharers_of(line)
 
     def dirty_holder(self, line: int, excluding: int) -> Optional[int]:
-        """The core (other than ``excluding``) holding ``line`` dirty, if
-        any — the recall target of an ownership transfer."""
-        for other in self._sharers.get(line, ()):
-            if other != excluding and self.l1s[other].is_dirty(line):
-                return other
-        return None
-
-    def apply_inval(self, core_id: int, line: int) -> None:
-        """Directory invalidation landed at ``core_id``'s tile: kill the
-        L1 copy and drop the sharer (which also clears ownership)."""
-        self.l1s[core_id].invalidate(line)
-        self._drop_sharer(line, core_id)
-        self._c_coh_invalidations.value += 1
-
-    def apply_downgrade(self, core_id: int, line: int) -> None:
-        """Directory recall landed at the dirty owner's tile: downgrade
-        the copy to shared-clean and surrender write ownership."""
-        if self.l1s[core_id].contains(line):
-            self.l1s[core_id].clean(line)
-        if self.directory is not None:
-            self.directory.on_downgrade(line, core_id)
-        self._c_coh_forwards.value += 1
+        """The core (other than ``excluding``) holding ``line`` MODIFIED,
+        if any — the recall target of an ownership transfer."""
+        return self.book.dirty_holder(line, excluding)

@@ -108,6 +108,16 @@ class SoCConfig:
     # faults, and reliable delivery) — see ``repro/mem/directory.py``.
     directory: bool = False
     directory_slices: int = 4
+    #: Route L2 refill and dirty-writeback traffic over the MEMORY NoC
+    #: plane as real ``dir_refill``/``dir_writeback`` port messages
+    #: between each home slice and the memory-controller tile (requires
+    #: ``directory=True``).  Off by default: refills stay direct DRAM
+    #: calls and the default timing is bit-identical.
+    directory_mem_traffic: bool = False
+    #: Mesh tile the DRAM controller sits at (the far end of the
+    #: MEMORY-plane refill/writeback routes).  Tile 0 is the top-left
+    #: corner, matching OpenPiton's edge-attached memory controller.
+    mem_ctrl_tile: int = 0
 
     def __post_init__(self) -> None:
         if self.line_size & (self.line_size - 1):
@@ -126,6 +136,10 @@ class SoCConfig:
                 f"unknown maple_placement {self.maple_placement!r}")
         if self.directory_slices < 1:
             raise ValueError("directory needs at least one home slice")
+        if self.directory_mem_traffic and not self.directory:
+            raise ValueError("directory_mem_traffic requires directory=True")
+        if not 0 <= self.mem_ctrl_tile < self.mesh_cols * self.mesh_rows:
+            raise ValueError("mem_ctrl_tile must be a valid mesh tile")
 
     @property
     def queue_entries(self) -> int:

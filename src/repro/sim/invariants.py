@@ -14,6 +14,11 @@ fuzz runs enable:
   nobody waiting on one.
 - **Queues** (at quiescence): flow conservation ``produced == consumed +
   still-valid`` and no reservation still waiting on memory.
+- **Coherence** (at quiescence, via
+  :meth:`repro.mem.coherence.CoherenceBook.check`): single-writer —
+  at most one owner per line, the owner's copy MODIFIED/EXCLUSIVE,
+  every non-owner copy SHARED — plus book-vs-tag-array agreement and
+  L1⊆L2 inclusion.
 
 Checks are opt-in per component (``queue.observer`` is ``None`` by
 default), so measured runs pay nothing.
@@ -215,13 +220,22 @@ class InvariantChecker:
             problems.extend(shadow.check_quiescent())
         return problems
 
+    def _coherence_problems(self) -> List[str]:
+        """The MESI book's quiescence audit (SWMR + inclusion), prefixed
+        so a trip is attributable among the other families."""
+        book = getattr(getattr(self._soc, "memsys", None), "book", None)
+        if book is None:
+            return []
+        return [f"coherence: {problem}" for problem in book.check()]
+
     def verify(self) -> Tuple[int, int]:
-        """Audit ports and queues at quiescence.
+        """Audit ports, queues, and coherence state at quiescence.
 
         Returns ``(ports_checked, queues_checked)``; raises
         :class:`InvariantViolation` listing every failure at once.
         """
-        problems = self._port_problems() + self._queue_problems()
+        problems = (self._port_problems() + self._queue_problems()
+                    + self._coherence_problems())
         if problems:
             raise InvariantViolation(problems)
         ports = getattr(self._soc, "ports", None)

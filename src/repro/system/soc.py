@@ -58,6 +58,20 @@ def stress_mesh_config(side: int = 16, maple_instances: int = 1,
         maple_instances=maple_instances)
 
 
+def coherence_stress_config(side: int = 4, maple_instances: int = 1,
+                            slices: int = 4,
+                            base: Optional[SoCConfig] = None) -> SoCConfig:
+    """The directory-on variant of :func:`stress_mesh_config`: per-
+    quadrant MAPLE placement, a sliced home-node directory, and L2
+    refill/writeback traffic on the MEMORY NoC plane — the full
+    protocol-accurate coherence stack the ``mesh-coherence`` figure and
+    the coherence fuzz suite exercise."""
+    return stress_mesh_config(side, maple_instances, base).with_overrides(
+        maple_placement="per-quadrant",
+        directory=True, directory_slices=slices,
+        directory_mem_traffic=True)
+
+
 class Soc:
     """One simulated SoC instance: build, allocate, run, measure.
 

@@ -1,0 +1,247 @@
+"""Unit tests for the shared MESI state machine (mem/coherence.py).
+
+These exercise the transition table and the :class:`CoherenceBook`
+directly — no simulator, no timing — so protocol bugs surface as tiny
+failures here before they become fuzz-run mysteries.
+"""
+
+import pytest
+
+from repro.mem import Cache, CoherenceBook, CoherenceError, LineState
+from repro.mem.coherence import TRANSITIONS, transition
+from repro.sim import Stats
+
+LINE = 64
+
+
+def L(n):
+    return n * LINE
+
+
+def make_book(num_cores=2, with_l2=True, l1_size=1024, l2_size=4096):
+    stats = Stats()
+    book = CoherenceBook(stats)
+    l1s = {}
+    for core in range(num_cores):
+        l1s[core] = Cache(l1_size, 4, LINE, name=f"l1.{core}")
+        book.register_l1(core, l1s[core])
+    l2 = None
+    if with_l2:
+        l2 = Cache(l2_size, 8, LINE, name="l2")
+        book.attach_l2(l2)
+    return book, l1s, l2, stats
+
+
+def fill(book, l2, core, line):
+    """An L2-backed fill, as the hierarchy performs it."""
+    if l2 is not None:
+        l2.insert(line)
+    return book.fill(core, line)
+
+
+# -- transition table ---------------------------------------------------------
+
+
+def test_transition_table_covers_documented_protocol():
+    S = LineState
+    assert transition(S.INVALID, "fill_exclusive") is S.EXCLUSIVE
+    assert transition(S.INVALID, "fill_shared") is S.SHARED
+    assert transition(S.EXCLUSIVE, "share") is S.SHARED
+    for start in (S.SHARED, S.EXCLUSIVE, S.MODIFIED):
+        assert transition(start, "store") is S.MODIFIED
+        assert transition(start, "downgrade") is S.SHARED
+        assert transition(start, "invalidate") is S.INVALID
+
+
+def test_illegal_transitions_raise():
+    with pytest.raises(CoherenceError):
+        transition(LineState.INVALID, "store")
+    with pytest.raises(CoherenceError):
+        transition(LineState.INVALID, "downgrade")
+    with pytest.raises(CoherenceError):
+        transition(LineState.MODIFIED, "share")
+    with pytest.raises(CoherenceError):
+        transition(LineState.SHARED, "no_such_event")
+
+
+def test_every_table_entry_names_a_real_state_pair():
+    for (state, event), nxt in TRANSITIONS.items():
+        assert isinstance(state, LineState)
+        assert isinstance(nxt, LineState)
+        assert isinstance(event, str)
+        # Nothing ever transitions *into* INVALID except invalidate.
+        if nxt is LineState.INVALID:
+            assert event == "invalidate"
+
+
+def test_state_ordering_is_strength_ordering():
+    # insert()'s conservative merge relies on I < S < E < M.
+    assert (LineState.INVALID < LineState.SHARED
+            < LineState.EXCLUSIVE < LineState.MODIFIED)
+
+
+# -- book: fills --------------------------------------------------------------
+
+
+def test_solo_fill_takes_exclusive_with_ownership():
+    book, l1s, l2, _ = make_book()
+    fill(book, l2, 0, L(1))
+    assert l1s[0].state_of(L(1)) is LineState.EXCLUSIVE
+    assert book.owner_of(L(1)) == 0
+    assert book.sharers_of(L(1)) == {0}
+
+
+def test_joining_fill_degrades_exclusive_to_shared():
+    book, l1s, l2, _ = make_book()
+    fill(book, l2, 0, L(1))
+    fill(book, l2, 1, L(1))
+    assert l1s[0].state_of(L(1)) is LineState.SHARED
+    assert l1s[1].state_of(L(1)) is LineState.SHARED
+    assert book.owner_of(L(1)) is None  # silent E->S clears ownership
+    assert book.sharers_of(L(1)) == {0, 1}
+
+
+def test_refill_of_held_line_never_downgrades():
+    book, l1s, l2, _ = make_book()
+    fill(book, l2, 0, L(1))
+    book.store(0, L(1))
+    fill(book, l2, 0, L(1))  # prefetch/demand overlap re-fill
+    assert l1s[0].state_of(L(1)) is LineState.MODIFIED
+    assert book.owner_of(L(1)) == 0
+
+
+def test_fill_dropped_when_l2_lost_the_line():
+    book, l1s, l2, stats = make_book()
+    # The L2 never got (or already evicted) the line: the fill must not
+    # install an L1 copy that would break inclusion.
+    assert book.fill(0, L(1)) is None
+    assert not l1s[0].contains(L(1))
+    assert book.sharers_of(L(1)) == set()
+    assert stats.get("coherence.dropped_fills") == 1
+
+
+def test_l1_victim_is_dropped_from_the_book():
+    book, l1s, l2, _ = make_book(l1_size=256)  # 1 set, 4 ways
+    for n in range(5):
+        fill(book, l2, 0, L(n))
+    assert not l1s[0].contains(L(0))
+    assert book.sharers_of(L(0)) == set()  # victim's sharer record gone
+    assert book.sharers_of(L(4)) == {0}
+
+
+# -- book: stores and single-writer -------------------------------------------
+
+
+def test_store_requires_sharing():
+    book, _, l2, _ = make_book()
+    with pytest.raises(CoherenceError, match="not a sharer"):
+        book.store(0, L(1))
+
+
+def test_store_while_another_core_owns_raises():
+    book, _, l2, _ = make_book()
+    fill(book, l2, 0, L(1))
+    book.store(0, L(1))
+    # Force core 1 into the sharer set without the protocol's upgrade
+    # path having run — the book must catch the single-writer breach.
+    fill(book, l2, 1, L(1))
+    # The joining fill downgraded nothing (owner holds M, not E), so
+    # ownership survives and a conflicting store is illegal.
+    with pytest.raises(CoherenceError, match="single-writer"):
+        book.store(1, L(1))
+
+
+def test_downgrade_then_store_transfers_ownership():
+    book, l1s, l2, _ = make_book()
+    fill(book, l2, 0, L(1))
+    book.store(0, L(1))
+    fill(book, l2, 1, L(1))
+    book.downgrade(0, L(1))
+    assert l1s[0].state_of(L(1)) is LineState.SHARED
+    book.store(1, L(1))
+    assert book.owner_of(L(1)) == 1
+    assert l1s[1].state_of(L(1)) is LineState.MODIFIED
+
+
+def test_m_downgrade_marks_l2_dirty():
+    book, _, l2, _ = make_book()
+    fill(book, l2, 0, L(1))
+    book.store(0, L(1))
+    assert l2.state_of(L(1)) is LineState.SHARED
+    book.downgrade(0, L(1))
+    assert l2.state_of(L(1)) is LineState.MODIFIED
+
+
+def test_invalidate_counts_split_by_recall_flag():
+    book, l1s, l2, stats = make_book()
+    fill(book, l2, 0, L(1))
+    fill(book, l2, 1, L(1))
+    book.invalidate(1, L(1))
+    book.invalidate(0, L(1), recall=True)
+    assert stats.get("coherence.invalidations") == 1
+    assert stats.get("coherence.recalls") == 1
+    assert not l1s[0].contains(L(1)) and not l1s[1].contains(L(1))
+    assert book.pending_lines() == 0  # empty entry removed
+
+
+# -- sharding -----------------------------------------------------------------
+
+
+def test_sharding_partitions_lines_by_slice_fn():
+    book, _, l2, _ = make_book()
+    book.shard(2, lambda line: (line // LINE) % 2)
+    fill(book, l2, 0, L(2))   # even -> slice 0
+    fill(book, l2, 0, L(3))   # odd  -> slice 1
+    assert set(book.shard_lines(0)) == {L(2)}
+    assert set(book.shard_lines(1)) == {L(3)}
+    assert book.sharers_of(L(2)) == {0} and book.sharers_of(L(3)) == {0}
+
+
+def test_resharding_a_live_book_is_illegal():
+    book, _, l2, _ = make_book()
+    fill(book, l2, 0, L(1))
+    with pytest.raises(CoherenceError, match="reshard"):
+        book.shard(4, lambda line: 0)
+
+
+# -- quiescence audit ---------------------------------------------------------
+
+
+def test_check_passes_on_a_consistent_book():
+    book, _, l2, _ = make_book()
+    fill(book, l2, 0, L(1))
+    book.store(0, L(1))
+    fill(book, l2, 1, L(2))
+    assert book.check() == []
+
+
+def test_check_catches_untracked_resident_line():
+    book, l1s, l2, _ = make_book()
+    l1s[0].insert(L(1))  # behind the book's back
+    problems = book.check()
+    assert any("untracked" in p for p in problems)
+
+
+def test_check_catches_inclusion_violation():
+    book, _, l2, _ = make_book()
+    fill(book, l2, 0, L(1))
+    l2.invalidate(L(1))  # L2 loses the line, L1 keeps it
+    problems = book.check()
+    assert any("inclusive L2" in p for p in problems)
+
+
+def test_check_catches_phantom_sharer():
+    book, l1s, l2, _ = make_book()
+    fill(book, l2, 0, L(1))
+    l1s[0].invalidate(L(1))  # tag array cleared behind the book's back
+    problems = book.check()
+    assert any("holds no copy" in p for p in problems)
+
+
+def test_telemetry_shape():
+    book, _, l2, _ = make_book()
+    fill(book, l2, 0, L(1))
+    tele = book.telemetry()
+    assert set(tele) == {"forwards", "invalidations", "recalls",
+                         "dropped_fills", "tracked_lines"}
+    assert tele["tracked_lines"] == 1

@@ -27,6 +27,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cpu import Load, Store, Thread
+from repro.mem import LineState
 from repro.mem.directory import Directory, interleaved_home_tiles
 from repro.params import SoCConfig
 from repro.system import Soc
@@ -82,7 +83,8 @@ def test_never_two_simultaneous_owners(side, slices, programs):
         assert owner in sharers, (
             f"line {line:#x} owned by core {owner} who no longer shares it")
         for other in sharers - {owner}:
-            assert not soc.memsys.l1s[other].is_dirty(line), (
+            assert soc.memsys.l1s[other].state_of(line) is not \
+                LineState.MODIFIED, (
                 f"line {line:#x}: non-owner core {other} is dirty")
 
 

@@ -54,6 +54,13 @@ def random_config(rng: random.Random) -> SoCConfig:
     l1_ways = rng.choice((2, 4))
     mesh_side = rng.choice((2, 2, 3, 4, 8))
     maple_instances = rng.choice((1, 1, 2, 4))
+    # MESI backend axis: a third of cases turn the home-node directory
+    # on (random slicing), half of those also route L2 refill/writeback
+    # over the MEMORY plane — so the bit-identity gate covers both
+    # coherence backends and the protocol's NoC traffic.
+    directory = rng.choice((False, False, True))
+    directory_slices = rng.choice((1, 2, 4))
+    directory_mem_traffic = directory and rng.random() < 0.5
     return SoCConfig(
         name=f"fuzz-{rng.randrange(1 << 30)}",
         num_cores=rng.choice((2, 4)),
@@ -80,6 +87,9 @@ def random_config(rng: random.Random) -> SoCConfig:
         maple_max_inflight=rng.choice((8, 32)),
         produce_buffer_entries=rng.choice((2, 4)),
         core_tlb_entries=rng.choice((8, 16)),
+        directory=directory,
+        directory_slices=directory_slices,
+        directory_mem_traffic=directory_mem_traffic,
     )
 
 

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.mem import Cache
+from repro.mem import Cache, LineState
 
 
 LINE = 64
@@ -53,48 +53,99 @@ def test_insert_existing_line_refreshes_lru():
     assert victim.line == L(1)
 
 
-def test_dirty_bit_lifecycle():
+def test_mesi_state_lifecycle():
     cache = make_cache()
     cache.insert(L(4))
-    assert not cache.is_dirty(L(4))
-    cache.mark_dirty(L(4))
-    assert cache.is_dirty(L(4))
-    cache.clean(L(4))
-    assert not cache.is_dirty(L(4))
+    assert cache.state_of(L(4)) is LineState.SHARED  # the default fill state
+    cache.set_state(L(4), LineState.MODIFIED)
+    assert cache.state_of(L(4)) is LineState.MODIFIED
+    cache.set_state(L(4), LineState.SHARED)
+    assert cache.state_of(L(4)) is LineState.SHARED
 
 
-def test_insert_never_cleans_dirty_line():
+def test_insert_never_downgrades_resident_state():
+    # Re-inserting a MODIFIED line with a weaker state must not lose the
+    # dirty truth: the merge keeps the stronger of the two states.
     cache = make_cache()
-    cache.insert(L(4))
-    cache.mark_dirty(L(4))
-    cache.insert(L(4), dirty=False)
-    assert cache.is_dirty(L(4))
+    cache.insert(L(4), LineState.MODIFIED)
+    cache.insert(L(4), LineState.SHARED)
+    assert cache.state_of(L(4)) is LineState.MODIFIED
+    # ...but a stronger re-insert does upgrade.
+    cache.insert(L(5), LineState.SHARED)
+    cache.insert(L(5), LineState.EXCLUSIVE)
+    assert cache.state_of(L(5)) is LineState.EXCLUSIVE
 
 
-def test_dirty_victim_reported():
+def test_victim_reports_its_state():
     cache = Cache(256, 4, 64)
     for n in [0, 1, 2, 3]:
         cache.insert(L(n))
-    cache.mark_dirty(L(0))
+    cache.set_state(L(0), LineState.MODIFIED)
     victim = cache.insert(L(4))
     assert victim.line == L(0)
-    assert victim.dirty
+    assert victim.state is LineState.MODIFIED
 
 
-def test_mark_dirty_absent_line_raises():
+def test_lru_victim_on_full_set_insert_keeps_set_full():
+    # Satellite edge case: inserting into a full set evicts exactly one
+    # line (the LRU) and leaves the set exactly full again.
+    cache = Cache(256, 4, 64)  # 1 set, 4 ways
+    for n in [0, 1, 2, 3]:
+        cache.insert(L(n))
+    assert cache.occupancy() == 4
+    victim = cache.insert(L(4))
+    assert victim is not None and victim.line == L(0)
+    assert cache.occupancy() == 4
+    assert not cache.contains(L(0)) and cache.contains(L(4))
+
+
+def test_state_transitions_on_absent_line_raise():
     cache = make_cache()
     with pytest.raises(KeyError):
-        cache.mark_dirty(L(77))
-    with pytest.raises(KeyError):
-        cache.clean(L(77))
+        cache.set_state(L(77), LineState.MODIFIED)
+    assert cache.state_of(L(77)) is LineState.INVALID
+
+
+def test_invalid_state_is_never_stored():
+    cache = make_cache()
+    with pytest.raises(ValueError):
+        cache.insert(L(3), LineState.INVALID)
+    cache.insert(L(3))
+    with pytest.raises(ValueError):
+        cache.set_state(L(3), LineState.INVALID)
 
 
 def test_invalidate():
     cache = make_cache()
     cache.insert(L(8))
-    assert cache.invalidate(L(8))
+    # invalidate returns the dropped state (truthy for any valid state),
+    # or None when the line was not resident.
+    assert cache.invalidate(L(8)) is LineState.SHARED
     assert not cache.contains(L(8))
-    assert not cache.invalidate(L(8))
+    assert cache.invalidate(L(8)) is None  # absent: a no-op, not an error
+
+
+def test_flush_clears_states_and_occupancy():
+    cache = make_cache()
+    cache.insert(L(1))
+    cache.insert(L(2), LineState.MODIFIED)
+    cache.flush()
+    assert cache.occupancy() == 0
+    assert cache.state_of(L(2)) is LineState.INVALID
+    # Re-inserting after a flush starts clean again.
+    cache.insert(L(2))
+    assert cache.state_of(L(2)) is LineState.SHARED
+
+
+def test_resident_lines_matches_contains_and_states():
+    cache = Cache(512, 2, 64)
+    for n in [0, 1, 2, 3, 4, 5]:
+        cache.insert(L(n), LineState.EXCLUSIVE if n % 2 else LineState.SHARED)
+    resident = set(cache.resident_lines())
+    assert len(resident) == cache.occupancy()
+    for line in resident:
+        assert cache.contains(line)
+        assert cache.state_of(line) is not LineState.INVALID
 
 
 def test_contains_does_not_touch_lru():

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.mem import MemorySystem, MMIORegion
+from repro.mem import LineState, MemorySystem, MMIORegion
 from repro.params import SoCConfig
 from repro.sim import Simulator, Stats
 
@@ -78,7 +78,7 @@ def test_store_marks_line_dirty():
     sim, ms, _ = make_system()
     run_access(sim, ms.store(0, 0x4000, 1))
     line = 0x4000 & ~63
-    assert ms.l1s[0].is_dirty(line)
+    assert ms.l1s[0].state_of(line) is LineState.MODIFIED
 
 
 def test_store_invalidates_other_sharers():
@@ -101,7 +101,7 @@ def test_load_of_remotely_dirty_line_pays_forwarding():
     assert value == 7
     assert stats.get("coherence.forwards") == 1
     line = 0x6000 & ~63
-    assert not ms.l1s[0].is_dirty(line)  # downgraded to shared-clean
+    assert ms.l1s[0].state_of(line) is LineState.SHARED  # downgraded
     cfg = ms.config
     # forwarding round trip + L2 hit path
     assert cycles == cfg.l1_latency + 2 * cfg.l2_latency
