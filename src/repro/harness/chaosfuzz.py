@@ -1,0 +1,446 @@
+"""Chaos fuzzing: seeded process-kill and file-corruption campaigns.
+
+The fault/integrity fuzz sweeps attack the *simulated* SoC; this module
+attacks the system that runs it.  Each case draws one adversity from a
+weighted family list — SIGKILL a worker mid-job (with and without a
+checkpoint to resume from), SIGSTOP it so only its heartbeat dies, hang
+it past its runtime deadline, exhaust its retries, truncate or bit-flip
+an on-disk cache entry or checkpoint file, or fail its cache write with
+ENOSPC — and then holds the robustness layer to the same discipline the
+SoC-level fuzzers enforce:
+
+- every run that completes must pass the **golden-output oracle** (its
+  :meth:`~repro.harness.orchestrator.RunResult.identity` equals the
+  uninterrupted serial baseline, bit for bit);
+- every run that cannot complete must surface as a **typed, structured
+  error** (:class:`~repro.harness.orchestrator.OrchestratorError` with a
+  :class:`~repro.harness.orchestrator.JobError` and a JSON dump, or a
+  :class:`~repro.sim.checkpoint.CheckpointError` subclass) — never a
+  hang, a bare crash, or a silently wrong number;
+- afterwards there are **no orphan worker processes and no stray
+  ``.tmp``/``.lock`` files**; corrupt files sit in ``quarantine/`` for
+  post-mortem instead of being re-read or destroyed.
+
+Everything derives from ``CHAOS_MASTER_SEED + case``, so a failing case
+number reproduces exactly (the same contract as the other fuzz sweeps).
+``tests/test_chaos_fuzz.py`` runs the ≥150-case gate; CI uploads each
+case's quarantine and dump directories on failure.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import random
+import signal
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.harness.orchestrator import (
+    DiskCache,
+    Orchestrator,
+    OrchestratorError,
+    RunResult,
+    RunSpec,
+    execute_spec,
+    spec_key,
+)
+from repro.sim.checkpoint import Checkpoint, CheckpointCorruptError
+
+CHAOS_MASTER_SEED = 20260808
+N_CASES = 160
+
+#: Weighted adversity mix.  File-corruption families dominate (they are
+#: cheap and their state space is the largest); the process families
+#: each get enough draws that every supervision path fires many times.
+FAMILIES = (
+    "worker-kill-resume", "worker-kill-resume",
+    "worker-kill-start",
+    "worker-wedge",
+    "worker-hang",
+    "worker-kill-exhausted",
+    "cache-truncate", "cache-truncate", "cache-truncate",
+    "cache-bitflip", "cache-bitflip", "cache-bitflip",
+    "ckpt-truncate", "ckpt-truncate",
+    "ckpt-bitflip", "ckpt-bitflip",
+    "cache-write-fail",
+)
+
+#: Cheap, deterministic victim cells spanning techniques, plus a
+#: checkpoint interval that lands 2+ checkpoints before each finishes.
+_POOL = (
+    (RunSpec("spmv", "lima", threads=1), 15_000),
+    (RunSpec("spmv", "maple-decouple", threads=2), 15_000),
+    (RunSpec("sdhp", "doall", threads=2), 50_000),
+)
+
+# Module-level memos: the golden baseline and one valid checkpoint file
+# per pool spec are computed once and reused by every case (the
+# campaign's cost is the adversities, not 160 re-simulations).
+_GOLDEN: Dict[str, RunResult] = {}
+_GOLDEN_CKPT: Dict[str, bytes] = {}
+
+
+def golden_result(spec: RunSpec) -> RunResult:
+    """The uninterrupted serial baseline for ``spec`` (memoized)."""
+    key = spec_key(spec)
+    if key not in _GOLDEN:
+        _GOLDEN[key] = execute_spec(spec)
+    return _GOLDEN[key]
+
+
+def golden_checkpoint_bytes(spec: RunSpec, every: int) -> bytes:
+    """Bytes of a valid mid-run checkpoint of ``spec`` (memoized).
+
+    The corruption families start from these and damage copies; the
+    pristine bytes double as the benign-outcome reference.
+    """
+    import tempfile
+
+    key = spec_key(spec)
+    if key not in _GOLDEN_CKPT:
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "golden.ckpt.json"
+            execute_spec(replace(spec, checkpoint_every=every),
+                         checkpoint_path=str(path))
+            _GOLDEN_CKPT[key] = path.read_bytes()
+    return _GOLDEN_CKPT[key]
+
+
+@dataclass(frozen=True)
+class ChaosCase:
+    """One materialized chaos case; a pure function of the seed."""
+
+    case: int
+    family: str
+    spec: RunSpec
+    checkpoint_every: int
+    retries: int
+
+    def describe(self) -> str:
+        return (f"case {self.case}: {self.family} vs {self.spec.label()} "
+                f"(retries={self.retries})")
+
+
+@dataclass
+class ChaosOutcome:
+    """What one case did and how it was judged."""
+
+    case: int
+    family: str
+    label: str
+    ok: bool
+    oracle: str
+    typed_error: Optional[str] = None
+    detail: str = ""
+
+
+def chaos_case(case: int, master_seed: int = CHAOS_MASTER_SEED) -> ChaosCase:
+    """Materialize case ``case``; pure function of ``(master_seed, case)``."""
+    rng = random.Random(master_seed + case)
+    family = rng.choice(FAMILIES)
+    spec, every = rng.choice(_POOL)
+    return ChaosCase(case=case, family=family, spec=spec,
+                     checkpoint_every=every, retries=rng.choice((0, 1, 2)))
+
+
+def _assert_hygiene(workdir: Path) -> None:
+    """The postcondition every case must leave behind: no orphan worker
+    processes and no stray tmp/lock litter (quarantined files are fine —
+    they are the deliverable, not litter)."""
+    children = multiprocessing.active_children()
+    assert not children, f"orphan worker processes left behind: {children}"
+    strays = [p for pattern in ("*.tmp", "*.lock")
+              for p in Path(workdir).rglob(pattern)]
+    assert not strays, f"stray tmp/lock files left behind: {strays}"
+
+
+def _corrupt(rng: random.Random, data: bytes) -> bytes:
+    """Truncate helper is inline; this flips exactly one random bit."""
+    flipped = bytearray(data)
+    index = rng.randrange(len(flipped))
+    flipped[index] ^= 1 << rng.randrange(8)
+    return bytes(flipped)
+
+
+# -- family implementations -------------------------------------------------------
+
+
+def _run_worker_kill_resume(cc: ChaosCase, rng, wd: Path) -> ChaosOutcome:
+    """SIGKILL the worker right after its first checkpoint lands; the
+    reschedule must resume from it and still match the baseline."""
+    spec = replace(cc.spec, checkpoint_every=cc.checkpoint_every)
+    golden = golden_result(cc.spec).identity()
+    orch = Orchestrator(jobs=2, retries=max(1, cc.retries),
+                        checkpoint_dir=wd / "ckpt", dump_dir=str(wd / "dumps"),
+                        inject_kill=frozenset({spec_key(spec)}))
+    results = orch.run([spec])
+    assert results[0].identity() == golden, "resumed run diverged from baseline"
+    assert orch.report["crashes"] >= 1, "injected SIGKILL was not detected"
+    assert results[0].resumed, "reschedule did not resume from the checkpoint"
+    assert orch.report["resumed"] >= 1
+    return ChaosOutcome(cc.case, cc.family, spec.label(), ok=True,
+                        oracle="golden-identity",
+                        detail=f"crashes={orch.report['crashes']} "
+                               f"attempts={results[0].attempts} resumed")
+
+
+def _run_worker_kill_start(cc: ChaosCase, rng, wd: Path) -> ChaosOutcome:
+    """SIGKILL at attempt start (no checkpoint): rerun from cycle 0."""
+    golden = golden_result(cc.spec).identity()
+    orch = Orchestrator(jobs=2, retries=max(1, cc.retries),
+                        dump_dir=str(wd / "dumps"),
+                        inject_kill=frozenset({spec_key(cc.spec)}))
+    results = orch.run([cc.spec])
+    assert results[0].identity() == golden, "rerun diverged from baseline"
+    assert orch.report["crashes"] >= 1
+    assert not results[0].resumed
+    return ChaosOutcome(cc.case, cc.family, cc.spec.label(), ok=True,
+                        oracle="golden-identity",
+                        detail=f"crashes={orch.report['crashes']}")
+
+
+def _run_worker_wedge(cc: ChaosCase, rng, wd: Path) -> ChaosOutcome:
+    """SIGSTOP the worker: the process lives but its heartbeat dies; the
+    supervisor must kill and reschedule it."""
+    golden = golden_result(cc.spec).identity()
+    orch = Orchestrator(jobs=2, retries=max(1, cc.retries),
+                        heartbeat_timeout=0.6, heartbeat_interval=0.05,
+                        dump_dir=str(wd / "dumps"),
+                        inject_stop=frozenset({spec_key(cc.spec)}))
+    results = orch.run([cc.spec])
+    assert results[0].identity() == golden, "post-wedge rerun diverged"
+    assert orch.report["wedged"] >= 1, "wedged worker was not detected"
+    return ChaosOutcome(cc.case, cc.family, cc.spec.label(), ok=True,
+                        oracle="golden-identity",
+                        detail=f"wedged={orch.report['wedged']}")
+
+
+def _run_worker_hang(cc: ChaosCase, rng, wd: Path) -> ChaosOutcome:
+    """Hang the worker (heartbeats keep flowing): the *runtime* deadline
+    must catch it, distinct from the wedge detector."""
+    golden = golden_result(cc.spec).identity()
+    orch = Orchestrator(jobs=2, timeout=0.5, retries=max(1, cc.retries),
+                        dump_dir=str(wd / "dumps"),
+                        inject_hang=frozenset({spec_key(cc.spec)}))
+    results = orch.run([cc.spec])
+    assert results[0].identity() == golden, "post-timeout rerun diverged"
+    assert orch.report["timeouts"] >= 1, "hung worker missed its deadline"
+    return ChaosOutcome(cc.case, cc.family, cc.spec.label(), ok=True,
+                        oracle="golden-identity",
+                        detail=f"timeouts={orch.report['timeouts']}")
+
+
+def _run_worker_kill_exhausted(cc: ChaosCase, rng, wd: Path) -> ChaosOutcome:
+    """Kill every attempt (negative control): the failure must surface
+    as a typed OrchestratorError with a structured dump — never a hang
+    or an untyped crash."""
+    dumps = wd / "dumps"
+    orch = Orchestrator(jobs=2, retries=cc.retries, dump_dir=str(dumps),
+                        inject_kill_all=frozenset({spec_key(cc.spec)}))
+    try:
+        orch.run([cc.spec])
+    except OrchestratorError as err:
+        job = err.job_error
+        assert job.exc_type == "WorkerCrashed" and job.detection == "crash"
+        assert job.exit_code == -signal.SIGKILL
+        assert job.attempt == cc.retries + 1
+        assert job.dump_path and Path(job.dump_path).exists()
+        dumped = json.loads(Path(job.dump_path).read_text())
+        assert dumped["reason"] == "orchestrator-job-failure"
+        assert dumped["job_error"]["detection"] == "crash"
+        return ChaosOutcome(cc.case, cc.family, cc.spec.label(), ok=True,
+                            oracle="typed-error",
+                            typed_error=job.exc_type,
+                            detail=f"exit={job.exit_code} "
+                                   f"dump={Path(job.dump_path).name}")
+    raise AssertionError("kill_all run completed instead of failing typed")
+
+
+def _run_cache_truncate(cc: ChaosCase, rng, wd: Path) -> ChaosOutcome:
+    """Truncate a valid cache entry at a random byte: the read must
+    quarantine + miss, and the sweep must self-heal to golden output."""
+    golden = golden_result(cc.spec)
+    cache = DiskCache(wd / "cache")
+    key = spec_key(cc.spec)
+    cache.put(key, golden)
+    path = cache._path(key)
+    data = path.read_bytes()
+    path.write_bytes(data[:rng.randrange(len(data))])
+
+    assert cache.get(key) is None, "truncated entry must read as a miss"
+    assert cache.quarantined == 1, "truncated entry was not quarantined"
+    assert list(cache.quarantine_dir.glob("*.quarantined"))
+
+    results = Orchestrator(jobs=1, cache=cache).run([cc.spec])
+    assert results[0].identity() == golden.identity()
+    assert not results[0].from_cache
+    healed = cache.get(key)
+    assert healed is not None and healed.identity() == golden.identity()
+    return ChaosOutcome(cc.case, cc.family, cc.spec.label(), ok=True,
+                        oracle="quarantine+self-heal",
+                        detail="truncated entry quarantined, cell re-ran")
+
+
+def _run_cache_bitflip(cc: ChaosCase, rng, wd: Path) -> ChaosOutcome:
+    """Flip one random bit in a cache entry: the read must either
+    quarantine + miss or (benign flip) return the exact golden payload —
+    never a plausible-but-wrong result."""
+    golden = golden_result(cc.spec)
+    cache = DiskCache(wd / "cache")
+    key = spec_key(cc.spec)
+    cache.put(key, golden)
+    path = cache._path(key)
+    path.write_bytes(_corrupt(rng, path.read_bytes()))
+
+    got = cache.get(key)
+    if got is None:
+        results = Orchestrator(jobs=1, cache=cache).run([cc.spec])
+        assert results[0].identity() == golden.identity()
+        return ChaosOutcome(cc.case, cc.family, cc.spec.label(), ok=True,
+                            oracle="quarantine-or-exact",
+                            detail=f"flip rejected "
+                                   f"(quarantined={cache.quarantined})")
+    assert got.identity() == golden.identity(), \
+        "bit-flipped cache entry was served with wrong contents"
+    return ChaosOutcome(cc.case, cc.family, cc.spec.label(), ok=True,
+                        oracle="quarantine-or-exact",
+                        detail="flip was content-neutral; exact hit served")
+
+
+def _run_ckpt_truncate(cc: ChaosCase, rng, wd: Path) -> ChaosOutcome:
+    """Truncate a checkpoint: loading must raise the typed corrupt
+    error, and an orchestrator finding it must quarantine + rerun."""
+    blob = golden_checkpoint_bytes(cc.spec, cc.checkpoint_every)
+    spec = replace(cc.spec, checkpoint_every=cc.checkpoint_every)
+    ckpt_dir = wd / "ckpt"
+    ckpt_dir.mkdir(parents=True, exist_ok=True)
+    path = ckpt_dir / f"{spec_key(spec)}.ckpt.json"
+    path.write_bytes(blob[:rng.randrange(len(blob))])
+
+    try:
+        Checkpoint.load(path)
+        raise AssertionError("truncated checkpoint loaded without error")
+    except CheckpointCorruptError as err:
+        assert err.path == str(path)
+        typed = type(err).__name__
+
+    # The orchestrator path: corrupt checkpoint -> quarantine -> fresh
+    # run from cycle 0, still golden.
+    orch = Orchestrator(jobs=1, checkpoint_dir=ckpt_dir)
+    results = orch.run([spec])
+    assert results[0].identity() == golden_result(cc.spec).identity()
+    assert not results[0].resumed
+    assert list((ckpt_dir / "quarantine").glob("*.quarantined"))
+    return ChaosOutcome(cc.case, cc.family, spec.label(), ok=True,
+                        oracle="typed-error+self-heal", typed_error=typed,
+                        detail="corrupt checkpoint quarantined, fresh rerun")
+
+
+def _run_ckpt_bitflip(cc: ChaosCase, rng, wd: Path) -> ChaosOutcome:
+    """Flip one bit in a checkpoint: loading must fail typed, or (benign
+    flip) yield a checkpoint with the exact golden content digest."""
+    blob = golden_checkpoint_bytes(cc.spec, cc.checkpoint_every)
+    wd.mkdir(parents=True, exist_ok=True)
+    path = wd / "flipped.ckpt.json"
+    path.write_bytes(_corrupt(rng, blob))
+
+    try:
+        loaded = Checkpoint.load(path)
+    except CheckpointCorruptError as err:
+        return ChaosOutcome(cc.case, cc.family, cc.spec.label(), ok=True,
+                            oracle="typed-error-or-exact",
+                            typed_error=type(err).__name__,
+                            detail=str(err)[:80])
+    # The flip survived the content digest: it can only have hit
+    # JSON-insignificant bytes, so the checkpoint must be semantically
+    # identical to the pristine one.
+    pristine = wd / "pristine.ckpt.json"
+    pristine.write_bytes(blob)
+    assert loaded.content_digest() == Checkpoint.load(pristine).content_digest(), \
+        "bit-flipped checkpoint loaded with different contents"
+    return ChaosOutcome(cc.case, cc.family, cc.spec.label(), ok=True,
+                        oracle="typed-error-or-exact",
+                        detail="flip was content-neutral; digest verified")
+
+
+def _run_cache_write_fail(cc: ChaosCase, rng, wd: Path) -> ChaosOutcome:
+    """ENOSPC on the cache write: the run must still complete golden,
+    the failure is counted, and no torn file or tmp litter remains.
+    Rides along: stale tmp/lock reaping at cache construction."""
+    root = wd / "cache"
+    root.mkdir(parents=True, exist_ok=True)
+    # Plant dead-writer litter old enough to reap.
+    import os
+    for name in ("dead.tmp", "dead.lock"):
+        stale = root / name
+        stale.write_text("")
+        os.utime(stale, (0, 0))
+    key = spec_key(cc.spec)
+    cache = DiskCache(root, reap_after=60.0,
+                      inject_write_error=frozenset({key}))
+    assert cache.reaped == 2, "stale tmp/lock litter was not reaped"
+
+    results = Orchestrator(jobs=1, cache=cache).run([cc.spec])
+    assert results[0].identity() == golden_result(cc.spec).identity()
+    assert cache.write_errors == 1, "injected ENOSPC was not recorded"
+    assert cache.get(key) is None, "failed write left a readable entry"
+    return ChaosOutcome(cc.case, cc.family, cc.spec.label(), ok=True,
+                        oracle="golden-identity",
+                        detail="write failed, run kept its result")
+
+
+_RUNNERS = {
+    "worker-kill-resume": _run_worker_kill_resume,
+    "worker-kill-start": _run_worker_kill_start,
+    "worker-wedge": _run_worker_wedge,
+    "worker-hang": _run_worker_hang,
+    "worker-kill-exhausted": _run_worker_kill_exhausted,
+    "cache-truncate": _run_cache_truncate,
+    "cache-bitflip": _run_cache_bitflip,
+    "ckpt-truncate": _run_ckpt_truncate,
+    "ckpt-bitflip": _run_ckpt_bitflip,
+    "cache-write-fail": _run_cache_write_fail,
+}
+
+
+def run_chaos_case(case: int, workdir,
+                   master_seed: int = CHAOS_MASTER_SEED) -> ChaosOutcome:
+    """Run one chaos case under ``workdir``; raises ``AssertionError``
+    on any gate violation, returns the structured outcome otherwise.
+
+    The hygiene postcondition (no orphan processes, no stray tmp/lock
+    files under ``workdir``) is asserted for every family.
+    """
+    cc = chaos_case(case, master_seed)
+    rng = random.Random(master_seed ^ (case * 2654435761))
+    wd = Path(workdir)
+    wd.mkdir(parents=True, exist_ok=True)
+    outcome = _RUNNERS[cc.family](cc, rng, wd)
+    _assert_hygiene(wd)
+    return outcome
+
+
+def run_campaign(cases: Sequence[int], workdir,
+                 master_seed: int = CHAOS_MASTER_SEED) -> List[ChaosOutcome]:
+    """Run a batch of cases, writing ``chaos_report.json`` under
+    ``workdir`` (per-family tallies + every outcome) for CI artifacts."""
+    workdir = Path(workdir)
+    outcomes = []
+    for case in cases:
+        outcomes.append(run_chaos_case(case, workdir / f"case-{case:03d}",
+                                       master_seed))
+    tally: Dict[str, int] = {}
+    for outcome in outcomes:
+        tally[outcome.family] = tally.get(outcome.family, 0) + 1
+    report = {
+        "master_seed": master_seed,
+        "cases": len(outcomes),
+        "families": tally,
+        "outcomes": [vars(outcome) for outcome in outcomes],
+    }
+    workdir.mkdir(parents=True, exist_ok=True)
+    (workdir / "chaos_report.json").write_text(
+        json.dumps(report, indent=2, sort_keys=True))
+    return outcomes

@@ -24,16 +24,32 @@ The moving parts:
     what makes parallel output byte-identical to serial output.
 
 :class:`DiskCache`
-    One JSON file per spec key.  Corrupt or stale-schema files read as
-    misses; writes are atomic (tmp + rename) so a killed run never
-    poisons the cache.
+    One JSON file per spec key.  Every entry embeds a sha256 over its
+    own payload, verified on read; corrupt, truncated, or
+    digest-mismatched files are quarantined (moved aside + logged) and
+    read as misses, stale-schema files as plain misses.  Writes are
+    atomic (tmp + rename) and write failures (ENOSPC and friends) are
+    absorbed — the cache can only ever cost a re-simulation, never a
+    wrong number or a crashed sweep.  Stale ``.tmp``/``.lock`` litter
+    from dead writers is reaped at construction.
 
 :class:`Orchestrator`
     ``run(specs)`` returns results **in submission order** regardless of
     completion order.  ``jobs=1`` is a pure in-process serial loop (no
-    pool, no pickling); ``jobs>1`` fans out over a ``multiprocessing``
-    pool with a per-job timeout and bounded retry, falling back to an
-    in-process attempt so a hung worker can stall but never sink a run.
+    pool, no pickling); ``jobs>1`` runs **supervised workers**: one
+    process per job attempt, each heartbeating into a shared array from
+    a daemon thread.  The supervisor multiplexes result pipes, process
+    sentinels, runtime deadlines, and heartbeat deadlines — so it
+    distinguishes a *crashed* worker (SIGKILL/OOM: process died, no
+    result), a *wedged* one (alive but no heartbeat past the deadline),
+    and a merely *slow* one (deadline exceeded) — and reschedules with
+    the existing exponential backoff.  Jobs with
+    ``RunSpec.checkpoint_every`` set periodically checkpoint under
+    ``checkpoint_dir`` (:mod:`repro.sim.checkpoint`) and are resumed
+    from their last checkpoint instead of restarting from cycle 0.
+    Every exit path — success, exception, ``KeyboardInterrupt`` —
+    terminates and joins all live workers; terminal failures carry a
+    structured :class:`JobError` and a JSON dump.
 
 Determinism contract: a :class:`RunSpec` fully determines its
 :class:`RunResult` (the simulator is single-threaded and seeded), so
@@ -44,14 +60,20 @@ differential fuzz suite pin this.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
+import logging
 import multiprocessing
 import os
 import random
+import signal
+import threading
 import time
 import traceback as _traceback
-from dataclasses import dataclass
+from collections import deque
+from dataclasses import asdict, dataclass
+from multiprocessing import connection as _mpconn
 from pathlib import Path
 from typing import (
     Any, Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple,
@@ -61,8 +83,11 @@ from repro.params import SoCConfig
 from repro.sim.faults import FaultPlan
 
 #: Bump when RunResult's serialized shape changes: old cache files then
-#: read as misses instead of mis-parsing.
-CACHE_SCHEMA = 3
+#: read as misses instead of mis-parsing.  4: entries carry their own
+#: sha256 (verified on read).
+CACHE_SCHEMA = 4
+
+_log = logging.getLogger("repro.harness.orchestrator")
 
 ProgressFn = Callable[[Dict[str, Any]], None]
 
@@ -101,6 +126,13 @@ class RunSpec:
     check_invariants: bool = False
     #: Arm the liveness watchdog (default parameters) for this cell.
     watchdog: bool = False
+    #: Checkpoint the run every N cycles (requires the orchestrator's
+    #: ``checkpoint_dir``); a crashed/killed worker then resumes from
+    #: its last checkpoint instead of cycle 0.  Deliberately **not**
+    #: part of :func:`spec_key`: checkpointing is bit-identity-neutral
+    #: (the engine chunks are invisible to the model), so the same cell
+    #: with and without it must share one cache entry.
+    checkpoint_every: Optional[int] = None
 
     def label(self) -> str:
         extra = "".join(f" {k}={v}" for k, v in self.dataset_kwargs)
@@ -197,6 +229,11 @@ class RunResult:
     attempts: int = 1
     from_cache: bool = False
     worker_pid: int = 0
+    #: True when this run continued from a checkpoint instead of
+    #: starting at cycle 0.  Pure metadata — the numbers are identical
+    #: either way (that is the whole point), so it stays out of
+    #: :meth:`identity` and the cache file.
+    resumed: bool = False
 
     def identity(self) -> Dict[str, Any]:
         """The deterministic payload (what caching/equality compare)."""
@@ -245,17 +282,15 @@ class RunResult:
         )
 
 
-def execute_spec(spec: RunSpec) -> RunResult:
-    """Run one cell in the current process (the picklable entry point).
+def seed_rngs_for(key: str) -> None:
+    """Seed the global RNG streams deterministically from a spec key.
 
-    Seeds the global RNGs from the spec key first: the simulator itself
-    never consults them, but this insulates dataset generation (and any
-    future component) from whatever the host process did before us —
-    worker N's result cannot depend on which jobs it ran earlier.
+    The simulator itself never consults them, but this insulates dataset
+    generation (and any future component) from whatever the host process
+    did before us — and it is what makes a checkpoint's ``rng`` digest
+    reproducible on resume in a fresh process.
     """
-    from repro.harness.techniques import run_workload
-
-    derived = int(spec_key(spec)[:16], 16)
+    derived = int(key[:16], 16)
     random.seed(derived)
     try:
         import numpy
@@ -263,8 +298,31 @@ def execute_spec(spec: RunSpec) -> RunResult:
     except ImportError:  # pragma: no cover - numpy is a hard dep today
         pass
 
+
+def execute_spec(spec: RunSpec, checkpoint_path=None, on_checkpoint=None,
+                 resume_from=None) -> RunResult:
+    """Run one cell in the current process (the picklable entry point).
+
+    Seeds the global RNGs from the spec key first (worker N's result
+    cannot depend on which jobs it ran earlier).  With
+    ``checkpoint_path`` and ``spec.checkpoint_every`` set the run
+    checkpoints periodically; ``resume_from`` continues a previous
+    attempt's checkpoint under digest verification.  Neither changes a
+    single number — only how much work a rerun has to repeat.
+    """
+    from repro.harness.techniques import run_workload
+
+    seed_rngs_for(spec_key(spec))
+
+    checkpointing = checkpoint_path is not None and spec.checkpoint_every
     start = time.perf_counter()
-    result = run_workload(spec.workload, spec.technique, **spec.run_kwargs())
+    result = run_workload(
+        spec.workload, spec.technique, **spec.run_kwargs(),
+        checkpoint_every=spec.checkpoint_every if checkpointing else None,
+        checkpoint_path=checkpoint_path if checkpointing else None,
+        checkpoint_spec=spec if checkpointing else None,
+        on_checkpoint=on_checkpoint if checkpointing else None,
+        resume_from=resume_from)
     summary = result.summary()
     checked = summary.get("invariants_checked")
     return RunResult(
@@ -284,6 +342,7 @@ def execute_spec(spec: RunSpec) -> RunResult:
         key=spec_key(spec),
         wall_seconds=time.perf_counter() - start,
         worker_pid=os.getpid(),
+        resumed=resume_from is not None,
     )
 
 
@@ -306,6 +365,14 @@ class JobError:
     attempt: int = 1
     fault_seed: Optional[int] = None
     worker_pid: int = 0
+    #: How the supervisor learned of the failure: "exception" (worker
+    #: reported it), "crash" (process died without a result — SIGKILL,
+    #: OOM), or "wedged" (alive but no heartbeat past the deadline).
+    detection: str = "exception"
+    #: The dead worker's exit code for crashes (negative = signal).
+    exit_code: Optional[int] = None
+    #: Path of the structured JSON dump written for a terminal failure.
+    dump_path: Optional[str] = None
 
     def summary(self) -> str:
         fault = (f" [fault seed {self.fault_seed}]"
@@ -339,55 +406,241 @@ def _job_error(spec: RunSpec, exc: BaseException, attempt: int) -> JobError:
     )
 
 
-def _pool_worker(payload):
-    """Module-level pool target (picklable under fork and spawn starts).
+def _job_error_shell(spec: RunSpec, detection: str, attempt: int,
+                     exit_code: Optional[int] = None,
+                     pid: int = 0) -> JobError:
+    """A :class:`JobError` for failures with no worker-side exception —
+    the process died (or went silent) before it could report one."""
+    return JobError(
+        label=spec.label(),
+        key=spec_key(spec),
+        exc_type="WorkerCrashed" if detection == "crash" else "WorkerWedged",
+        message=(f"worker pid {pid} ended without reporting a result "
+                 f"(detection={detection}, exit code {exit_code})"),
+        traceback="",
+        attempt=attempt,
+        fault_seed=(spec.fault_plan.seed if spec.fault_plan is not None
+                    else spec.integrity_plan.seed
+                    if spec.integrity_plan is not None else None),
+        worker_pid=pid,
+        detection=detection,
+        exit_code=exit_code,
+    )
 
-    ``hang_keys`` is the fault-injection hook the timeout/retry tests
-    use: listed specs sleep through their deadline on their *first*
-    attempt only, so a retry then succeeds deterministically.
 
-    Returns a :class:`RunResult` on success or a :class:`JobError` on
-    failure — never raises, so the parent always gets structured info
-    (exception type, traceback, fault seed) instead of a bare remote
-    traceback.
+def _execute_or_resume(spec: RunSpec, checkpoint_path=None,
+                       on_checkpoint=None) -> RunResult:
+    """Run a cell, continuing from its on-disk checkpoint when a valid
+    matching one exists.
+
+    Corrupt checkpoint files are quarantined (renamed aside) and the
+    cell reruns from cycle 0; a checkpoint whose replay diverges is
+    likewise quarantined and retried fresh — resumability is an
+    optimization, never a way to lose a run.
     """
-    spec, attempt, hang_keys, hang_seconds = payload
-    if attempt == 0 and spec_key(spec) in hang_keys:
-        time.sleep(hang_seconds)
+    from repro.sim.checkpoint import (
+        Checkpoint, CheckpointDivergenceError, CheckpointError,
+    )
+
+    resume_from = None
+    if checkpoint_path is not None and spec.checkpoint_every:
+        path = Path(checkpoint_path)
+        if path.exists():
+            try:
+                ckpt = Checkpoint.load(path)
+                if ckpt.spec_key == spec_key(spec):
+                    resume_from = ckpt
+            except CheckpointError as err:
+                _log.warning("quarantining corrupt checkpoint: %s", err)
+                _quarantine_file(path)
     try:
-        result = execute_spec(spec)
+        return execute_spec(spec, checkpoint_path=checkpoint_path,
+                            on_checkpoint=on_checkpoint,
+                            resume_from=resume_from)
+    except CheckpointDivergenceError as err:
+        if resume_from is None:
+            raise
+        _log.warning("checkpoint replay diverged (%s); quarantining and "
+                     "rerunning from cycle 0", err)
+        _quarantine_file(Path(checkpoint_path))
+        return execute_spec(spec, checkpoint_path=checkpoint_path,
+                            on_checkpoint=on_checkpoint)
+
+
+def _quarantine_file(path: Path) -> Optional[Path]:
+    """Move a corrupt file into a ``quarantine/`` sibling directory
+    (kept for post-mortem, out of every reader's way)."""
+    dest_dir = path.parent / "quarantine"
+    try:
+        dest_dir.mkdir(parents=True, exist_ok=True)
+        dest = dest_dir / (path.name + ".quarantined")
+        path.replace(dest)
+        return dest
+    except OSError:  # pragma: no cover - racing unlink/permissions
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+
+
+def _supervised_worker(spec: RunSpec, attempt: int, conn, hb, slot: int,
+                       hb_interval: float, inject: Dict[str, Any],
+                       checkpoint_path) -> None:
+    """Module-level worker target (picklable under fork and spawn).
+
+    Heartbeats into ``hb[slot]`` from a daemon thread every
+    ``hb_interval`` seconds for the whole life of the attempt — the
+    supervisor treats a stale slot as a wedged worker.  The result (a
+    :class:`RunResult` or a :class:`JobError` — never a raised
+    exception) goes back over ``conn``; the pipe write blocks until the
+    parent drains it, so a worker that sent its result is by definition
+    not lost.
+
+    ``inject`` carries the chaos hooks, all keyed by spec key and (for
+    the single-shot ones) firing on attempt 0 only so a retry succeeds
+    deterministically: ``hang`` sleeps through the deadline (heartbeats
+    keep flowing — this exercises the *runtime* deadline, not the wedge
+    detector), ``stop`` SIGSTOPs itself (all threads freeze, so
+    heartbeats stop — the wedge signature), ``kill`` SIGKILLs itself —
+    immediately when the job is not checkpointing, else right after its
+    first checkpoint hits disk (the crash-recovery-with-resume path).
+    ``kill_all`` kills on *every* attempt (the retries-exhausted
+    negative control).
+    """
+    stop_beating = threading.Event()
+
+    def beat():
+        while not stop_beating.is_set():
+            hb[slot] = time.monotonic()
+            stop_beating.wait(hb_interval)
+
+    threading.Thread(target=beat, daemon=True, name="heartbeat").start()
+
+    key = spec_key(spec)
+    kill_always = key in inject.get("kill_all", ())
+    kill_once = kill_always or (attempt == 0 and key in inject.get("kill", ()))
+    on_checkpoint = None
+    if kill_once and checkpoint_path is not None and spec.checkpoint_every:
+        def on_checkpoint(path, ckpt):
+            os.kill(os.getpid(), signal.SIGKILL)
+    elif kill_once:
+        os.kill(os.getpid(), signal.SIGKILL)
+    if attempt == 0 and key in inject.get("stop", ()):
+        os.kill(os.getpid(), signal.SIGSTOP)
+    if attempt == 0 and key in inject.get("hang", ()):
+        time.sleep(inject.get("hang_seconds", 60.0))
+
+    try:
+        result = _execute_or_resume(spec, checkpoint_path=checkpoint_path,
+                                    on_checkpoint=on_checkpoint)
     except Exception as exc:
-        return _job_error(spec, exc, attempt + 1)
-    result.attempts = attempt + 1
-    return result
+        conn.send(_job_error(spec, exc, attempt + 1))
+    else:
+        result.attempts = attempt + 1
+        conn.send(result)
+    finally:
+        conn.close()
+        stop_beating.set()
 
 
 # -- on-disk result cache ---------------------------------------------------------
 
 
-class DiskCache:
-    """One JSON file per spec key under ``root`` (atomic writes).
+def _entry_digest(payload: Dict[str, Any]) -> str:
+    """sha256 over a cache entry's canonical JSON, minus the digest
+    field itself."""
+    body = {k: v for k, v in payload.items() if k != "sha256"}
+    canon = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode()).hexdigest()
 
-    Unreadable, corrupt, or schema-mismatched files count as misses —
-    the cache can only ever cost a re-simulation, never a wrong number.
+
+class DiskCache:
+    """One self-verifying JSON file per spec key under ``root``.
+
+    Robustness contract (the cache can only ever cost a re-simulation,
+    never a wrong number or a crashed sweep):
+
+    - every entry embeds a sha256 over its own payload, recomputed and
+      compared on read — a truncated or bit-flipped file cannot parse
+      into a plausible-but-wrong result;
+    - unreadable / torn / digest-mismatched files are **quarantined**
+      (moved to ``quarantine/`` for post-mortem), logged, counted, and
+      reported as misses so the cell simply reruns;
+    - stale-schema files are plain misses (old format, not corruption);
+    - writes are atomic (tmp + rename) and ``OSError`` during a write
+      (ENOSPC, read-only filesystem) is absorbed and counted — losing a
+      cache entry must never sink the run that produced the result;
+    - ``.tmp``/``.lock`` litter older than ``reap_after`` seconds (dead
+      writers) is deleted at construction.
     """
 
-    def __init__(self, root: Path):
+    def __init__(self, root: Path, reap_after: float = 300.0,
+                 inject_write_error: FrozenSet[str] = frozenset()):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
+        self.write_errors = 0
+        #: Chaos hook: keys whose put() raises ENOSPC (then absorbed).
+        self.inject_write_error = frozenset(inject_write_error)
+        self.reaped = self._reap_stale(reap_after)
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
+    def _reap_stale(self, reap_after: float) -> int:
+        """Delete ``.tmp``/``.lock`` files no live writer can own."""
+        cutoff = time.time() - reap_after
+        reaped = 0
+        for pattern in ("*.tmp", "*.lock"):
+            for stale in self.root.glob(pattern):
+                try:
+                    if stale.stat().st_mtime <= cutoff:
+                        stale.unlink()
+                        reaped += 1
+                except OSError:  # racing writer/reaper: leave it
+                    continue
+        if reaped:
+            _log.info("cache %s: reaped %d stale tmp/lock file(s)",
+                      self.root, reaped)
+        return reaped
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
+    def _quarantine(self, path: Path, reason: str) -> None:
+        self.quarantined += 1
+        self.misses += 1
+        dest = _quarantine_file(path)
+        _log.warning("cache entry %s is corrupt (%s); quarantined to %s "
+                     "— the cell will re-run", path.name, reason, dest)
+
     def get(self, key: str) -> Optional[RunResult]:
         path = self._path(key)
+        if not path.exists():
+            self.misses += 1
+            return None
         try:
             payload = json.loads(path.read_text())
+        except (OSError, ValueError) as err:
+            self._quarantine(path, f"unreadable/torn: {err}")
+            return None
+        if not isinstance(payload, dict):
+            self._quarantine(path, "not a JSON object")
+            return None
+        if payload.get("schema") != CACHE_SCHEMA:
+            self.misses += 1  # old format: a miss, not corruption
+            return None
+        if payload.get("sha256") != _entry_digest(payload):
+            self._quarantine(path, "sha256 mismatch")
+            return None
+        try:
             result = RunResult.from_json(payload)
-        except (OSError, ValueError, KeyError, TypeError):
-            self.misses += 1
+        except (ValueError, KeyError, TypeError) as err:
+            self._quarantine(path, f"malformed payload: {err!r}")
             return None
         self.hits += 1
         return result
@@ -395,8 +648,21 @@ class DiskCache:
     def put(self, key: str, result: RunResult) -> None:
         path = self._path(key)
         tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(result.to_json(), sort_keys=True))
-        tmp.replace(path)
+        payload = result.to_json()
+        payload["sha256"] = _entry_digest(payload)
+        try:
+            if key in self.inject_write_error:
+                raise OSError(errno.ENOSPC, "injected cache write failure")
+            tmp.write_text(json.dumps(payload, sort_keys=True))
+            tmp.replace(path)
+        except OSError as err:
+            self.write_errors += 1
+            _log.warning("cache write for %s failed (%s); result kept "
+                         "in memory only", key[:12], err)
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*.json"))
@@ -436,24 +702,52 @@ class Orchestrator:
         Base seconds slept before retry ``n`` (exponential:
         ``backoff * 2**(n-1)``); ``0`` disables sleeping.
     progress:
-        Optional callback receiving structured event dicts
-        (``start`` / ``done`` / ``timeout`` / ``failure`` / ``finish``).
-    inject_hang:
-        Test hook: spec keys whose first attempt sleeps through the
-        deadline (see :func:`_pool_worker`).
+        Optional callback receiving structured event dicts (``start`` /
+        ``spawn`` / ``done`` / ``timeout`` / ``crash`` / ``wedged`` /
+        ``failure`` / ``finish``).
+    heartbeat_timeout:
+        Seconds without a worker heartbeat before the supervisor
+        declares it wedged, kills it, and reschedules.  Distinct from
+        ``timeout``: a slow-but-alive worker heartbeats happily; a
+        SIGSTOPped or scheduler-starved one goes silent.
+    heartbeat_interval:
+        How often each worker's daemon thread stamps its heartbeat slot.
+    checkpoint_dir:
+        Directory for per-job checkpoint files.  Jobs whose spec sets
+        ``checkpoint_every`` save there periodically and — after a
+        crash, wedge, or timeout — resume from the last checkpoint
+        instead of cycle 0.  ``None`` disables checkpointing.
+    dump_dir:
+        Where terminal-failure JSON dumps land (falls back to
+        ``$REPRO_WATCHDOG_DUMP_DIR``, like the liveness watchdog).
+    inject_hang / inject_kill / inject_stop / inject_kill_all:
+        Chaos hooks, all sets of spec keys (see
+        :func:`_supervised_worker`): first attempt sleeps through its
+        deadline / SIGKILLs itself (after its first checkpoint when
+        checkpointing) / SIGSTOPs itself; ``inject_kill_all`` kills on
+        every attempt (the retries-exhausted negative control).
     """
 
     def __init__(self, jobs: int = 1, cache: Optional[DiskCache] = None,
                  timeout: Optional[float] = None, retries: int = 1,
                  backoff: float = 0.0,
                  progress: Optional[ProgressFn] = None,
-                 inject_hang: FrozenSet[str] = frozenset()):
+                 inject_hang: FrozenSet[str] = frozenset(),
+                 heartbeat_timeout: float = 30.0,
+                 heartbeat_interval: float = 0.25,
+                 checkpoint_dir: Optional[Path] = None,
+                 dump_dir: Optional[str] = None,
+                 inject_kill: FrozenSet[str] = frozenset(),
+                 inject_stop: FrozenSet[str] = frozenset(),
+                 inject_kill_all: FrozenSet[str] = frozenset()):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if retries < 0:
             raise ValueError("retries must be >= 0")
         if backoff < 0:
             raise ValueError("backoff must be >= 0")
+        if heartbeat_timeout <= 0 or heartbeat_interval <= 0:
+            raise ValueError("heartbeat timings must be > 0")
         self.jobs = jobs
         self.cache = cache
         self.timeout = timeout
@@ -461,10 +755,21 @@ class Orchestrator:
         self.backoff = backoff
         self.progress = progress
         self.inject_hang = frozenset(inject_hang)
+        self.inject_kill = frozenset(inject_kill)
+        self.inject_stop = frozenset(inject_stop)
+        self.inject_kill_all = frozenset(inject_kill_all)
+        self.heartbeat_timeout = heartbeat_timeout
+        self.heartbeat_interval = heartbeat_interval
+        self.checkpoint_dir = (Path(checkpoint_dir)
+                               if checkpoint_dir is not None else None)
+        self.dump_dir = dump_dir
         self.report: Dict[str, Any] = {}
         #: Structured record of every failed attempt this run observed
         #: (the final one is also raised as :class:`OrchestratorError`).
         self.failures: List[JobError] = []
+        # Supervision counters for the current run() (surface in report).
+        self._crashes = 0
+        self._wedged = 0
 
     # -- public API ---------------------------------------------------------------
 
@@ -476,6 +781,8 @@ class Orchestrator:
         baselines.
         """
         started = time.perf_counter()
+        self._crashes = 0
+        self._wedged = 0
         keys = [spec_key(spec) for spec in specs]
         self._emit({"event": "start", "total": len(specs),
                     "jobs": self.jobs})
@@ -520,6 +827,9 @@ class Orchestrator:
             "executed": len(pending),
             "timeouts": timeouts,
             "retries": retried,
+            "crashes": self._crashes,
+            "wedged": self._wedged,
+            "resumed": sum(1 for r in results.values() if r.resumed),
             "jobs": self.jobs,
             "wall_seconds": wall,
             "sim_seconds": sum(r.wall_seconds for r in results.values()),
@@ -540,19 +850,16 @@ class Orchestrator:
     def _run_serial(self, pending) -> Dict[str, RunResult]:
         executed: Dict[str, RunResult] = {}
         for key, spec in pending:
+            path = self._checkpoint_path(key, spec)
             try:
-                result = execute_spec(spec)
+                result = _execute_or_resume(spec, checkpoint_path=path)
             except Exception as exc:
                 # Same structured failure shape the pool path produces,
                 # so callers triage serial and parallel runs identically.
                 error = _job_error(spec, exc, attempt=1)
-                self.failures.append(error)
-                self._emit({"event": "failure", "label": spec.label(),
-                            "key": key[:12], "attempt": 1,
-                            "exc_type": error.exc_type,
-                            "message": error.message})
-                raise OrchestratorError(error) from exc
+                raise self._terminal_failure(error) from exc
             executed[key] = result
+            self._cleanup_checkpoint(path)
             self._emit({"event": "done", "label": spec.label(),
                         "key": key[:12], "cached": False,
                         "wall_seconds": result.wall_seconds, "attempts": 1})
@@ -563,93 +870,229 @@ class Orchestrator:
         if self.backoff > 0:
             time.sleep(self.backoff * (2 ** (attempt - 1)))
 
-    def _run_pool(self, pending):
-        """Fan out over a process pool; collect in submission order.
+    # -- supervised pool ----------------------------------------------------------
 
-        A cell that misses its deadline is resubmitted up to
-        ``retries`` times (fault injection only fires on attempt 0, and
-        a genuinely hung worker just keeps sleeping in its slot), then
-        run in-process as the final fallback.  A cell whose worker
-        *failed* comes back as a :class:`JobError`; it is retried with
-        exponential backoff (transient host trouble) and, if it fails
-        every attempt, raised as :class:`OrchestratorError` carrying the
-        worker's exception type, traceback, and fault seed.  The pool is
-        terminated — not joined — when any worker was presumed hung.
+    def _checkpoint_path(self, key: str, spec: RunSpec) -> Optional[Path]:
+        if self.checkpoint_dir is None or not spec.checkpoint_every:
+            return None
+        self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        return self.checkpoint_dir / f"{key}.ckpt.json"
+
+    @staticmethod
+    def _cleanup_checkpoint(path: Optional[Path]) -> None:
+        """A completed job's checkpoint is dead weight; drop it (and any
+        torn ``.tmp`` a killed attempt left mid-write)."""
+        if path is None:
+            return
+        for stale in (path, path.with_suffix(path.suffix + ".tmp")):
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+
+    def _terminal_failure(self, error: JobError,
+                          emit: bool = True) -> "OrchestratorError":
+        """Dump, record (unless the per-attempt loop already did), and
+        wrap a job's final failure."""
+        from repro.sim.watchdog import write_dump
+
+        error.dump_path = write_dump(
+            {"reason": "orchestrator-job-failure", "job_error": asdict(error)},
+            self.dump_dir)
+        if emit:
+            self.failures.append(error)
+            self._emit({"event": "failure", "label": error.label,
+                        "key": error.key[:12], "attempt": error.attempt,
+                        "exc_type": error.exc_type, "message": error.message})
+        return OrchestratorError(error)
+
+    def _run_pool(self, pending):
+        """Supervised fan-out: one process per job attempt, heartbeats,
+        crash/wedge/timeout detection, checkpoint-aware rescheduling.
+
+        Every worker heartbeats into a shared array and sends exactly
+        one result (:class:`RunResult` or :class:`JobError`) down its
+        own pipe.  The supervisor waits on all pipes and process
+        sentinels at once and classifies each ending:
+
+        - **result**: done, or a reported failure → retry with backoff,
+          exhausted failures raise :class:`OrchestratorError` (+ dump);
+        - **crash** (sentinel fired, pipe empty — SIGKILL/OOM): retry
+          with backoff, resuming from the job's last checkpoint when it
+          has one; exhausted crashes raise (running a crasher in-process
+          could take the supervisor down with it);
+        - **wedge** (no heartbeat past ``heartbeat_timeout``) and
+          **timeout** (runtime past ``timeout``): kill + retry; when
+          retries are exhausted these fall back to one in-process
+          attempt, preserving the old guaranteed-progress contract.
+
+        The ``finally`` kills and joins every live worker on *all* exit
+        paths — success, failure, ``KeyboardInterrupt`` — so no chaos
+        scenario leaves an orphan process behind.
         """
-        hang_seconds = min((self.timeout or 1.0) * 10, 60.0)
         ctx = multiprocessing.get_context()
+        slots = min(self.jobs, len(pending))
+        hb = ctx.Array("d", slots)
+        inject = {"hang": self.inject_hang,
+                  "hang_seconds": min((self.timeout or 1.0) * 10, 60.0),
+                  "kill": self.inject_kill,
+                  "stop": self.inject_stop,
+                  "kill_all": self.inject_kill_all}
+
         executed: Dict[str, RunResult] = {}
         timeouts = 0
         retried = 0
-        pool = ctx.Pool(processes=min(self.jobs, len(pending)))
+        work = deque((key, spec, 0) for key, spec in pending)
+        active: Dict[int, Dict[str, Any]] = {}  # slot -> live attempt
+        free = list(range(slots - 1, -1, -1))
+
+        def launch(key, spec, attempt):
+            slot = free.pop()
+            recv, send = ctx.Pipe(duplex=False)
+            path = self._checkpoint_path(key, spec)
+            proc = ctx.Process(
+                target=_supervised_worker,
+                args=(spec, attempt, send, hb, slot,
+                      self.heartbeat_interval, inject,
+                      str(path) if path is not None else None),
+                daemon=True)  # die with the supervisor, like pool workers
+            hb[slot] = time.monotonic()
+            proc.start()
+            send.close()  # child's end; parent keeps recv only
+            active[slot] = {"key": key, "spec": spec, "attempt": attempt,
+                            "proc": proc, "conn": recv, "path": path,
+                            "started": time.monotonic()}
+            self._emit({"event": "spawn", "label": spec.label(),
+                        "key": key[:12], "attempt": attempt + 1,
+                        "pid": proc.pid})
+
+        def retire(slot, kill=False):
+            job = active.pop(slot)
+            if kill:
+                # Kill *before* join: a stopped or sleeping worker never
+                # exits on its own, so join() first would block forever.
+                # SIGKILL works on SIGSTOPped processes too.
+                job["proc"].kill()
+            job["conn"].close()
+            job["proc"].join()
+            free.append(slot)
+            return job
+
+        def reschedule(job, kind):
+            """Requeue or finish a killed/dead attempt's job according
+            to the retry budget."""
+            nonlocal retried
+            attempt = job["attempt"] + 1
+            self._emit({"event": kind, "label": job["spec"].label(),
+                        "key": job["key"][:12], "attempt": attempt,
+                        **({"exit_code": job["proc"].exitcode}
+                           if kind == "crash" else {})})
+            if attempt <= self.retries:
+                retried += 1
+                self._sleep_backoff(attempt)
+                work.append((job["key"], job["spec"], attempt))
+                return None
+            if kind == "crash":
+                # Exhausted crashes are terminal: whatever killed the
+                # worker (OOM, a broken native extension) could take the
+                # supervisor down if rerun in-process.
+                error = _job_error_shell(
+                    job["spec"], detection="crash", attempt=attempt,
+                    exit_code=job["proc"].exitcode, pid=job["proc"].pid)
+                raise self._terminal_failure(error)
+            # Timeouts/wedges keep the guaranteed-progress contract:
+            # one final in-process attempt (resuming from checkpoint).
+            try:
+                result = _execute_or_resume(
+                    job["spec"],
+                    checkpoint_path=job["path"])
+            except Exception as exc:
+                error = _job_error(job["spec"], exc, attempt + 1)
+                raise self._terminal_failure(error) from exc
+            result.attempts = attempt + 1
+            return result
+
+        def finish(job, result):
+            executed[job["key"]] = result
+            self._cleanup_checkpoint(job["path"])
+            self._emit({"event": "done", "label": job["spec"].label(),
+                        "key": job["key"][:12], "cached": False,
+                        "wall_seconds": result.wall_seconds,
+                        "attempts": result.attempts,
+                        "resumed": result.resumed})
+
         try:
-            futures = [
-                (key, spec, pool.apply_async(
-                    _pool_worker, ((spec, 0, self.inject_hang, hang_seconds),)))
-                for key, spec in pending
-            ]
-            for key, spec, future in futures:
-                attempt = 0
-                while True:
-                    try:
-                        result = future.get(self.timeout)
-                    except multiprocessing.TimeoutError:
-                        timeouts += 1
-                        attempt += 1
-                        self._emit({"event": "timeout", "label": spec.label(),
-                                    "key": key[:12], "attempt": attempt})
-                        if attempt <= self.retries:
-                            retried += 1
-                            self._sleep_backoff(attempt)
-                            future = pool.apply_async(
-                                _pool_worker,
-                                ((spec, attempt, self.inject_hang,
-                                  hang_seconds),))
-                            continue
-                        # Last resort: guaranteed-progress local attempt
-                        # (wrapped so even it reports structured failure).
+            while work or active:
+                while work and free:
+                    launch(*work.popleft())
+                # One multiplexed wait on every result pipe and process
+                # sentinel; the timeout bounds deadline-check latency.
+                # (Never time.sleep here: backoff must own that call.)
+                waitables = [job["conn"] for job in active.values()]
+                waitables += [job["proc"].sentinel for job in active.values()]
+                if waitables:
+                    _mpconn.wait(waitables, timeout=0.05)
+                now = time.monotonic()
+                for slot in sorted(active):
+                    job = active[slot]
+                    result = None
+                    if job["conn"].poll():
                         try:
-                            result = execute_spec(spec)
-                        except Exception as exc:
-                            error = _job_error(spec, exc, attempt + 1)
-                            self.failures.append(error)
+                            result = job["conn"].recv()
+                        except (EOFError, OSError):
+                            result = None  # died mid-send: a crash
+                    if result is not None:
+                        job = retire(slot)
+                        if isinstance(result, JobError):
+                            self.failures.append(result)
                             self._emit({"event": "failure",
-                                        "label": spec.label(),
-                                        "key": key[:12],
-                                        "attempt": attempt + 1,
-                                        "exc_type": error.exc_type,
-                                        "message": error.message})
-                            raise OrchestratorError(error) from exc
-                        result.attempts = attempt + 1
-                        break
-                    if isinstance(result, JobError):
-                        self.failures.append(result)
-                        attempt += 1
-                        self._emit({"event": "failure", "label": spec.label(),
-                                    "key": key[:12], "attempt": attempt,
-                                    "exc_type": result.exc_type,
-                                    "message": result.message})
-                        if attempt <= self.retries:
-                            retried += 1
-                            self._sleep_backoff(attempt)
-                            future = pool.apply_async(
-                                _pool_worker,
-                                ((spec, attempt, self.inject_hang,
-                                  hang_seconds),))
-                            continue
-                        raise OrchestratorError(result)
-                    break
-                executed[key] = result
-                self._emit({"event": "done", "label": spec.label(),
-                            "key": key[:12], "cached": False,
-                            "wall_seconds": result.wall_seconds,
-                            "attempts": result.attempts})
+                                        "label": job["spec"].label(),
+                                        "key": job["key"][:12],
+                                        "attempt": result.attempt,
+                                        "exc_type": result.exc_type,
+                                        "message": result.message})
+                            attempt = job["attempt"] + 1
+                            if attempt <= self.retries:
+                                retried += 1
+                                self._sleep_backoff(attempt)
+                                work.append((job["key"], job["spec"],
+                                             attempt))
+                            else:
+                                # Already appended/emitted above.
+                                raise self._terminal_failure(result,
+                                                             emit=False)
+                        else:
+                            finish(job, result)
+                        continue
+                    if not job["proc"].is_alive():
+                        self._crashes += 1
+                        job = retire(slot)
+                        done = reschedule(job, "crash")
+                        if done is not None:  # pragma: no cover - crash
+                            finish(job, done)  # path never falls back
+                        continue
+                    if (self.timeout is not None
+                            and now - job["started"] > self.timeout):
+                        timeouts += 1
+                        job = retire(slot, kill=True)
+                        done = reschedule(job, "timeout")
+                        if done is not None:
+                            finish(job, done)
+                        continue
+                    if now - hb[slot] > self.heartbeat_timeout:
+                        self._wedged += 1
+                        job = retire(slot, kill=True)
+                        done = reschedule(job, "wedged")
+                        if done is not None:
+                            finish(job, done)
         finally:
-            if timeouts:
-                pool.terminate()  # a hung worker would block close/join
-            else:
-                pool.close()
-            pool.join()
+            # The no-orphans guarantee: kill + join every live worker on
+            # every exit path (KeyboardInterrupt included).
+            for job in active.values():
+                job["proc"].kill()
+            for job in active.values():
+                job["proc"].join()
+                job["conn"].close()
         return executed, timeouts, retried
 
     # -- plumbing -----------------------------------------------------------------
@@ -663,10 +1106,13 @@ def make_orchestrator(jobs: int = 1, use_cache: bool = False,
                       cache_dir: Optional[Path] = None,
                       timeout: Optional[float] = None, retries: int = 1,
                       backoff: float = 0.0,
-                      progress: Optional[ProgressFn] = None) -> Orchestrator:
+                      progress: Optional[ProgressFn] = None,
+                      checkpoint_dir: Optional[Path] = None,
+                      dump_dir: Optional[str] = None) -> Orchestrator:
     """CLI/benchmark convenience constructor."""
     cache = None
     if use_cache:
         cache = DiskCache(cache_dir or default_cache_dir())
     return Orchestrator(jobs=jobs, cache=cache, timeout=timeout,
-                        retries=retries, backoff=backoff, progress=progress)
+                        retries=retries, backoff=backoff, progress=progress,
+                        checkpoint_dir=checkpoint_dir, dump_dir=dump_dir)

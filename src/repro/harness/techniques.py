@@ -133,7 +133,12 @@ def run_workload(workload_name: str, technique: str, *,
                  fault_plan: Optional[FaultPlan] = None,
                  integrity_plan: Optional[FaultPlan] = None,
                  check_invariants: bool = False,
-                 watchdog=None) -> ExperimentResult:
+                 watchdog=None,
+                 checkpoint_every: Optional[int] = None,
+                 checkpoint_path=None,
+                 checkpoint_spec=None,
+                 on_checkpoint=None,
+                 resume_from=None) -> ExperimentResult:
     """Build, run, validate, and return one experiment cell.
 
     Robustness knobs (all off by default, leaving the timing path
@@ -155,6 +160,21 @@ def run_workload(workload_name: str, technique: str, *,
     - ``watchdog``: ``True`` (defaults) or a kwargs dict for
       :class:`~repro.sim.watchdog.Watchdog`; turns hangs into diagnosed
       :class:`~repro.sim.watchdog.LivenessError`\\ s.
+
+    Crash tolerance (see :mod:`repro.sim.checkpoint`):
+
+    - ``checkpoint_every=N`` + ``checkpoint_path``: save a checkpoint of
+      the run every ``N`` cycles (atomically overwriting the same file,
+      so the file always holds the latest consistent snapshot).
+      ``checkpoint_spec`` (a picklable RunSpec) embeds rebuild info so
+      the file is self-resuming; ``on_checkpoint(path, ckpt)`` fires
+      after each successful save (the chaos harness kills workers here).
+    - ``resume_from``: a :class:`~repro.sim.checkpoint.Checkpoint` (or
+      path) saved by an identical run.  The fresh SoC replays to the
+      saved cycle, every recorded per-subsystem digest is verified
+      (typed :class:`~repro.sim.checkpoint.CheckpointDivergenceError`
+      on mismatch), then the run continues to completion — bit-identical
+      to the uninterrupted run, oracle checks included.
     """
     if technique not in HARNESS_TECHNIQUES:
         raise ValueError(f"unknown technique {technique!r}")
@@ -195,8 +215,22 @@ def run_workload(workload_name: str, technique: str, *,
         monitor = Watchdog(soc, **(watchdog if isinstance(watchdog, dict)
                                    else {}))
 
+    save_hook = None
+    if checkpoint_every and checkpoint_path is not None:
+        def save_hook(live_soc):
+            ckpt = live_soc.save_checkpoint(checkpoint_path,
+                                            spec=checkpoint_spec)
+            if on_checkpoint is not None:
+                on_checkpoint(checkpoint_path, ckpt)
+    if resume_from is not None and not hasattr(resume_from, "digests"):
+        from repro.sim.checkpoint import Checkpoint
+        resume_from = Checkpoint.load(resume_from)
+
     try:
-        cycles = soc.run_threads(assignments, watchdog=monitor)
+        cycles = soc.run_threads(assignments, watchdog=monitor,
+                                 checkpoint_every=checkpoint_every,
+                                 on_checkpoint=save_hook,
+                                 resume_from=resume_from)
     except DataIntegrityError as err:
         # Unrecoverable corruption: annotate the typed error with the
         # same structured diagnosis (and on-disk JSON dump) the liveness

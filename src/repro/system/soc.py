@@ -186,7 +186,10 @@ class Soc:
     # -- execution ------------------------------------------------------------------
 
     def run_threads(self, assignments: Sequence[Tuple[int, Thread]],
-                    watchdog: Optional[Watchdog] = None) -> int:
+                    watchdog: Optional[Watchdog] = None,
+                    checkpoint_every: Optional[int] = None,
+                    on_checkpoint=None,
+                    resume_from=None) -> int:
         """Run threads on cores until all finish; returns elapsed cycles.
 
         ``assignments`` is a list of ``(core_id, Thread)`` pairs; each core
@@ -195,6 +198,20 @@ class Soc:
         livelocks into diagnosed :class:`LivenessError`\\ s; deadlocks
         (event queue drained, threads still blocked) are diagnosed here
         regardless, naming the stuck cores and busy ports.
+
+        Checkpoint hooks (see :mod:`repro.sim.checkpoint`):
+
+        - ``checkpoint_every=N`` runs the engine in ``N``-cycle chunks
+          and calls ``on_checkpoint(self)`` between chunks while events
+          remain.  Chunk boundaries are invisible to the model (the
+          engine's ``run(until=...)`` resumes exactly where it stopped),
+          so checkpointed runs stay bit-identical to uninterrupted ones.
+        - ``resume_from=<Checkpoint>`` first replays to the saved cycle
+          and verifies every recorded state digest
+          (:func:`~repro.sim.checkpoint.verify_against` — a mismatch is
+          a typed :class:`CheckpointDivergenceError`), then continues
+          normally.  The Soc must be freshly built from the same
+          spec/arguments the checkpoint's run used.
         """
         seen_cores = set()
         finish: Dict[int, int] = {}
@@ -212,7 +229,19 @@ class Soc:
         if watchdog is not None:
             watchdog.arm()
         try:
-            self.sim.run()
+            if resume_from is not None:
+                from repro.sim.checkpoint import verify_against
+                self.sim.run(until=resume_from.cycle)
+                verify_against(self, resume_from)
+            if checkpoint_every:
+                while True:
+                    self.sim.run(until=self.sim.now + checkpoint_every)
+                    if not self.sim.pending_events:
+                        break
+                    if on_checkpoint is not None:
+                        on_checkpoint(self)
+            else:
+                self.sim.run()
         finally:
             if watchdog is not None:
                 watchdog.disarm()
@@ -228,6 +257,36 @@ class Soc:
         # completed; a leaked one is a model bug worth failing loudly on.
         self.ports.drain()
         return max(finish.values()) if finish else 0
+
+    # -- checkpoint/restore -----------------------------------------------------
+
+    def save_checkpoint(self, path, spec=None, label: str = ""):
+        """Write a versioned, content-digested checkpoint of this SoC.
+
+        Call between engine runs (e.g. from a ``run_threads``
+        ``on_checkpoint`` hook).  ``spec`` (a picklable
+        :class:`~repro.harness.orchestrator.RunSpec`) makes the file
+        self-resuming via :meth:`resume`; without it the checkpoint can
+        still be validated and resumed by a caller who rebuilds the
+        experiment.  Returns the saved
+        :class:`~repro.sim.checkpoint.Checkpoint`.
+        """
+        from repro.sim.checkpoint import capture
+        return capture(self, spec=spec, label=label).save(path)
+
+    @staticmethod
+    def resume(path):
+        """Resume a spec-carrying checkpoint file to completion.
+
+        Rebuilds the experiment from the embedded spec, replays to the
+        saved cycle under per-subsystem digest verification, and runs to
+        the end; returns the
+        :class:`~repro.harness.techniques.ExperimentResult`.  Raises the
+        typed errors in :mod:`repro.sim.checkpoint` on corrupt,
+        spec-less, or diverging checkpoints.
+        """
+        from repro.sim.checkpoint import resume_checkpoint
+        return resume_checkpoint(path)
 
     # -- port lifecycle ---------------------------------------------------------
 

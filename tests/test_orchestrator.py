@@ -333,3 +333,164 @@ def test_job_error_records_fault_seed():
 def test_backoff_validation():
     with pytest.raises(ValueError):
         Orchestrator(backoff=-0.1)
+
+
+# -- supervised pool: crashes, wedges, checkpoints, orphans ------------------------
+
+
+def test_sigkill_recovery_matches_serial_baseline():
+    """Satellite gate: SIGKILL a worker mid-job; the job must be
+    rescheduled, complete, and aggregate equal to the serial baseline."""
+    baseline = identities(Orchestrator(jobs=1).run(SMALL_SPECS))
+    victim = spec_key(SMALL_SPECS[1])
+    events = []
+    orch = Orchestrator(jobs=2, retries=2, progress=events.append,
+                        inject_kill=frozenset({victim}))
+    results = orch.run(SMALL_SPECS)
+    assert identities(results) == baseline
+    assert orch.report["crashes"] >= 1
+    crash = next(e for e in events if e["event"] == "crash")
+    assert crash["exit_code"] == -9
+    killed = next(r for r in results if r.key == victim)
+    assert killed.attempts >= 2  # first attempt died, retry landed
+
+
+def test_crashed_job_resumes_from_checkpoint(tmp_path):
+    """With checkpoint_every set, the post-crash reschedule continues
+    from the last checkpoint instead of cycle 0 — and still matches."""
+    base_spec = RunSpec("spmv", "lima", threads=1)
+    spec = RunSpec("spmv", "lima", threads=1, checkpoint_every=15_000)
+    # checkpoint_every is bit-identity-neutral, so it stays out of the key.
+    assert spec_key(spec) == spec_key(base_spec)
+
+    golden = execute_spec(base_spec).identity()
+    orch = Orchestrator(jobs=2, retries=1, checkpoint_dir=tmp_path / "ckpt",
+                        inject_kill=frozenset({spec_key(spec)}))
+    results = orch.run([spec])
+    assert results[0].identity() == golden
+    assert results[0].resumed and results[0].attempts == 2
+    assert orch.report["crashes"] == 1 and orch.report["resumed"] == 1
+    # The finished job's checkpoint (and any torn tmp) was cleaned up.
+    assert not list((tmp_path / "ckpt").glob("*.ckpt.json*"))
+
+
+def test_wedged_worker_is_detected_and_rescheduled():
+    """SIGSTOP freezes the worker's heartbeat thread without killing the
+    process: the wedge detector (not the runtime deadline) must fire."""
+    spec = RunSpec("spmv", "lima", threads=1)
+    golden = execute_spec(spec).identity()
+    events = []
+    orch = Orchestrator(jobs=2, retries=1, heartbeat_timeout=0.6,
+                        heartbeat_interval=0.05, progress=events.append,
+                        inject_stop=frozenset({spec_key(spec)}))
+    results = orch.run([spec])
+    assert results[0].identity() == golden
+    assert orch.report["wedged"] == 1
+    assert any(e["event"] == "wedged" for e in events)
+
+
+def test_exhausted_crashes_raise_typed_with_dump(tmp_path):
+    """A job whose every attempt is SIGKILLed must end as a structured
+    OrchestratorError (WorkerCrashed + exit code + JSON dump), not a
+    hang or an in-process rerun of whatever killed the workers."""
+    import multiprocessing
+    from pathlib import Path
+
+    from repro.harness.orchestrator import OrchestratorError
+
+    spec = RunSpec("spmv", "lima", threads=1)
+    orch = Orchestrator(jobs=2, retries=1, dump_dir=str(tmp_path),
+                        inject_kill_all=frozenset({spec_key(spec)}))
+    with pytest.raises(OrchestratorError) as exc:
+        orch.run([spec])
+    job = exc.value.job_error
+    assert job.exc_type == "WorkerCrashed" and job.detection == "crash"
+    assert job.exit_code == -9 and job.attempt == 2
+    assert job.dump_path and Path(job.dump_path).exists()
+    dumped = json.loads(Path(job.dump_path).read_text())
+    assert dumped["reason"] == "orchestrator-job-failure"
+    assert dumped["job_error"]["exc_type"] == "WorkerCrashed"
+    assert multiprocessing.active_children() == []
+
+
+def test_keyboard_interrupt_leaves_no_orphan_workers():
+    """Satellite fix: every _run_pool exit path — KeyboardInterrupt
+    included — must terminate and join all live workers."""
+    import multiprocessing
+
+    def bomb(event):
+        if event["event"] == "spawn":
+            raise KeyboardInterrupt
+
+    orch = Orchestrator(jobs=2, progress=bomb)
+    with pytest.raises(KeyboardInterrupt):
+        orch.run([RunSpec("spmv", "lima", threads=1),
+                  RunSpec("sdhp", "doall", threads=2)])
+    assert multiprocessing.active_children() == []
+
+
+# -- DiskCache robustness: digests, quarantine, reaping, write failures ------------
+
+
+def _fake_result(cycles=10):
+    from repro.harness.orchestrator import RunResult
+
+    return RunResult(workload="spmv", technique="doall", threads=2,
+                     cycles=cycles, fallback_doall=False, total_loads=1,
+                     avg_load_latency=1.0, events_executed=5,
+                     stats={"a": 1.0}, key="deadbeef")
+
+
+def test_cache_quarantines_digest_mismatch(tmp_path):
+    cache = DiskCache(tmp_path)
+    cache.put("deadbeef", _fake_result())
+    path = tmp_path / "deadbeef.json"
+    payload = json.loads(path.read_text())
+    payload["cycles"] = 999  # tamper without fixing the embedded sha256
+    path.write_text(json.dumps(payload, sort_keys=True))
+
+    assert cache.get("deadbeef") is None
+    assert cache.quarantined == 1
+    assert (cache.quarantine_dir / "deadbeef.json.quarantined").exists()
+    assert not path.exists()  # moved aside, not re-readable
+
+
+def test_cache_quarantines_truncated_entry(tmp_path):
+    cache = DiskCache(tmp_path)
+    cache.put("deadbeef", _fake_result())
+    path = tmp_path / "deadbeef.json"
+    path.write_text(path.read_text()[:40])
+    assert cache.get("deadbeef") is None
+    assert cache.quarantined == 1
+
+
+def test_cache_write_error_is_absorbed_and_counted(tmp_path):
+    cache = DiskCache(tmp_path, inject_write_error=frozenset({"deadbeef"}))
+    cache.put("deadbeef", _fake_result())
+    assert cache.write_errors == 1
+    assert cache.get("deadbeef") is None  # nothing half-written
+    assert not list(tmp_path.glob("*.tmp"))
+
+
+def test_cache_reaps_stale_tmp_and_lock_files(tmp_path):
+    import os
+
+    for name in ("old.tmp", "old.lock"):
+        stale = tmp_path / name
+        stale.write_text("")
+        os.utime(stale, (0, 0))
+    fresh = tmp_path / "fresh.tmp"
+    fresh.write_text("")  # a live writer's file: must survive
+
+    cache = DiskCache(tmp_path, reap_after=60.0)
+    assert cache.reaped == 2
+    assert fresh.exists()
+    assert not (tmp_path / "old.tmp").exists()
+    assert not (tmp_path / "old.lock").exists()
+
+
+def test_heartbeat_validation():
+    with pytest.raises(ValueError):
+        Orchestrator(heartbeat_timeout=0)
+    with pytest.raises(ValueError):
+        Orchestrator(heartbeat_interval=-1.0)

@@ -121,3 +121,95 @@ def test_fault_replay_adhoc_integrity_mode():
     assert proc.returncode in (0, 6)            # recovered or typed failure
     assert "ad-hoc: spmv/maple-decouple" in proc.stdout
     assert "integrity[" in proc.stdout
+
+
+# -- fault_replay.py: checkpoint save/resume --------------------------------------
+
+
+def test_fault_replay_checkpoint_out_then_resume(tmp_path):
+    ckpt = tmp_path / "case0.ckpt.json"
+    rec = run_tool("fault_replay.py", "--case", "0",
+                   "--checkpoint-out", str(ckpt), "--checkpoint-every", "5000")
+    assert rec.returncode == 0, rec.stderr
+    assert ckpt.exists(), "no checkpoint was written"
+    cycles = [line for line in rec.stdout.splitlines()
+              if "completed correct" in line]
+
+    res = run_tool("fault_replay.py", "--case", "0",
+                   "--from-checkpoint", str(ckpt))
+    assert res.returncode == 0, res.stderr
+    assert "resuming from checkpoint @" in res.stdout
+    # The resumed replay reports the identical summary line.
+    assert [line for line in res.stdout.splitlines()
+            if "completed correct" in line] == cycles
+
+
+def test_fault_replay_corrupt_checkpoint_exits_7(tmp_path):
+    bad = tmp_path / "bad.ckpt.json"
+    bad.write_text("{torn")
+    proc = run_tool("fault_replay.py", "--case", "0",
+                    "--from-checkpoint", str(bad))
+    assert proc.returncode == 7
+    assert "CORRUPT CHECKPOINT" in proc.stderr
+
+
+# -- checkpoint_ctl.py ------------------------------------------------------------
+
+
+def _spec_checkpoint(tmp_path):
+    """A spec-carrying mid-run checkpoint file + its golden cycle count."""
+    from dataclasses import replace
+
+    from repro.harness.orchestrator import RunSpec, execute_spec
+
+    spec = RunSpec("spmv", "lima", threads=1)
+    golden = execute_spec(spec)
+    path = tmp_path / "spec.ckpt.json"
+    execute_spec(replace(spec, checkpoint_every=15_000),
+                 checkpoint_path=str(path))
+    return path, golden
+
+
+def test_checkpoint_ctl_inspect_validate_resume(tmp_path):
+    path, golden = _spec_checkpoint(tmp_path)
+
+    val = run_tool("checkpoint_ctl.py", "validate", str(path))
+    assert val.returncode == 0, val.stderr
+    assert "valid checkpoint" in val.stdout and "resumable=True" in val.stdout
+
+    ins = run_tool("checkpoint_ctl.py", "inspect", str(path), "--json")
+    assert ins.returncode == 0, ins.stderr
+    info = json.loads(ins.stdout)
+    assert 0 < info["cycle"] < golden.cycles
+    assert info["resumable"] is True
+    assert set(info["digests"]) >= {"engine", "caches", "memory", "stats"}
+
+    res = run_tool("checkpoint_ctl.py", "resume", str(path))
+    assert res.returncode == 0, res.stderr
+    assert f"completed at cycles={golden.cycles}" in res.stdout
+
+
+def test_checkpoint_ctl_corrupt_exits_2(tmp_path):
+    bad = tmp_path / "bad.ckpt.json"
+    bad.write_text('{"kind": "repro-soc-checkpoint", "schema": 1')
+    for command in ("inspect", "validate", "resume"):
+        proc = run_tool("checkpoint_ctl.py", command, str(bad))
+        assert proc.returncode == 2, (command, proc.stdout, proc.stderr)
+        assert "CORRUPT CHECKPOINT" in proc.stderr
+
+
+def test_checkpoint_ctl_spec_less_resume_exits_3(tmp_path):
+    from repro.sim.checkpoint import Checkpoint
+
+    path, _golden = _spec_checkpoint(tmp_path)
+    ckpt = Checkpoint.load(path)
+    ckpt.spec_b64 = None
+    ckpt.spec_key = None
+    spec_less = tmp_path / "adhoc.ckpt.json"
+    ckpt.save(spec_less)
+
+    assert run_tool("checkpoint_ctl.py", "validate",
+                    str(spec_less)).returncode == 0
+    proc = run_tool("checkpoint_ctl.py", "resume", str(spec_less))
+    assert proc.returncode == 3
+    assert "UNRESUMABLE" in proc.stderr

@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Inspect, validate, and resume SoC checkpoint files.
+
+A checkpoint (:mod:`repro.sim.checkpoint`) pins one cycle of one run:
+per-subsystem sha256 digests, the stats dump, optionally the pickled
+``RunSpec`` that rebuilds the experiment, and a whole-file content
+digest.  This tool is the operator's view of those files:
+
+- ``inspect``  — print the header, metadata, and per-subsystem digests
+  (``--json`` for machine-readable output);
+- ``validate`` — load the file under full content-digest verification
+  and report whether it is intact and resumable;
+- ``resume``   — rebuild the embedded spec's experiment, replay to the
+  saved cycle under digest verification, run it to completion, and
+  print the final cycle count and stats digest (``--checkpoint-out`` /
+  ``--checkpoint-every`` keep checkpointing the continued run).
+
+Usage (from the repo root):
+
+    PYTHONPATH=src python tools/checkpoint_ctl.py inspect run.ckpt.json
+    PYTHONPATH=src python tools/checkpoint_ctl.py inspect run.ckpt.json --json
+    PYTHONPATH=src python tools/checkpoint_ctl.py validate run.ckpt.json
+    PYTHONPATH=src python tools/checkpoint_ctl.py resume run.ckpt.json \\
+        --checkpoint-out run.ckpt.json --checkpoint-every 100000
+
+Exit codes: 0 ok, 2 corrupt/unreadable checkpoint, 3 valid but
+unresumable (no embedded RunSpec), 4 replay divergence on resume.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _info(ckpt) -> dict:
+    """The machine-readable inspect payload (spec pickle elided)."""
+    return {
+        "cycle": ckpt.cycle,
+        "events_executed": ckpt.events_executed,
+        "schema": ckpt.schema,
+        "label": ckpt.label,
+        "resumable": ckpt.resumable,
+        "spec_key": ckpt.spec_key,
+        "meta": dict(ckpt.meta),
+        "stats_entries": len(ckpt.stats),
+        "content_sha256": ckpt.content_digest(),
+        "digests": dict(ckpt.digests),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    inspect = sub.add_parser("inspect", help="print header + digests")
+    inspect.add_argument("path")
+    inspect.add_argument("--json", action="store_true",
+                         help="machine-readable output")
+
+    validate = sub.add_parser("validate",
+                              help="verify the file's content digest")
+    validate.add_argument("path")
+
+    resume = sub.add_parser("resume",
+                            help="replay + continue the embedded spec's run")
+    resume.add_argument("path")
+    resume.add_argument("--checkpoint-out", default=None, metavar="CKPT",
+                        help="keep checkpointing the continued run here")
+    resume.add_argument("--checkpoint-every", type=int, default=100_000,
+                        help="cycles between checkpoints for "
+                             "--checkpoint-out (default 100000)")
+    args = parser.parse_args(argv)
+
+    from repro.sim.checkpoint import (
+        Checkpoint,
+        CheckpointCorruptError,
+        CheckpointDivergenceError,
+        CheckpointUnresumableError,
+        digest_of,
+        resume_checkpoint,
+    )
+
+    try:
+        ckpt = Checkpoint.load(args.path)
+    except CheckpointCorruptError as err:
+        print(f"CORRUPT CHECKPOINT: {err}", file=sys.stderr)
+        return 2
+
+    if args.command == "validate":
+        print(f"valid checkpoint: cycle={ckpt.cycle} schema={ckpt.schema} "
+              f"resumable={ckpt.resumable} "
+              f"content_sha256={ckpt.content_digest()[:16]}")
+        return 0
+
+    if args.command == "inspect":
+        info = _info(ckpt)
+        if args.json:
+            print(json.dumps(info, indent=2, sort_keys=True))
+            return 0
+        print(f"checkpoint {args.path}")
+        for field in ("cycle", "events_executed", "schema", "label",
+                      "resumable", "spec_key", "stats_entries",
+                      "content_sha256"):
+            print(f"  {field:18s} {info[field]}")
+        for key, value in sorted(info["meta"].items()):
+            print(f"  meta.{key:13s} {value}")
+        print("  per-subsystem digests:")
+        for name, digest in sorted(info["digests"].items()):
+            print(f"    {name:12s} {digest}")
+        return 0
+
+    overrides = {}
+    if args.checkpoint_out:
+        overrides = {"checkpoint_every": args.checkpoint_every,
+                     "checkpoint_path": args.checkpoint_out}
+    try:
+        result = resume_checkpoint(args.path, **overrides)
+    except CheckpointUnresumableError as err:
+        print(f"UNRESUMABLE: {err}", file=sys.stderr)
+        return 3
+    except CheckpointDivergenceError as err:
+        print(f"REPLAY DIVERGED: {err}", file=sys.stderr)
+        return 4
+    print(f"resumed '{ckpt.label}' from cycle {ckpt.cycle}: "
+          f"completed at cycles={result.cycles} "
+          f"events={result.soc.sim.events_executed} "
+          f"stats_sha256={digest_of(result.soc.stats_snapshot())[:16]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

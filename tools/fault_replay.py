@@ -27,9 +27,16 @@ Usage (from the repo root):
         --dump-dir /tmp/watchdog-dumps
     PYTHONPATH=src python tools/fault_replay.py --case 5 --record /tmp/log.json
     PYTHONPATH=src python tools/fault_replay.py --case 5 --check /tmp/log.json
+    # save periodic checkpoints, then reproduce from the last one
+    PYTHONPATH=src python tools/fault_replay.py --case 5 \\
+        --checkpoint-out /tmp/c5.ckpt.json --checkpoint-every 20000
+    PYTHONPATH=src python tools/fault_replay.py --case 5 \\
+        --from-checkpoint /tmp/c5.ckpt.json
 
 Exit codes: 0 ok, 2 liveness trip, 3 invariant violation, 4 result-check
-failure, 5 replay divergence (``--check``), 6 data-integrity error.
+failure, 5 replay divergence (``--check``), 6 data-integrity error,
+7 corrupt checkpoint (``--from-checkpoint``), 8 checkpoint replay
+divergence (the resumed state does not match the saved digests).
 """
 
 from __future__ import annotations
@@ -75,6 +82,17 @@ def main(argv=None) -> int:
     parser.add_argument("--check", default=None, metavar="LOG",
                         help="replay and compare against a recorded log; "
                              "exits 5 with a diff on divergence")
+    parser.add_argument("--checkpoint-out", default=None, metavar="CKPT",
+                        help="save periodic checkpoints of this replay "
+                             "(see --checkpoint-every)")
+    parser.add_argument("--checkpoint-every", type=int, default=20_000,
+                        help="cycles between --checkpoint-out checkpoints "
+                             "(default 20000)")
+    parser.add_argument("--from-checkpoint", default=None, metavar="CKPT",
+                        help="resume the replay from a saved checkpoint "
+                             "(verified replay to the saved cycle, then "
+                             "continue); exits 7 on a corrupt file, 8 on "
+                             "state divergence")
     args = parser.parse_args(argv)
 
     from repro.harness.faultfuzz import FUZZ_MASTER_SEED, FUZZ_WATCHDOG, fuzz_case
@@ -85,6 +103,11 @@ def main(argv=None) -> int:
         FaultPlan,
         InvariantViolation,
         LivenessError,
+    )
+    from repro.sim.checkpoint import (
+        Checkpoint,
+        CheckpointCorruptError,
+        CheckpointDivergenceError,
     )
 
     if args.case is not None:
@@ -117,10 +140,25 @@ def main(argv=None) -> int:
     if args.dump_dir:
         watchdog["dump_dir"] = args.dump_dir
 
+    if args.checkpoint_out:
+        run_kwargs["checkpoint_every"] = args.checkpoint_every
+        run_kwargs["checkpoint_path"] = args.checkpoint_out
+    if args.from_checkpoint:
+        try:
+            run_kwargs["resume_from"] = Checkpoint.load(args.from_checkpoint)
+        except CheckpointCorruptError as err:
+            print(f"CORRUPT CHECKPOINT: {err}", file=sys.stderr)
+            return 7
+        print(f"resuming from checkpoint @{run_kwargs['resume_from'].cycle} "
+              f"({args.from_checkpoint})")
+
     try:
         result = run_workload(workload, technique, check=True,
                               check_invariants=True,
                               watchdog=watchdog, **run_kwargs)
+    except CheckpointDivergenceError as err:
+        print(f"\nCHECKPOINT REPLAY DIVERGED: {err}", file=sys.stderr)
+        return 8
     except LivenessError as err:
         print(f"\nLIVENESS TRIP: {err}", file=sys.stderr)
         print(json.dumps(err.diagnosis, indent=2, sort_keys=True,
