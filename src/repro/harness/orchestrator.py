@@ -406,17 +406,41 @@ def _job_error(spec: RunSpec, exc: BaseException, attempt: int) -> JobError:
     )
 
 
+#: Typed exception names for supervisor-detected (no worker traceback)
+#: failures, keyed by how the supervisor learned of them.
+_DETECTION_TYPES = {
+    "crash": "WorkerCrashed",
+    "wedged": "WorkerWedged",
+    "timeout": "JobTimeout",
+    "deadline": "JobDeadlineExceeded",
+    "cancelled": "JobCancelled",
+}
+
+
 def _job_error_shell(spec: RunSpec, detection: str, attempt: int,
                      exit_code: Optional[int] = None,
-                     pid: int = 0) -> JobError:
+                     pid: int = 0,
+                     message: Optional[str] = None) -> JobError:
     """A :class:`JobError` for failures with no worker-side exception —
-    the process died (or went silent) before it could report one."""
+    the process died, went silent, blew its deadline, or was cancelled
+    before it could report one."""
+    if message is None:
+        if detection in ("crash", "wedged"):
+            message = (f"worker pid {pid} ended without reporting a result "
+                       f"(detection={detection}, exit code {exit_code})")
+        elif detection == "timeout":
+            message = (f"attempt {attempt} exceeded the per-attempt runtime "
+                       "deadline and retries are exhausted "
+                       "(deadline_action='fail')")
+        elif detection == "deadline":
+            message = "the job's overall deadline budget expired mid-run"
+        else:
+            message = "the run was cancelled by its caller"
     return JobError(
         label=spec.label(),
         key=spec_key(spec),
-        exc_type="WorkerCrashed" if detection == "crash" else "WorkerWedged",
-        message=(f"worker pid {pid} ended without reporting a result "
-                 f"(detection={detection}, exit code {exit_code})"),
+        exc_type=_DETECTION_TYPES[detection],
+        message=message,
         traceback="",
         attempt=attempt,
         fault_seed=(spec.fault_plan.seed if spec.fault_plan is not None
@@ -509,9 +533,15 @@ def _supervised_worker(spec: RunSpec, attempt: int, conn, hb, slot: int,
     negative control).
     """
     stop_beating = threading.Event()
+    supervisor = os.getppid()
 
     def beat():
         while not stop_beating.is_set():
+            if os.getppid() != supervisor:
+                # The supervisor died without cleaning us up (SIGKILL on
+                # the whole service/orchestrator process): a worker must
+                # never outlive its parent as an orphan burning CPU.
+                os._exit(1)
             hb[slot] = time.monotonic()
             stop_beating.wait(hb_interval)
 
@@ -572,17 +602,31 @@ class DiskCache:
       (ENOSPC, read-only filesystem) is absorbed and counted — losing a
       cache entry must never sink the run that produced the result;
     - ``.tmp``/``.lock`` litter older than ``reap_after`` seconds (dead
-      writers) is deleted at construction.
+      writers) is deleted at construction;
+    - with ``max_bytes`` set the cache is **size-capped LRU**: every hit
+      touches its entry's mtime (the recency clock) and every write
+      evicts least-recently-used entries until the total ``*.json``
+      footprint fits — the cache can no longer grow without bound under
+      sweep traffic.  Evictions are counted (``evicted`` /
+      ``evicted_bytes``) and surface in the orchestrator's progress
+      report.  Quarantined files do not count against the cap (they are
+      post-mortem evidence, reaped by humans).
     """
 
     def __init__(self, root: Path, reap_after: float = 300.0,
-                 inject_write_error: FrozenSet[str] = frozenset()):
+                 inject_write_error: FrozenSet[str] = frozenset(),
+                 max_bytes: Optional[int] = None):
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive (or None)")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
         self.quarantined = 0
         self.write_errors = 0
+        self.evicted = 0
+        self.evicted_bytes = 0
         #: Chaos hook: keys whose put() raises ENOSPC (then absorbed).
         self.inject_write_error = frozenset(inject_write_error)
         self.reaped = self._reap_stale(reap_after)
@@ -643,6 +687,11 @@ class DiskCache:
             self._quarantine(path, f"malformed payload: {err!r}")
             return None
         self.hits += 1
+        if self.max_bytes is not None:
+            try:  # touch: mtime is the LRU recency clock
+                os.utime(path)
+            except OSError:  # racing eviction/unlink: the read stands
+                pass
         return result
 
     def put(self, key: str, result: RunResult) -> None:
@@ -663,6 +712,54 @@ class DiskCache:
                 tmp.unlink()
             except OSError:
                 pass
+            return
+        self._evict_to_fit(keep=path)
+
+    def _evict_to_fit(self, keep: Path) -> None:
+        """Drop least-recently-used entries until the footprint fits
+        ``max_bytes``.  The just-written entry is never evicted (a cache
+        that immediately evicts its own writes caches nothing)."""
+        if self.max_bytes is None:
+            return
+        entries = []
+        total = 0
+        for path in self.root.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:  # racing writer/eviction
+                continue
+            total += stat.st_size
+            if path != keep:
+                entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()
+        dropped = 0
+        while total > self.max_bytes and entries:
+            _, size, victim = entries.pop(0)
+            try:
+                victim.unlink()
+            except OSError:
+                continue
+            total -= size
+            dropped += 1
+            self.evicted += 1
+            self.evicted_bytes += size
+        if dropped:
+            _log.info("cache %s: evicted %d LRU entr%s to fit %d bytes",
+                      self.root, dropped, "y" if dropped == 1 else "ies",
+                      self.max_bytes)
+
+    def size_bytes(self) -> int:
+        """Current ``*.json`` footprint (quarantine excluded)."""
+        return sum(p.stat().st_size for p in self.root.glob("*.json"))
+
+    def counters(self) -> Dict[str, int]:
+        """Robustness/occupancy counters, for reports and health probes."""
+        return {"hits": self.hits, "misses": self.misses,
+                "quarantined": self.quarantined,
+                "write_errors": self.write_errors,
+                "evicted": self.evicted,
+                "evicted_bytes": self.evicted_bytes,
+                "reaped": self.reaped}
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*.json"))
@@ -712,6 +809,13 @@ class Orchestrator:
         SIGSTOPped or scheduler-starved one goes silent.
     heartbeat_interval:
         How often each worker's daemon thread stamps its heartbeat slot.
+    deadline_action:
+        What exhausted timeouts/wedges do.  ``"fallback"`` (default, the
+        historical contract) makes one final in-process attempt, so a
+        batch sweep always makes progress.  ``"fail"`` raises a typed
+        :class:`OrchestratorError` (``JobTimeout``/``WorkerWedged``)
+        instead — the contract a serving layer needs, where a deadline
+        is a promise to the client, not a hint.
     checkpoint_dir:
         Directory for per-job checkpoint files.  Jobs whose spec sets
         ``checkpoint_every`` save there periodically and — after a
@@ -739,7 +843,8 @@ class Orchestrator:
                  dump_dir: Optional[str] = None,
                  inject_kill: FrozenSet[str] = frozenset(),
                  inject_stop: FrozenSet[str] = frozenset(),
-                 inject_kill_all: FrozenSet[str] = frozenset()):
+                 inject_kill_all: FrozenSet[str] = frozenset(),
+                 deadline_action: str = "fallback"):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if retries < 0:
@@ -748,6 +853,8 @@ class Orchestrator:
             raise ValueError("backoff must be >= 0")
         if heartbeat_timeout <= 0 or heartbeat_interval <= 0:
             raise ValueError("heartbeat timings must be > 0")
+        if deadline_action not in ("fallback", "fail"):
+            raise ValueError("deadline_action must be 'fallback' or 'fail'")
         self.jobs = jobs
         self.cache = cache
         self.timeout = timeout
@@ -760,6 +867,7 @@ class Orchestrator:
         self.inject_kill_all = frozenset(inject_kill_all)
         self.heartbeat_timeout = heartbeat_timeout
         self.heartbeat_interval = heartbeat_interval
+        self.deadline_action = deadline_action
         self.checkpoint_dir = (Path(checkpoint_dir)
                                if checkpoint_dir is not None else None)
         self.dump_dir = dump_dir
@@ -773,12 +881,25 @@ class Orchestrator:
 
     # -- public API ---------------------------------------------------------------
 
-    def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+    def run(self, specs: Sequence[RunSpec],
+            cancel: Optional[threading.Event] = None,
+            deadline: Optional[float] = None) -> List[RunResult]:
         """Execute every spec; results come back in submission order.
 
         Identical specs (same key) within one batch are simulated once
         and fanned out — the figure code can stay naive about shared
         baselines.
+
+        ``cancel`` (a :class:`threading.Event`, settable from any
+        thread) aborts the whole run at the next supervision tick: live
+        workers are killed + joined and a typed ``JobCancelled``
+        :class:`OrchestratorError` is raised.  ``deadline`` (a
+        ``time.monotonic()`` timestamp) bounds the *whole call* — per
+        attempt ``timeout`` still applies on top — and blows up as a
+        typed ``JobDeadlineExceeded``.  In the serial (``jobs=1``) path
+        both are checked between cells only: an in-process cell cannot
+        be preempted, which is exactly why the serving layer runs the
+        supervised pool.
         """
         started = time.perf_counter()
         self._crashes = 0
@@ -811,9 +932,10 @@ class Orchestrator:
 
         if pending:
             if self.jobs == 1:
-                executed = self._run_serial(pending)
+                executed = self._run_serial(pending, cancel, deadline)
             else:
-                executed, timeouts, retried = self._run_pool(pending)
+                executed, timeouts, retried = self._run_pool(
+                    pending, cancel, deadline)
             for key, result in executed.items():
                 results[key] = result
                 if self.cache is not None:
@@ -830,6 +952,9 @@ class Orchestrator:
             "crashes": self._crashes,
             "wedged": self._wedged,
             "resumed": sum(1 for r in results.values() if r.resumed),
+            "cache_evictions": self.cache.evicted if self.cache else 0,
+            "cache_counters": (self.cache.counters()
+                               if self.cache is not None else None),
             "jobs": self.jobs,
             "wall_seconds": wall,
             "sim_seconds": sum(r.wall_seconds for r in results.values()),
@@ -847,9 +972,16 @@ class Orchestrator:
 
     # -- execution strategies -----------------------------------------------------
 
-    def _run_serial(self, pending) -> Dict[str, RunResult]:
+    def _run_serial(self, pending, cancel=None,
+                    deadline=None) -> Dict[str, RunResult]:
         executed: Dict[str, RunResult] = {}
         for key, spec in pending:
+            if cancel is not None and cancel.is_set():
+                raise self._terminal_failure(
+                    _job_error_shell(spec, "cancelled", attempt=1))
+            if deadline is not None and time.monotonic() > deadline:
+                raise self._terminal_failure(
+                    _job_error_shell(spec, "deadline", attempt=1))
             path = self._checkpoint_path(key, spec)
             try:
                 result = _execute_or_resume(spec, checkpoint_path=path)
@@ -906,7 +1038,7 @@ class Orchestrator:
                         "exc_type": error.exc_type, "message": error.message})
         return OrchestratorError(error)
 
-    def _run_pool(self, pending):
+    def _run_pool(self, pending, cancel=None, deadline=None):
         """Supervised fan-out: one process per job attempt, heartbeats,
         crash/wedge/timeout detection, checkpoint-aware rescheduling.
 
@@ -1000,6 +1132,14 @@ class Orchestrator:
                     job["spec"], detection="crash", attempt=attempt,
                     exit_code=job["proc"].exitcode, pid=job["proc"].pid)
                 raise self._terminal_failure(error)
+            if self.deadline_action == "fail":
+                # Serving contract: a blown deadline is a typed answer,
+                # not a license to keep burning the supervisor's time.
+                error = _job_error_shell(
+                    job["spec"],
+                    detection="timeout" if kind == "timeout" else "wedged",
+                    attempt=attempt, pid=job["proc"].pid)
+                raise self._terminal_failure(error)
             # Timeouts/wedges keep the guaranteed-progress contract:
             # one final in-process attempt (resuming from checkpoint).
             try:
@@ -1021,8 +1161,25 @@ class Orchestrator:
                         "attempts": result.attempts,
                         "resumed": result.resumed})
 
+        def abort_target():
+            """The job an abort is attributed to: the oldest live
+            attempt, else the head of the work queue."""
+            if active:
+                job = active[min(active)]
+                return job["spec"], job["attempt"] + 1
+            key, spec, attempt = work[0]
+            return spec, attempt + 1
+
         try:
             while work or active:
+                if cancel is not None and cancel.is_set():
+                    spec, attempt = abort_target()
+                    raise self._terminal_failure(
+                        _job_error_shell(spec, "cancelled", attempt=attempt))
+                if deadline is not None and time.monotonic() > deadline:
+                    spec, attempt = abort_target()
+                    raise self._terminal_failure(
+                        _job_error_shell(spec, "deadline", attempt=attempt))
                 while work and free:
                     launch(*work.popleft())
                 # One multiplexed wait on every result pipe and process
@@ -1108,11 +1265,13 @@ def make_orchestrator(jobs: int = 1, use_cache: bool = False,
                       backoff: float = 0.0,
                       progress: Optional[ProgressFn] = None,
                       checkpoint_dir: Optional[Path] = None,
-                      dump_dir: Optional[str] = None) -> Orchestrator:
+                      dump_dir: Optional[str] = None,
+                      cache_max_bytes: Optional[int] = None) -> Orchestrator:
     """CLI/benchmark convenience constructor."""
     cache = None
     if use_cache:
-        cache = DiskCache(cache_dir or default_cache_dir())
+        cache = DiskCache(cache_dir or default_cache_dir(),
+                          max_bytes=cache_max_bytes)
     return Orchestrator(jobs=jobs, cache=cache, timeout=timeout,
                         retries=retries, backoff=backoff, progress=progress,
                         checkpoint_dir=checkpoint_dir, dump_dir=dump_dir)

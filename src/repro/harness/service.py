@@ -1,0 +1,1208 @@
+"""Fault-tolerant simulation-as-a-service over the experiment orchestrator.
+
+ROADMAP item 3 made concrete: a long-running, stdlib-asyncio HTTP front
+end that turns the supervised :class:`~repro.harness.orchestrator.
+Orchestrator` into a batch-serving layer whose headline is **robustness
+under overload and failure**, built from the same idioms the simulated
+SoC uses:
+
+- **Bounded admission with credit backpressure** — the
+  :mod:`repro.sim.port` credit idiom applied at the service edge.  The
+  admission queue holds at most ``queue_depth`` live jobs (queued +
+  running); a submission that finds no credit is *rejected now* with
+  ``429`` and a ``Retry-After`` estimate instead of queueing unboundedly
+  and timing out later.  Within the queue, jobs drain in (priority,
+  arrival) order.
+- **Deadline budgets** — every job carries ``deadline_s``; the budget
+  covers queueing *and* execution and propagates into the orchestrator
+  as a per-attempt ``timeout`` plus an absolute ``deadline`` with
+  ``deadline_action="fail"``, so a job that blows its budget mid-run is
+  killed (no orphans) and retired as a typed ``JobTimeout`` /
+  ``JobDeadlineExceeded`` — a promise to the client, not a hint.
+- **Request coalescing** — the job id *is* the sha256
+  :func:`~repro.harness.orchestrator.spec_key`, so N identical
+  submissions share one :class:`Job` and fund one simulation; completed
+  keys are served straight from the :class:`~repro.harness.orchestrator.
+  DiskCache` (size-capped LRU) without burning a credit.
+- **Circuit breaking + graceful degradation** — repeated
+  *infrastructure* failures (worker crashes, cache ENOSPC) trip a
+  closed → open → half-open breaker.  While open, new work is shed with
+  ``503`` + ``Retry-After``, but cached results keep being served with
+  an explicit ``stale: true`` marker; after the cooldown one probe job
+  is let through and its outcome closes or re-opens the breaker.
+- **Crash-resumable jobs** — every admission is appended to a durable
+  write-ahead journal (JSONL, fsync'd) before it is acknowledged.  A
+  killed-and-restarted service replays the journal, re-enqueues every
+  job without a terminal event, and the orchestrator resumes each one
+  from its last :mod:`repro.sim.checkpoint` checkpoint instead of cycle
+  0.  Torn tails and corrupt lines are tolerated (counted, skipped) and
+  the journal is compacted at boot so it cannot grow without bound.
+
+The serving contract is held to the same oracle discipline as the rest
+of the harness: every job a client sees complete returns the
+bit-identical :meth:`~repro.harness.orchestrator.RunResult.identity`
+payload of an uninterrupted serial run — kills, restarts, retries, and
+cache round trips included (``tests/test_service_chaos.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import concurrent.futures
+import json
+import logging
+import math
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.harness.orchestrator import (
+    DiskCache,
+    Orchestrator,
+    OrchestratorError,
+    RunSpec,
+    freeze_dataset_kwargs,
+    spec_key,
+)
+
+SERVICE_SCHEMA = 1
+JOURNAL_VERSION = 1
+
+_log = logging.getLogger("repro.harness.service")
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 408: "Request Timeout",
+            413: "Payload Too Large", 429: "Too Many Requests",
+            500: "Internal Server Error", 503: "Service Unavailable"}
+
+#: Job states.  queued/running are live (hold a credit); the rest are
+#: terminal.  "interrupted" is the one non-journaled pseudo-terminal
+#: state: a graceful shutdown cancelled the run but deliberately left
+#: the journal non-terminal so the next boot recovers the job.
+LIVE_STATES = ("queued", "running")
+TERMINAL_STATES = ("done", "failed", "timeout", "cancelled", "interrupted")
+
+
+class ServiceSpecError(ValueError):
+    """A submitted spec failed validation — rejected with 400 before it
+    can burn a credit or a worker."""
+
+
+# -- wire codec for RunSpec --------------------------------------------------------
+
+#: The JSON-able subset of RunSpec the HTTP API accepts.  Config
+#: presets, fault plans, and invariant knobs stay server-side policy:
+#: the service exists to serve sweeps, not to execute arbitrary pickles.
+_WIRE_FIELDS: Dict[str, Any] = {
+    "workload": str,
+    "technique": str,
+    "threads": int,
+    "scale": int,
+    "seed": int,
+    "prefetch_distance": int,
+    "hop_latency_override": (int, type(None)),
+    "dataset_kwargs": dict,
+    "lima_packed": bool,
+    "check": bool,
+    "checkpoint_every": (int, type(None)),
+}
+
+_INT_BOUNDS = {
+    "threads": (1, 64),
+    "scale": (1, 64),
+    "seed": (0, 2**32 - 1),
+    "prefetch_distance": (1, 1024),
+    "hop_latency_override": (0, 1024),
+    "checkpoint_every": (1, 10**9),
+}
+
+
+def spec_from_wire(payload: Any) -> RunSpec:
+    """Validate and build a :class:`RunSpec` from an API JSON object.
+
+    Strict by design: unknown fields, wrong types, out-of-range values,
+    and unknown workloads/techniques are all typed
+    :class:`ServiceSpecError` — a bad spec must cost the client a 400,
+    never the service a worker.
+    """
+    from repro.harness.techniques import HARNESS_TECHNIQUES
+    from repro.kernels import ALL_WORKLOADS
+
+    if not isinstance(payload, dict):
+        raise ServiceSpecError("spec must be a JSON object")
+    unknown = sorted(set(payload) - set(_WIRE_FIELDS))
+    if unknown:
+        raise ServiceSpecError(f"unknown spec field(s): {', '.join(unknown)}")
+    for name in ("workload", "technique"):
+        if name not in payload:
+            raise ServiceSpecError(f"spec is missing required field {name!r}")
+    kwargs: Dict[str, Any] = {}
+    for name, value in payload.items():
+        expected = _WIRE_FIELDS[name]
+        if expected is int and isinstance(value, bool):
+            raise ServiceSpecError(f"spec field {name!r} must be an integer")
+        if not isinstance(value, expected):
+            raise ServiceSpecError(
+                f"spec field {name!r} has the wrong type "
+                f"({type(value).__name__})")
+        if name in _INT_BOUNDS and value is not None:
+            lo, hi = _INT_BOUNDS[name]
+            if not lo <= value <= hi:
+                raise ServiceSpecError(
+                    f"spec field {name!r} out of range [{lo}, {hi}]")
+        kwargs[name] = value
+    if kwargs["workload"] not in ALL_WORKLOADS:
+        raise ServiceSpecError(
+            f"unknown workload {kwargs['workload']!r} "
+            f"(known: {', '.join(sorted(ALL_WORKLOADS))})")
+    if kwargs["technique"] not in HARNESS_TECHNIQUES:
+        raise ServiceSpecError(
+            f"unknown technique {kwargs['technique']!r} "
+            f"(known: {', '.join(HARNESS_TECHNIQUES)})")
+    dk = kwargs.pop("dataset_kwargs", None)
+    if dk is not None:
+        for key, value in dk.items():
+            if not isinstance(key, str) or not isinstance(
+                    value, (str, int, float, bool, type(None))):
+                raise ServiceSpecError(
+                    "dataset_kwargs must map strings to scalars")
+        kwargs["dataset_kwargs"] = freeze_dataset_kwargs(dk)
+    try:
+        return RunSpec(**kwargs)
+    except (TypeError, ValueError) as err:  # pragma: no cover - belt
+        raise ServiceSpecError(f"invalid spec: {err}") from err
+
+
+def spec_to_wire(spec: RunSpec) -> Dict[str, Any]:
+    """The journal/API JSON form of a spec (inverse of
+    :func:`spec_from_wire` for the supported subset)."""
+    return {
+        "workload": spec.workload,
+        "technique": spec.technique,
+        "threads": spec.threads,
+        "scale": spec.scale,
+        "seed": spec.seed,
+        "prefetch_distance": spec.prefetch_distance,
+        "hop_latency_override": spec.hop_latency_override,
+        "dataset_kwargs": dict(spec.dataset_kwargs),
+        "lima_packed": spec.lima_packed,
+        "check": spec.check,
+        "checkpoint_every": spec.checkpoint_every,
+    }
+
+
+# -- circuit breaker ---------------------------------------------------------------
+
+
+class CircuitBreaker:
+    """Closed → open → half-open breaker over *infrastructure* failures.
+
+    Model-level failures (a client submitted a spec that deterministically
+    raises) are the client's problem and never trip it; worker crashes
+    and cache ENOSPC are the service's problem and do.  While open,
+    :meth:`admit` refuses everything until ``cooldown`` has elapsed,
+    then lets exactly one probe through (half-open); the probe's outcome
+    closes or re-opens the circuit.
+    """
+
+    def __init__(self, threshold: int = 3, cooldown: float = 5.0):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if cooldown <= 0:
+            raise ValueError("cooldown must be > 0")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.state = "closed"
+        self.consecutive = 0
+        self.failures = 0
+        self.open_count = 0
+        self.opened_at: Optional[float] = None
+        self.last_failure_kind: Optional[str] = None
+        self._probing = False
+
+    def admit(self) -> bool:
+        """May a new simulation be funded right now?  (Half-open: the
+        single probe slot is consumed by a True return.)"""
+        if self.state == "closed":
+            return True
+        if (self.state == "open"
+                and time.monotonic() - self.opened_at >= self.cooldown):
+            self.state = "half-open"
+            self._probing = False
+        if self.state == "half-open" and not self._probing:
+            self._probing = True
+            return True
+        return False
+
+    def release_probe(self) -> None:
+        """A probe ended without an infrastructure verdict (cancelled,
+        deadline): free the slot so the next submission probes again."""
+        self._probing = False
+
+    def record_success(self) -> None:
+        self.consecutive = 0
+        if self.state != "closed":
+            _log.info("circuit breaker: probe succeeded, closing")
+        self.state = "closed"
+        self.opened_at = None
+        self._probing = False
+
+    def record_failure(self, kind: str) -> None:
+        self.failures += 1
+        self.consecutive += 1
+        self.last_failure_kind = kind
+        if self.state == "half-open" or self.consecutive >= self.threshold:
+            if self.state != "open":
+                self.open_count += 1
+                _log.warning("circuit breaker OPEN after %d consecutive "
+                             "%s failure(s)", self.consecutive, kind)
+            self.state = "open"
+            self.opened_at = time.monotonic()
+            self._probing = False
+
+    def retry_after(self) -> float:
+        if self.state == "open" and self.opened_at is not None:
+            return max(1.0, self.cooldown - (time.monotonic() - self.opened_at))
+        return max(1.0, self.cooldown / 2)
+
+    def view(self) -> Dict[str, Any]:
+        return {"state": self.state, "threshold": self.threshold,
+                "cooldown_s": self.cooldown, "failures": self.failures,
+                "consecutive": self.consecutive,
+                "open_count": self.open_count,
+                "last_failure_kind": self.last_failure_kind}
+
+
+# -- write-ahead journal -----------------------------------------------------------
+
+
+class Journal:
+    """Append-only JSONL write-ahead log of job lifecycle events.
+
+    Every admission is journaled (and fsync'd) *before* the client gets
+    its 202 — the acknowledgement is the durability promise.  Reads are
+    forgiving where writes are strict: a torn final line (the classic
+    SIGKILL-mid-append shape) is tolerated silently-but-counted, corrupt
+    interior lines are skipped and counted, and boot compacts the file
+    down to its live entries so restarts stay O(live jobs), not O(all
+    traffic ever).
+    """
+
+    #: Events that end a job's life in the journal.  "interrupted" is
+    #: deliberately absent: a graceful shutdown leaves jobs recoverable.
+    TERMINAL_EVENTS = ("done", "failed", "timeout", "cancelled")
+
+    def __init__(self, path, fsync: bool = True):
+        self.path = Path(path)
+        self.fsync = fsync
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self.events_written = 0
+        self.bad_lines = 0
+        self.torn_tail = False
+        self.compactions = 0
+
+    def append(self, event: str, **fields) -> None:
+        record = {"v": JOURNAL_VERSION, "e": event, "t": time.time()}
+        record.update(fields)
+        self._fh.write(json.dumps(record, sort_keys=True,
+                                  separators=(",", ":")) + "\n")
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+        self.events_written += 1
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    @staticmethod
+    def scan(path) -> Tuple[List[Dict[str, Any]], int, bool]:
+        """Parse a journal file, tolerating damage.
+
+        Returns ``(entries, bad_lines, torn_tail)``: unparseable interior
+        lines are skipped and counted in ``bad_lines``; an unparseable
+        *final* line is the torn-write signature and sets ``torn_tail``
+        instead (a crash mid-append is expected damage, not corruption).
+        """
+        path = Path(path)
+        if not path.exists():
+            return [], 0, False
+        raw = path.read_text(encoding="utf-8", errors="replace")
+        lines = raw.splitlines()
+        entries: List[Dict[str, Any]] = []
+        bad = 0
+        torn = False
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                if not isinstance(record, dict) or "e" not in record:
+                    raise ValueError("not a journal record")
+            except ValueError:
+                if index == len(lines) - 1:
+                    torn = True
+                else:
+                    bad += 1
+                continue
+            entries.append(record)
+        return entries, bad, torn
+
+    def compact(self, live_submits: List[Dict[str, Any]]) -> None:
+        """Atomically rewrite the journal to just the live submissions
+        (tmp + rename, same discipline as the cache)."""
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for record in live_submits:
+                fh.write(json.dumps(record, sort_keys=True,
+                                    separators=(",", ":")) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._fh.close()
+        tmp.replace(self.path)
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self.compactions += 1
+
+    def view(self) -> Dict[str, Any]:
+        return {"path": str(self.path), "events_written": self.events_written,
+                "bad_lines": self.bad_lines, "torn_tail": self.torn_tail,
+                "compactions": self.compactions}
+
+
+# -- job record --------------------------------------------------------------------
+
+
+@dataclass
+class Job:
+    """One admitted (or recovered) unit of work; identity == spec key."""
+
+    job_id: str
+    spec: RunSpec
+    wire: Dict[str, Any]
+    priority: int
+    deadline_s: float
+    submitted_mono: float
+    submitted_wall: float
+    state: str = "queued"
+    waiters: int = 1
+    recovered: bool = False
+    attempts: int = 0
+    resumed: bool = False
+    stale: bool = False
+    holds_credit: bool = True
+    probe: bool = False
+    cancel_requested: bool = False
+    started_mono: Optional[float] = None
+    finished_mono: Optional[float] = None
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[Dict[str, Any]] = None
+    cancel_event: threading.Event = field(default_factory=threading.Event)
+    done: asyncio.Event = field(default_factory=asyncio.Event)
+
+    @property
+    def deadline_at(self) -> float:
+        return self.submitted_mono + self.deadline_s
+
+    def view(self) -> Dict[str, Any]:
+        now = time.monotonic()
+        view: Dict[str, Any] = {
+            "job": self.job_id,
+            "state": self.state,
+            "spec": self.wire,
+            "priority": self.priority,
+            "deadline_s": self.deadline_s,
+            "waiters": self.waiters,
+            "recovered": self.recovered,
+            "attempts": self.attempts,
+            "resumed": self.resumed,
+            "stale": self.stale,
+            "age_s": round(now - self.submitted_mono, 3),
+        }
+        if self.result is not None:
+            view["result"] = self.result
+        if self.error is not None:
+            view["error"] = self.error
+        return view
+
+
+# -- service configuration ---------------------------------------------------------
+
+
+@dataclass
+class ServiceConfig:
+    """Every service knob, CLI-mappable and test-constructible."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                      # 0 = ephemeral
+    workdir: Path = Path("service-data")
+    workers: int = 2                   # concurrent simulations
+    queue_depth: int = 16              # admission credits (queued+running)
+    default_deadline_s: float = 120.0
+    max_deadline_s: float = 600.0
+    default_checkpoint_every: Optional[int] = 25_000
+    retries: int = 1
+    heartbeat_timeout: float = 30.0
+    breaker_threshold: int = 3
+    breaker_cooldown_s: float = 5.0
+    cache_max_bytes: Optional[int] = None
+    journal_fsync: bool = True
+    max_wait_s: float = 30.0           # long-poll cap on GET ?wait=
+    max_done_jobs: int = 512           # in-memory terminal-job history
+    port_file: Optional[Path] = None
+    #: Chaos hooks, forwarded into each job's Orchestrator / DiskCache.
+    inject_kill: FrozenSet[str] = frozenset()
+    inject_kill_all: FrozenSet[str] = frozenset()
+    inject_stop: FrozenSet[str] = frozenset()
+    inject_hang: FrozenSet[str] = frozenset()
+    inject_cache_error: FrozenSet[str] = frozenset()
+
+    @property
+    def journal_path(self) -> Path:
+        return Path(self.workdir) / "journal.jsonl"
+
+    @property
+    def cache_dir(self) -> Path:
+        return Path(self.workdir) / "cache"
+
+    @property
+    def checkpoint_dir(self) -> Path:
+        return Path(self.workdir) / "checkpoints"
+
+    @property
+    def dump_dir(self) -> Path:
+        return Path(self.workdir) / "dumps"
+
+
+# -- the service -------------------------------------------------------------------
+
+
+class SimService:
+    """The asyncio HTTP job service.  One instance == one event loop's
+    worth of state; start/stop from within that loop (see
+    :class:`ServiceThread` for the test-friendly wrapper)."""
+
+    def __init__(self, cfg: ServiceConfig):
+        if cfg.workers < 1 or cfg.queue_depth < 1:
+            raise ValueError("workers and queue_depth must be >= 1")
+        if cfg.default_deadline_s <= 0 or cfg.max_deadline_s <= 0:
+            raise ValueError("deadline budgets must be > 0")
+        self.cfg = cfg
+        Path(cfg.workdir).mkdir(parents=True, exist_ok=True)
+        self.cache = DiskCache(cfg.cache_dir, max_bytes=cfg.cache_max_bytes,
+                               inject_write_error=cfg.inject_cache_error)
+        self.breaker = CircuitBreaker(threshold=cfg.breaker_threshold,
+                                      cooldown=cfg.breaker_cooldown_s)
+        self.journal = Journal(cfg.journal_path, fsync=cfg.journal_fsync)
+        self.jobs: Dict[str, Job] = {}
+        self._done_order: List[str] = []
+        self._heap: List[Tuple[int, int, str]] = []
+        self._seq = 0
+        self._credits_in_use = 0
+        self._avg_wall = 0.5           # EWMA of completed job wall seconds
+        self._cache_errors_seen = 0
+        self._started_mono = time.monotonic()
+        self.port: Optional[int] = None
+        self.counters: Dict[str, int] = {
+            "submitted": 0, "admitted": 0, "coalesced": 0,
+            "rejected_busy": 0, "rejected_open": 0, "rejected_invalid": 0,
+            "served_cached": 0, "served_stale": 0,
+            "completed": 0, "failed": 0, "timeouts": 0, "cancelled": 0,
+            "interrupted": 0, "recovered": 0, "sims_executed": 0,
+            "journal_recovered_submits": 0,
+        }
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._tasks: List[asyncio.Task] = []
+        self._stopping = False
+        self._queue_cond: Optional[asyncio.Condition] = None
+        self._pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=cfg.workers, thread_name_prefix="sim-exec")
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    async def start(self) -> int:
+        """Recover the journal, bind the socket, launch workers; returns
+        the bound port."""
+        self._queue_cond = asyncio.Condition()
+        self._recover()
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.cfg.host, self.cfg.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.journal.append("boot", pid=os.getpid(), port=self.port)
+        for n in range(self.cfg.workers):
+            self._tasks.append(asyncio.create_task(
+                self._worker(n), name=f"service-worker-{n}"))
+        self._tasks.append(asyncio.create_task(
+            self._reaper(), name="service-reaper"))
+        if self.cfg.port_file is not None:
+            tmp = Path(self.cfg.port_file).with_suffix(".tmp")
+            tmp.write_text(str(self.port))
+            tmp.replace(self.cfg.port_file)
+        _log.info("service listening on %s:%d (workdir %s)",
+                  self.cfg.host, self.port, self.cfg.workdir)
+        return self.port
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, cancel running simulations
+        (their journal entries stay non-terminal → the next boot
+        recovers them), drain tasks, close the journal."""
+        if self._stopping:
+            return
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for job in self.jobs.values():
+            if job.state in LIVE_STATES:
+                job.cancel_event.set()
+        async with self._queue_cond:
+            self._queue_cond.notify_all()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks = []
+        self._pool.shutdown(wait=True)
+        self.journal.close()
+
+    # -- journal recovery ---------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Replay the WAL: compact it, then re-enqueue every job that
+        was admitted but never reached a terminal event.  Their
+        checkpoints (if any) make the re-run a resume, not a restart."""
+        entries, bad, torn = Journal.scan(self.cfg.journal_path)
+        self.journal.bad_lines += bad
+        self.journal.torn_tail = self.journal.torn_tail or torn
+        submits: Dict[str, Dict[str, Any]] = {}
+        terminal: Dict[str, str] = {}
+        for record in entries:
+            event = record.get("e")
+            job_id = record.get("job")
+            if event == "submit" and isinstance(job_id, str):
+                submits[job_id] = record
+                terminal.pop(job_id, None)  # resubmission after terminal
+            elif event in Journal.TERMINAL_EVENTS and isinstance(job_id, str):
+                terminal[job_id] = event
+        live = [record for job_id, record in submits.items()
+                if job_id not in terminal]
+        self.journal.compact(live)
+        for record in live:
+            try:
+                spec = spec_from_wire(record.get("spec"))
+            except ServiceSpecError as err:
+                # A journal whose spec no longer validates (schema drift,
+                # bit rot that still parsed as JSON) is counted, logged,
+                # and dropped — recovery must never crash the boot.
+                self.journal.bad_lines += 1
+                _log.warning("dropping unrecoverable journal submit %r: %s",
+                             record.get("job"), err)
+                continue
+            job_id = spec_key(spec)
+            deadline_s = float(record.get("deadline_s")
+                               or self.cfg.default_deadline_s)
+            job = Job(job_id=job_id, spec=self._with_checkpointing(spec),
+                      wire=spec_to_wire(spec),
+                      priority=int(record.get("priority") or 0),
+                      deadline_s=min(deadline_s, self.cfg.max_deadline_s),
+                      submitted_mono=time.monotonic(),
+                      submitted_wall=time.time(),
+                      recovered=True)
+            self.jobs[job_id] = job
+            self._credits_in_use += 1
+            self._push(job)
+            self.counters["recovered"] += 1
+            self.counters["journal_recovered_submits"] += 1
+            self.journal.append("recover", job=job_id)
+        if live:
+            _log.info("recovered %d in-flight job(s) from the journal",
+                      len(live))
+
+    # -- admission ----------------------------------------------------------------
+
+    def _with_checkpointing(self, spec: RunSpec) -> RunSpec:
+        """Service policy: every job checkpoints (key-neutral), so a
+        service crash resumes instead of restarting."""
+        if spec.checkpoint_every is None and self.cfg.default_checkpoint_every:
+            return replace(spec,
+                           checkpoint_every=self.cfg.default_checkpoint_every)
+        return spec
+
+    def _push(self, job: Job) -> None:
+        import heapq
+        self._seq += 1
+        heapq.heappush(self._heap, (-job.priority, self._seq, job.job_id))
+
+    def _retry_after_busy(self) -> float:
+        queued = self._credits_in_use
+        estimate = self._avg_wall * max(1, queued) / self.cfg.workers
+        return min(60.0, max(1.0, math.ceil(estimate)))
+
+    def _job_from_cache_hit(self, job_id: str, spec: RunSpec,
+                            hit, stale: bool) -> Job:
+        """Materialize a terminal in-memory Job for a disk-cache hit so
+        later GETs resolve without re-reading the cache."""
+        job = Job(job_id=job_id, spec=spec, wire=spec_to_wire(spec),
+                  priority=0, deadline_s=self.cfg.default_deadline_s,
+                  submitted_mono=time.monotonic(), submitted_wall=time.time(),
+                  state="done", holds_credit=False, stale=stale)
+        job.result = self._result_payload(hit, from_cache=True)
+        job.done.set()
+        self.jobs[job_id] = job
+        self._trim_done(job_id)
+        return job
+
+    @staticmethod
+    def _result_payload(result, from_cache: bool = False) -> Dict[str, Any]:
+        payload = result.identity()
+        payload["key"] = result.key
+        payload["from_cache"] = bool(from_cache or result.from_cache)
+        payload["resumed"] = result.resumed
+        payload["attempts"] = result.attempts
+        payload["wall_seconds"] = result.wall_seconds
+        return payload
+
+    async def _submit(self, body: Dict[str, Any]):
+        self.counters["submitted"] += 1
+        try:
+            if not isinstance(body, dict):
+                raise ServiceSpecError("request body must be a JSON object")
+            spec = spec_from_wire(body.get("spec"))
+            priority = body.get("priority", 0)
+            if not isinstance(priority, int) or not -100 <= priority <= 100:
+                raise ServiceSpecError("priority must be an int in [-100, 100]")
+            deadline_s = body.get("deadline_s", self.cfg.default_deadline_s)
+            if (not isinstance(deadline_s, (int, float))
+                    or isinstance(deadline_s, bool) or deadline_s <= 0):
+                raise ServiceSpecError("deadline_s must be a positive number")
+            deadline_s = min(float(deadline_s), self.cfg.max_deadline_s)
+        except ServiceSpecError as err:
+            self.counters["rejected_invalid"] += 1
+            return 400, {"error": "invalid-spec", "message": str(err)}, {}
+
+        job_id = spec_key(spec)
+        existing = self.jobs.get(job_id)
+
+        # Coalesce onto a live job: N submissions fund one simulation.
+        if existing is not None and existing.state in LIVE_STATES:
+            existing.waiters += 1
+            self.counters["coalesced"] += 1
+            view = existing.view()
+            view["coalesced"] = True
+            return 202, view, {}
+
+        # Completed in memory or on disk: serve without a credit.  With
+        # the breaker non-closed this is the degradation tier — the
+        # result may predate the current incident, so say so.
+        stale = self.breaker.state != "closed"
+        if existing is not None and existing.state == "done":
+            self.counters["served_stale" if stale else "served_cached"] += 1
+            view = existing.view()
+            view["stale"] = stale
+            view["cached"] = True
+            return 200, view, {}
+        hit = self.cache.get(job_id)
+        if hit is not None:
+            self.counters["served_stale" if stale else "served_cached"] += 1
+            job = self._job_from_cache_hit(job_id, spec, hit, stale)
+            view = job.view()
+            view["cached"] = True
+            return 200, view, {}
+
+        # New work needs both a credit and a closed (or probing) breaker.
+        if self._credits_in_use >= self.cfg.queue_depth:
+            self.counters["rejected_busy"] += 1
+            retry = self._retry_after_busy()
+            return (429,
+                    {"error": "admission-queue-full", "retry_after_s": retry,
+                     "queue_depth": self.cfg.queue_depth},
+                    {"Retry-After": str(int(math.ceil(retry)))})
+        if not self.breaker.admit():
+            self.counters["rejected_open"] += 1
+            retry = self.breaker.retry_after()
+            return (503,
+                    {"error": "circuit-open", "retry_after_s": retry,
+                     "breaker": self.breaker.view()},
+                    {"Retry-After": str(int(math.ceil(retry)))})
+
+        job = Job(job_id=job_id, spec=self._with_checkpointing(spec),
+                  wire=spec_to_wire(spec), priority=priority,
+                  deadline_s=deadline_s, submitted_mono=time.monotonic(),
+                  submitted_wall=time.time(),
+                  probe=self.breaker.state == "half-open")
+        # WAL before ACK: the 202 is the durability promise.
+        self.journal.append("submit", job=job_id, spec=job.wire,
+                            priority=priority, deadline_s=deadline_s)
+        self.jobs[job_id] = job
+        self._credits_in_use += 1
+        self.counters["admitted"] += 1
+        self._push(job)
+        async with self._queue_cond:
+            self._queue_cond.notify()
+        return 202, job.view(), {}
+
+    # -- execution ----------------------------------------------------------------
+
+    async def _next_job(self) -> Optional[Job]:
+        import heapq
+        while True:
+            async with self._queue_cond:
+                while not self._heap and not self._stopping:
+                    await self._queue_cond.wait()
+                if self._stopping and not self._heap:
+                    return None
+                _, _, job_id = heapq.heappop(self._heap)
+            job = self.jobs.get(job_id)
+            if job is not None and job.state == "queued":
+                return job
+
+    async def _worker(self, n: int) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            job = await self._next_job()
+            if job is None:
+                return
+            if self._stopping:
+                self._finalize(job, "interrupted")
+                continue
+            if job.cancel_requested:
+                self._finalize(job, "cancelled")
+                continue
+            remaining = job.deadline_at - time.monotonic()
+            if remaining <= 0:
+                self._finalize(job, "timeout", error={
+                    "exc_type": "JobDeadlineExceeded",
+                    "message": "deadline budget expired while queued"})
+                continue
+            job.state = "running"
+            job.started_mono = time.monotonic()
+            self.journal.append("start", job=job.job_id,
+                                recovered=job.recovered)
+            try:
+                result, report = await loop.run_in_executor(
+                    self._pool, self._execute, job, remaining)
+            except OrchestratorError as err:
+                self._classify_failure(job, err)
+            except Exception as err:  # pragma: no cover - supervisor bug
+                _log.exception("unexpected executor failure for %s",
+                               job.job_id)
+                self._finalize(job, "failed", error={
+                    "exc_type": type(err).__name__, "message": str(err)})
+                self._breaker_feedback(job, success=False, kind="internal")
+            else:
+                self.counters["sims_executed"] += report.get("executed", 0)
+                job.attempts = result.attempts
+                job.resumed = result.resumed
+                wall = time.monotonic() - job.started_mono
+                self._avg_wall = 0.7 * self._avg_wall + 0.3 * wall
+                self._finalize(job, "done",
+                               result=self._result_payload(result))
+                self._breaker_feedback(job, success=True)
+
+    def _execute(self, job: Job, remaining: float):
+        """Thread-pool entry: one supervised orchestrator run for one
+        job, deadline-bounded, checkpoint-resuming, cache-writing."""
+        orch = Orchestrator(
+            jobs=2, cache=self.cache, timeout=remaining,
+            retries=self.cfg.retries, deadline_action="fail",
+            heartbeat_timeout=self.cfg.heartbeat_timeout,
+            checkpoint_dir=self.cfg.checkpoint_dir,
+            dump_dir=str(self.cfg.dump_dir),
+            inject_kill=self.cfg.inject_kill,
+            inject_kill_all=self.cfg.inject_kill_all,
+            inject_stop=self.cfg.inject_stop,
+            inject_hang=self.cfg.inject_hang)
+        results = orch.run([job.spec], cancel=job.cancel_event,
+                           deadline=job.deadline_at)
+        return results[0], orch.report
+
+    def _classify_failure(self, job: Job, err: OrchestratorError) -> None:
+        info = err.job_error
+        error = {"exc_type": info.exc_type, "message": info.message,
+                 "detection": info.detection, "attempt": info.attempt,
+                 "dump_path": info.dump_path}
+        if info.exc_type in ("JobTimeout", "JobDeadlineExceeded"):
+            self._finalize(job, "timeout", error=error)
+            self._breaker_feedback(job, success=None)
+        elif info.exc_type == "JobCancelled":
+            state = "cancelled" if job.cancel_requested else "interrupted"
+            self._finalize(job, state, error=error)
+            self._breaker_feedback(job, success=None)
+        elif info.exc_type in ("WorkerCrashed", "WorkerWedged"):
+            self._finalize(job, "failed", error=error)
+            self._breaker_feedback(job, success=False, kind="worker-crash")
+        else:
+            # A model-level exception is deterministic client sorrow,
+            # not service sickness: surface it, keep the breaker out.
+            self._finalize(job, "failed", error=error)
+            self._breaker_feedback(job, success=None)
+
+    def _breaker_feedback(self, job: Job, success: Optional[bool],
+                          kind: str = "") -> None:
+        """Feed the breaker: ENOSPC deltas count as infrastructure
+        failures even when the job itself completed (the cache write was
+        absorbed, but the disk is sick)."""
+        enospc = self.cache.write_errors - self._cache_errors_seen
+        self._cache_errors_seen = self.cache.write_errors
+        if enospc > 0:
+            self.breaker.record_failure("enospc")
+        elif success is True:
+            self.breaker.record_success()
+        elif success is False:
+            self.breaker.record_failure(kind or "infrastructure")
+        elif job.probe:
+            self.breaker.release_probe()
+
+    def _finalize(self, job: Job, state: str,
+                  result: Optional[Dict[str, Any]] = None,
+                  error: Optional[Dict[str, Any]] = None) -> None:
+        job.state = state
+        job.result = result
+        job.error = error
+        job.finished_mono = time.monotonic()
+        if job.holds_credit:
+            job.holds_credit = False
+            self._credits_in_use -= 1
+        if state in Journal.TERMINAL_EVENTS:  # "interrupted" stays live
+            self.journal.append(state, job=job.job_id,
+                                attempts=job.attempts, resumed=job.resumed)
+        tally = {"done": "completed", "failed": "failed",
+                 "timeout": "timeouts", "cancelled": "cancelled",
+                 "interrupted": "interrupted"}[state]
+        self.counters[tally] += 1
+        job.done.set()
+        self._trim_done(job.job_id)
+
+    def _trim_done(self, job_id: str) -> None:
+        self._done_order.append(job_id)
+        while len(self._done_order) > self.cfg.max_done_jobs:
+            victim = self._done_order.pop(0)
+            job = self.jobs.get(victim)
+            if job is not None and job.state not in LIVE_STATES:
+                self.jobs.pop(victim, None)
+
+    async def _reaper(self) -> None:
+        """Expire *queued* jobs whose deadline passed while every worker
+        was busy — a deadline is honored even when nobody is free to
+        pop the job and notice."""
+        while not self._stopping:
+            now = time.monotonic()
+            for job in list(self.jobs.values()):
+                if job.state == "queued" and now > job.deadline_at:
+                    self._finalize(job, "timeout", error={
+                        "exc_type": "JobDeadlineExceeded",
+                        "message": "deadline budget expired while queued"})
+            try:
+                await asyncio.sleep(0.1)
+            except asyncio.CancelledError:  # pragma: no cover
+                return
+
+    # -- HTTP ---------------------------------------------------------------------
+
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, target, headers, body = request
+                keep_alive = headers.get("connection", "").lower() != "close"
+                try:
+                    status, payload, extra = await self._route(
+                        method, target, body)
+                except ServiceSpecError as err:
+                    status, payload, extra = 400, {"error": str(err)}, {}
+                except Exception as err:  # pragma: no cover - handler bug
+                    _log.exception("handler error for %s %s", method, target)
+                    status, payload, extra = (
+                        500, {"error": "internal",
+                              "message": f"{type(err).__name__}: {err}"}, {})
+                self._write_response(writer, status, payload, extra,
+                                     keep_alive)
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _read_request(self, reader):
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, target, _version = line.decode("latin-1").split()
+        except ValueError:
+            return None
+        headers: Dict[str, str] = {}
+        for _ in range(100):
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0) or 0)
+        if length > 1_000_000:
+            raise ServiceSpecError("request body too large")
+        body: Any = None
+        if length:
+            raw_body = await reader.readexactly(length)
+            try:
+                body = json.loads(raw_body)
+            except ValueError as err:
+                raise ServiceSpecError(f"request body is not JSON: {err}") \
+                    from err
+        return method.upper(), target, headers, body
+
+    def _write_response(self, writer, status: int, payload: Dict[str, Any],
+                        extra: Dict[str, str], keep_alive: bool) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        lines = [f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}",
+                 "Content-Type: application/json",
+                 f"Content-Length: {len(body)}",
+                 f"Connection: {'keep-alive' if keep_alive else 'close'}"]
+        lines += [f"{name}: {value}" for name, value in extra.items()]
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode() + body)
+
+    async def _route(self, method: str, target: str, body: Any):
+        path, _, query = target.partition("?")
+        params = {}
+        for pair in query.split("&"):
+            if "=" in pair:
+                name, _, value = pair.partition("=")
+                params[name] = value
+        parts = [p for p in path.split("/") if p]
+
+        if path == "/health" and method == "GET":
+            return 200, self.health(), {}
+        if path == "/jobs" and method == "POST":
+            return await self._submit(body if body is not None else {})
+        if len(parts) == 2 and parts[0] == "jobs" and method == "GET":
+            return await self._status(parts[1], params)
+        if (len(parts) == 3 and parts[0] == "jobs"
+                and parts[2] == "cancel" and method == "POST"):
+            return self._cancel(parts[1])
+        if path in ("/jobs", "/health") or (parts and parts[0] == "jobs"):
+            return 405, {"error": "method-not-allowed"}, {}
+        return 404, {"error": "not-found", "path": path}, {}
+
+    async def _status(self, job_id: str, params: Dict[str, str]):
+        job = self.jobs.get(job_id)
+        if job is None:
+            # Fall back to the disk cache: done jobs trimmed from memory
+            # (or finished in a previous service life) are still known.
+            hit = self.cache.get(job_id)
+            if hit is not None:
+                stale = self.breaker.state != "closed"
+                job = self._job_from_cache_hit(
+                    job_id, RunSpec(hit.workload, hit.technique,
+                                    threads=hit.threads), hit, stale)
+                view = job.view()
+                view.pop("spec", None)  # reconstructed spec is partial
+                view["cached"] = True
+                return 200, view, {}
+            return 404, {"error": "unknown-job", "job": job_id}, {}
+        wait = params.get("wait")
+        if wait is not None and job.state in LIVE_STATES:
+            try:
+                seconds = min(float(wait), self.cfg.max_wait_s)
+            except ValueError:
+                raise ServiceSpecError("wait must be a number")
+            try:
+                await asyncio.wait_for(
+                    asyncio.shield(job.done.wait()), timeout=seconds)
+            except asyncio.TimeoutError:
+                pass
+        return 200, job.view(), {}
+
+    def _cancel(self, job_id: str):
+        job = self.jobs.get(job_id)
+        if job is None:
+            return 404, {"error": "unknown-job", "job": job_id}, {}
+        if job.state in LIVE_STATES:
+            job.cancel_requested = True
+            job.cancel_event.set()
+            if job.state == "queued":
+                self._finalize(job, "cancelled")
+        view = job.view()
+        view["cancel_requested"] = job.cancel_requested
+        return 200, view, {}
+
+    def health(self) -> Dict[str, Any]:
+        queued = sum(1 for j in self.jobs.values() if j.state == "queued")
+        running = sum(1 for j in self.jobs.values() if j.state == "running")
+        return {
+            "schema": SERVICE_SCHEMA,
+            "status": "ok" if self.breaker.state == "closed" else "degraded",
+            "pid": os.getpid(),
+            "port": self.port,
+            "uptime_s": round(time.monotonic() - self._started_mono, 3),
+            "workers": self.cfg.workers,
+            "credits": {"total": self.cfg.queue_depth,
+                        "in_use": self._credits_in_use,
+                        "free": self.cfg.queue_depth - self._credits_in_use},
+            "queued": queued,
+            "running": running,
+            "avg_job_wall_s": round(self._avg_wall, 4),
+            "breaker": self.breaker.view(),
+            "counters": dict(self.counters),
+            "journal": self.journal.view(),
+            "cache": self.cache.counters(),
+        }
+
+
+# -- test/bench-friendly background wrapper ----------------------------------------
+
+
+class ServiceThread:
+    """Run a :class:`SimService` on a dedicated thread's event loop.
+
+    The chaos/fuzz/test layers talk to it over real HTTP (loopback) —
+    the in-process part is only where the loop runs, not what the
+    clients exercise.
+    """
+
+    def __init__(self, cfg: ServiceConfig):
+        self.cfg = cfg
+        self.service = SimService(cfg)
+        self.port: Optional[int] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._boot_error: Optional[BaseException] = None
+
+    def start(self, timeout: float = 10.0) -> int:
+        self._thread = threading.Thread(target=self._main,
+                                        name="sim-service", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("service failed to start in time")
+        if self._boot_error is not None:
+            raise RuntimeError("service failed to boot") from self._boot_error
+        return self.port
+
+    def _main(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self.port = self._loop.run_until_complete(self.service.start())
+        except BaseException as err:
+            self._boot_error = err
+            self._ready.set()
+            return
+        self._ready.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.run_until_complete(self.service.stop())
+            self._loop.close()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._loop is None or self._thread is None:
+            return
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout)
+
+    def request(self, method: str, path: str, body: Any = None,
+                timeout: float = 30.0) -> Tuple[int, Dict[str, str],
+                                                Dict[str, Any]]:
+        """One synchronous HTTP request against the running service."""
+        import http.client
+
+        conn = http.client.HTTPConnection("127.0.0.1", self.port,
+                                          timeout=timeout)
+        try:
+            payload = json.dumps(body) if body is not None else None
+            conn.request(method, path, body=payload,
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            headers = {name.lower(): value
+                       for name, value in response.getheaders()}
+            data = json.loads(response.read() or b"{}")
+            return response.status, headers, data
+        finally:
+            conn.close()
+
+
+# -- CLI ---------------------------------------------------------------------------
+
+
+def build_config(args: argparse.Namespace) -> ServiceConfig:
+    return ServiceConfig(
+        host=args.host, port=args.port, workdir=Path(args.workdir),
+        workers=args.workers, queue_depth=args.queue_depth,
+        default_deadline_s=args.default_deadline,
+        max_deadline_s=args.max_deadline,
+        default_checkpoint_every=args.checkpoint_every or None,
+        retries=args.retries,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
+        cache_max_bytes=args.cache_max_bytes or None,
+        journal_fsync=not args.no_fsync,
+        port_file=Path(args.port_file) if args.port_file else None)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness.service",
+        description="Simulation-as-a-service over the experiment "
+                    "orchestrator (see DESIGN.md 'Simulation as a "
+                    "service').")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="0 picks an ephemeral port (printed + "
+                             "optionally written to --port-file)")
+    parser.add_argument("--workdir", default="service-data",
+                        help="journal/cache/checkpoints/dumps root")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--queue-depth", type=int, default=16)
+    parser.add_argument("--default-deadline", type=float, default=120.0)
+    parser.add_argument("--max-deadline", type=float, default=600.0)
+    parser.add_argument("--checkpoint-every", type=int, default=25_000)
+    parser.add_argument("--retries", type=int, default=1)
+    parser.add_argument("--breaker-threshold", type=int, default=3)
+    parser.add_argument("--breaker-cooldown", type=float, default=5.0)
+    parser.add_argument("--cache-max-bytes", type=int, default=0,
+                        help="LRU cap on the result cache (0 = unbounded)")
+    parser.add_argument("--no-fsync", action="store_true",
+                        help="skip fsync on journal appends (benchmarks "
+                             "only: trades durability for write latency)")
+    parser.add_argument("--port-file", default=None,
+                        help="write the bound port here once listening")
+    parser.add_argument("--tag", default=None,
+                        help="opaque marker kept on the command line so "
+                             "process scans can find this service tree")
+    args = parser.parse_args(argv)
+
+    logging.basicConfig(level=logging.INFO,
+                        format="%(asctime)s %(name)s %(message)s")
+    service = SimService(build_config(args))
+
+    async def run() -> None:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+        port = await service.start()
+        print(f"SERVICE-READY port={port} pid={os.getpid()}", flush=True)
+        await stop.wait()
+        await service.stop()
+
+    asyncio.run(run())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

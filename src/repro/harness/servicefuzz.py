@@ -1,0 +1,635 @@
+"""Service-level chaos fuzzing: seeded campaigns against the job service.
+
+:mod:`repro.harness.chaosfuzz` attacks the orchestrator from inside the
+process; this module attacks the **serving layer** the way production
+does — over HTTP, across process lifetimes, and through its durable
+state.  Each case draws one adversity from a weighted family list:
+
+- ``coalesce-burst`` — a thundering herd of identical submissions must
+  fund exactly one simulation;
+- ``admission-flood`` — more distinct jobs than credits: the surplus
+  must bounce with 429 + ``Retry-After`` and every admitted job must
+  still finish correctly;
+- ``deadline-storm`` — jobs whose budgets expire while queued or
+  mid-run must retire as typed timeouts with their credits returned;
+- ``journal-truncate`` / ``journal-garbage`` — the write-ahead journal
+  is torn at a random byte or salted with garbage lines; the next boot
+  must recover every surviving admission and crash on none of it;
+- ``breaker-crash`` — repeated worker crashes must trip the circuit
+  breaker (shed with 503, serve cached results with a staleness marker,
+  close again after a successful half-open probe);
+- ``cache-enospc`` — injected cache-write failures must not cost the
+  client its result but must register as infrastructure sickness;
+- ``service-kill-recover`` — the whole service process is SIGKILLed
+  mid-job: no worker may outlive it, and the restarted service must
+  journal-recover the job and resume it from its checkpoint.
+
+Every completed job is held to the **golden-output oracle** (identity
+equal to the uninterrupted serial baseline, bit for bit), every failure
+must be a **typed, structured state** over the API (never a hang or a
+silently wrong number), and every case must leave **no orphan processes
+and no stray tmp/lock files**.  Everything derives from
+``SERVICE_MASTER_SEED + case``; ``tests/test_service_chaos.py`` runs
+the ≥100-case gate.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from repro.harness.chaosfuzz import _assert_hygiene, golden_result
+from repro.harness.orchestrator import RunSpec, spec_key
+from repro.harness.service import ServiceConfig, ServiceThread
+
+SERVICE_MASTER_SEED = 20260807
+N_CASES = 120
+
+#: Weighted adversity mix.  The in-process families dominate (cheap,
+#: largest state space); the subprocess SIGKILL family gets enough
+#: draws that full-service recovery fires many times per campaign.
+FAMILIES = (
+    "coalesce-burst", "coalesce-burst", "coalesce-burst",
+    "admission-flood", "admission-flood", "admission-flood",
+    "deadline-storm", "deadline-storm",
+    "journal-truncate", "journal-truncate",
+    "journal-garbage", "journal-garbage",
+    "breaker-crash", "breaker-crash",
+    "cache-enospc",
+    "service-kill-recover",
+)
+
+#: Cheap, deterministic cells for admitted work (goldens are memoized
+#: per spec across the whole campaign via chaosfuzz.golden_result).
+_POOL = (
+    RunSpec("spmv", "lima", threads=1),
+    RunSpec("spmv", "doall", threads=2),
+    RunSpec("sdhp", "doall", threads=2),
+)
+
+#: Distinct cells for flood traffic (every admission is a real sim).
+_FLOOD_POOL = tuple(
+    RunSpec(workload, technique, threads=threads, seed=seed)
+    for workload, technique, threads in (("spmv", "lima", 1),
+                                         ("spmv", "doall", 2),
+                                         ("sdhp", "doall", 2))
+    for seed in (0, 1))
+
+#: Slow enough (~400k cycles) to be caught mid-run by the kill family.
+_KILL_SPEC = RunSpec("spmv", "doall", threads=2, scale=4)
+
+
+@dataclass(frozen=True)
+class ServiceCase:
+    """One materialized service-chaos case; pure function of the seed."""
+
+    case: int
+    family: str
+    spec: RunSpec
+    count: int          # burst size / flood surplus / storm size
+    queue_depth: int
+    cut: float          # where (0..1) the journal families damage the file
+
+    def describe(self) -> str:
+        return (f"case {self.case}: {self.family} vs {self.spec.label()} "
+                f"(count={self.count}, depth={self.queue_depth})")
+
+
+@dataclass
+class ServiceOutcome:
+    """What one case did and how it was judged."""
+
+    case: int
+    family: str
+    label: str
+    ok: bool
+    oracle: str
+    detail: str = ""
+
+
+def service_case(case: int,
+                 master_seed: int = SERVICE_MASTER_SEED) -> ServiceCase:
+    """Materialize case ``case``; pure function of ``(master_seed, case)``."""
+    rng = random.Random(master_seed + case)
+    family = rng.choice(FAMILIES)
+    return ServiceCase(case=case, family=family,
+                       spec=rng.choice(_POOL),
+                       count=rng.randrange(3, 12),
+                       queue_depth=rng.randrange(2, 5),
+                       cut=rng.random())
+
+
+def _wire(spec: RunSpec) -> Dict[str, object]:
+    return {"workload": spec.workload, "technique": spec.technique,
+            "threads": spec.threads, "scale": spec.scale, "seed": spec.seed}
+
+
+def _await_terminal(svc: ServiceThread, job: str,
+                    timeout: float = 60.0) -> Dict[str, object]:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, _, body = svc.request("GET", f"/jobs/{job}?wait=10")
+        if body.get("state") not in ("queued", "running"):
+            return body
+    raise AssertionError(f"job {job[:12]} never reached a terminal state")
+
+
+def _assert_golden(body: Dict[str, object], spec: RunSpec) -> None:
+    golden = golden_result(spec).identity()
+    result = body.get("result") or {}
+    got = {name: result.get(name) for name in golden}
+    assert got == golden, (
+        f"served result diverged from the serial baseline for "
+        f"{spec.label()}: {got} != {golden}")
+
+
+def _svc(workdir: Path, **overrides) -> ServiceThread:
+    defaults = dict(workdir=workdir, workers=1, queue_depth=8,
+                    journal_fsync=False, default_checkpoint_every=15_000,
+                    default_deadline_s=120.0)
+    defaults.update(overrides)
+    svc = ServiceThread(ServiceConfig(**defaults))
+    svc.start()
+    return svc
+
+
+# -- family implementations -------------------------------------------------------
+
+
+def _run_coalesce_burst(sc: ServiceCase, rng, wd: Path) -> ServiceOutcome:
+    """N identical submissions must fund exactly one simulation."""
+    svc = _svc(wd)
+    try:
+        job = None
+        for _ in range(sc.count):
+            status, _, body = svc.request("POST", "/jobs",
+                                          {"spec": _wire(sc.spec)})
+            assert status in (200, 202), f"burst submit bounced: {status}"
+            job = body["job"]
+        final = _await_terminal(svc, job)
+        assert final["state"] == "done", f"burst job ended {final['state']}"
+        _assert_golden(final, sc.spec)
+        _, _, health = svc.request("GET", "/health")
+        counters = health["counters"]
+        assert counters["admitted"] == 1, (
+            f"{counters['admitted']} sims funded for identical submissions")
+        absorbed = counters["coalesced"] + counters["served_cached"]
+        assert absorbed == sc.count - 1, (
+            f"coalescing accounting off: {counters}")
+        assert health["credits"]["in_use"] == 0, "credit leak after burst"
+    finally:
+        svc.stop()
+    return ServiceOutcome(sc.case, sc.family, sc.spec.label(), ok=True,
+                          oracle="golden-identity",
+                          detail=f"{sc.count} submissions, 1 sim")
+
+
+def _run_admission_flood(sc: ServiceCase, rng, wd: Path) -> ServiceOutcome:
+    """More distinct jobs than credits: surplus bounces with 429 +
+    Retry-After; every admitted job completes golden."""
+    depth = sc.queue_depth
+    flood = list(_FLOOD_POOL)[:depth + 2]
+    svc = _svc(wd, queue_depth=depth)
+    try:
+        admitted, bounced = [], 0
+        for spec in flood:
+            status, headers, body = svc.request("POST", "/jobs",
+                                                {"spec": _wire(spec)})
+            if status == 429:
+                bounced += 1
+                assert "retry-after" in headers, "429 without Retry-After"
+                assert float(headers["retry-after"]) >= 1
+            else:
+                assert status == 202, f"flood submit got {status}"
+                admitted.append((body["job"], spec))
+        assert len(admitted) == depth, (
+            f"admitted {len(admitted)} jobs with {depth} credits")
+        assert bounced == len(flood) - depth, "429 accounting off"
+        for job, spec in admitted:
+            final = _await_terminal(svc, job)
+            assert final["state"] == "done", (
+                f"admitted job ended {final['state']}")
+            _assert_golden(final, spec)
+        _, _, health = svc.request("GET", "/health")
+        assert health["credits"]["in_use"] == 0, "credit leak after flood"
+        # Credits are free again: a bounced spec now gets in.
+        status, _, _ = svc.request("POST", "/jobs",
+                                   {"spec": _wire(flood[-1])})
+        assert status in (200, 202), "credits not returned after drain"
+    finally:
+        svc.stop()
+    return ServiceOutcome(sc.case, sc.family, sc.spec.label(), ok=True,
+                          oracle="golden-identity",
+                          detail=f"{depth} admitted, {bounced} bounced")
+
+
+def _run_deadline_storm(sc: ServiceCase, rng, wd: Path) -> ServiceOutcome:
+    """Budgets that expire queued or mid-run retire as typed timeouts
+    with credits returned; bystander work still completes golden."""
+    svc = _svc(wd)
+    mid_run = rng.random() < 0.5
+    try:
+        doomed = []
+        if mid_run:
+            # One slow job whose budget dies mid-simulation.
+            status, _, body = svc.request(
+                "POST", "/jobs",
+                {"spec": _wire(_KILL_SPEC), "deadline_s": 0.15})
+            assert status == 202
+            doomed.append(body["job"])
+        else:
+            # Occupy the single worker, then queue doomed jobs behind it.
+            status, _, occupier = svc.request(
+                "POST", "/jobs", {"spec": _wire(sc.spec)})
+            assert status in (200, 202)
+            for index in range(min(sc.count, 4)):
+                spec = RunSpec("spmv", "doall", threads=2,
+                               seed=500 + index)
+                status, _, body = svc.request(
+                    "POST", "/jobs",
+                    {"spec": _wire(spec), "deadline_s": 0.02})
+                if status == 202:
+                    doomed.append(body["job"])
+        for job in doomed:
+            final = _await_terminal(svc, job)
+            assert final["state"] == "timeout", (
+                f"doomed job ended {final['state']}, wanted timeout")
+            error = final.get("error") or {}
+            assert error.get("exc_type") in ("JobDeadlineExceeded",
+                                             "JobTimeout"), (
+                f"untyped deadline failure: {error}")
+        # A bystander submitted after the storm still completes golden.
+        status, _, body = svc.request("POST", "/jobs",
+                                      {"spec": _wire(sc.spec)})
+        assert status in (200, 202)
+        final = _await_terminal(svc, body["job"])
+        assert final["state"] == "done"
+        _assert_golden(final, sc.spec)
+        _, _, health = svc.request("GET", "/health")
+        assert health["credits"]["in_use"] == 0, "credit leak after storm"
+    finally:
+        svc.stop()
+    return ServiceOutcome(sc.case, sc.family, sc.spec.label(), ok=True,
+                          oracle="typed-timeout+golden",
+                          detail=f"{len(doomed)} doomed "
+                                 f"({'mid-run' if mid_run else 'queued'})")
+
+
+def _interrupted_service(sc: ServiceCase, wd: Path) -> List[str]:
+    """Phase 1 for the journal families: admit jobs, stop the service
+    while they are still in flight (graceful interrupt → journal keeps
+    their submits non-terminal)."""
+    svc = _svc(wd)
+    jobs = []
+    try:
+        for spec in list(_FLOOD_POOL)[:max(2, min(sc.count, 4))]:
+            status, _, body = svc.request("POST", "/jobs",
+                                          {"spec": _wire(spec)})
+            assert status == 202
+            jobs.append((body["job"], spec))
+    finally:
+        svc.stop()
+    return jobs
+
+
+def _run_journal_truncate(sc: ServiceCase, rng, wd: Path) -> ServiceOutcome:
+    """Tear the journal at a random byte; the next boot recovers every
+    surviving admission and runs it to the golden answer."""
+    jobs = _interrupted_service(sc, wd)
+    journal = wd / "journal.jsonl"
+    data = journal.read_bytes()
+    cut = max(1, int(len(data) * (0.3 + 0.7 * sc.cut)))
+    journal.write_bytes(data[:cut])
+    svc = _svc(wd)
+    try:
+        recovered = lost = 0
+        for job, spec in jobs:
+            status, _, body = svc.request("GET", f"/jobs/{job}")
+            if status == 404:
+                lost += 1      # its submit line was cut away — honest loss
+                continue
+            if body.get("cached"):
+                # Finished before phase 1 stopped; the cache, not the
+                # journal, is its durability — still must be golden.
+                _assert_golden(body, spec)
+                continue
+            recovered += 1
+            final = _await_terminal(svc, job)
+            assert final["state"] == "done", (
+                f"recovered job ended {final['state']}")
+            assert final["recovered"], "journal recovery flag missing"
+            _assert_golden(final, spec)
+        _, _, health = svc.request("GET", "/health")
+        assert health["counters"]["recovered"] == recovered
+        assert health["credits"]["in_use"] == 0
+    finally:
+        svc.stop()
+    return ServiceOutcome(sc.case, sc.family, sc.spec.label(), ok=True,
+                          oracle="golden-identity",
+                          detail=f"cut@{cut}B: {recovered} recovered, "
+                                 f"{lost} lost")
+
+
+def _run_journal_garbage(sc: ServiceCase, rng, wd: Path) -> ServiceOutcome:
+    """Salt the journal with garbage lines; boot must skip + count them
+    and still recover every valid admission."""
+    jobs = _interrupted_service(sc, wd)
+    journal = wd / "journal.jsonl"
+    lines = journal.read_text().splitlines()
+    garbage = ["{torn", "\x00\x01binary\x02", "[]", '{"no-event":1}']
+    # Insert before an existing line, never past the end: garbage as the
+    # final line would (correctly) count as a torn tail instead.
+    for _ in range(rng.randrange(1, 4)):
+        lines.insert(rng.randrange(len(lines)), rng.choice(garbage))
+    journal.write_text("\n".join(lines) + "\n")
+    svc = _svc(wd)
+    try:
+        assert svc.service.journal.bad_lines >= 1, (
+            "garbage lines were not counted")
+        recovered = 0
+        for job, spec in jobs:
+            status, _, body = svc.request("GET", f"/jobs/{job}")
+            if body.get("cached"):
+                _assert_golden(body, spec)   # finished before phase-1 stop
+                continue
+            recovered += 1
+            final = _await_terminal(svc, job)
+            assert final["state"] == "done" and final["recovered"]
+            _assert_golden(final, spec)
+        _, _, health = svc.request("GET", "/health")
+        assert health["counters"]["recovered"] == recovered
+        assert health["credits"]["in_use"] == 0
+    finally:
+        svc.stop()
+    return ServiceOutcome(sc.case, sc.family, sc.spec.label(), ok=True,
+                          oracle="golden-identity",
+                          detail=f"{len(jobs)} recovered through garbage")
+
+
+def _run_breaker_crash(sc: ServiceCase, rng, wd: Path) -> ServiceOutcome:
+    """Worker crashes trip the breaker: shed with 503, serve cached
+    results stale, close again after a successful probe."""
+    threshold = 1 + sc.case % 2
+    crash_specs = [RunSpec("spmv", "doall", threads=2, seed=900 + index)
+                   for index in range(threshold)]
+    svc = _svc(wd, retries=0, breaker_threshold=threshold,
+               breaker_cooldown_s=0.5,
+               inject_kill_all=frozenset(spec_key(s) for s in crash_specs))
+    try:
+        # Prime the cache with a clean result first.
+        status, _, body = svc.request("POST", "/jobs",
+                                      {"spec": _wire(sc.spec)})
+        _await_terminal(svc, body["job"])
+        for spec in crash_specs:
+            status, _, body = svc.request("POST", "/jobs",
+                                          {"spec": _wire(spec)})
+            assert status == 202
+            final = _await_terminal(svc, body["job"])
+            assert final["state"] == "failed"
+            assert (final.get("error") or {}).get("exc_type") == \
+                "WorkerCrashed", f"untyped crash: {final.get('error')}"
+        _, _, health = svc.request("GET", "/health")
+        assert health["breaker"]["state"] == "open", (
+            f"breaker did not open: {health['breaker']}")
+        assert health["status"] == "degraded"
+        # Shed new work with 503 + Retry-After...
+        fresh = RunSpec("sdhp", "doall", threads=2, seed=950)
+        status, headers, _ = svc.request("POST", "/jobs",
+                                         {"spec": _wire(fresh)})
+        assert status == 503 and "retry-after" in headers, (
+            f"open breaker did not shed: {status}")
+        # ...but keep serving the cached result, marked stale.
+        status, _, body = svc.request("POST", "/jobs",
+                                      {"spec": _wire(sc.spec)})
+        assert status == 200 and body["stale"] is True, (
+            f"degraded tier broken: {status} {body.get('stale')}")
+        _assert_golden(body, sc.spec)
+        # Cooldown → half-open probe succeeds → closed.
+        time.sleep(0.6)
+        status, _, body = svc.request("POST", "/jobs",
+                                      {"spec": _wire(fresh)})
+        assert status == 202, f"half-open probe not admitted: {status}"
+        final = _await_terminal(svc, body["job"])
+        assert final["state"] == "done"
+        _assert_golden(final, fresh)
+        _, _, health = svc.request("GET", "/health")
+        assert health["breaker"]["state"] == "closed", (
+            f"probe success did not close: {health['breaker']}")
+    finally:
+        svc.stop()
+    return ServiceOutcome(sc.case, sc.family, sc.spec.label(), ok=True,
+                          oracle="typed-failure+stale+golden",
+                          detail=f"opened after {threshold} crash(es)")
+
+
+def _run_cache_enospc(sc: ServiceCase, rng, wd: Path) -> ServiceOutcome:
+    """An injected cache-write failure must not cost the client its
+    result — but must register as infrastructure sickness."""
+    svc = _svc(wd, breaker_threshold=1, breaker_cooldown_s=30.0,
+               inject_cache_error=frozenset({spec_key(sc.spec)}))
+    try:
+        status, _, body = svc.request("POST", "/jobs",
+                                      {"spec": _wire(sc.spec)})
+        assert status == 202
+        final = _await_terminal(svc, body["job"])
+        assert final["state"] == "done", "absorbed ENOSPC cost the result"
+        _assert_golden(final, sc.spec)
+        _, _, health = svc.request("GET", "/health")
+        assert health["cache"]["write_errors"] == 1
+        assert health["breaker"]["state"] == "open", (
+            "ENOSPC did not register as infrastructure failure")
+        assert health["breaker"]["last_failure_kind"] == "enospc"
+        fresh = RunSpec("sdhp", "doall", threads=2, seed=960)
+        status, _, _ = svc.request("POST", "/jobs", {"spec": _wire(fresh)})
+        assert status == 503, "sick disk kept admitting new work"
+    finally:
+        svc.stop()
+    return ServiceOutcome(sc.case, sc.family, sc.spec.label(), ok=True,
+                          oracle="golden-identity",
+                          detail="result kept, breaker opened on ENOSPC")
+
+
+# -- subprocess SIGKILL family ----------------------------------------------------
+
+_REPO = Path(__file__).resolve().parents[3]
+
+
+def _boot_subprocess(wd: Path, tag: str):
+    port_file = wd / "port"
+    port_file.unlink(missing_ok=True)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_REPO / "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.harness.service",
+         "--workdir", str(wd), "--port", "0", "--workers", "1",
+         "--port-file", str(port_file), "--checkpoint-every", "40000",
+         "--tag", tag],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        if port_file.exists() and port_file.read_text().strip():
+            return proc, int(port_file.read_text())
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"service subprocess died at boot (rc={proc.returncode})")
+        time.sleep(0.02)
+    proc.kill()
+    raise AssertionError("service subprocess never published its port")
+
+
+def _http(port: int, method: str, path: str, body=None, timeout=30.0):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        conn.request(method, path,
+                     body=json.dumps(body) if body is not None else None,
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        return response.status, json.loads(response.read() or b"{}")
+    finally:
+        conn.close()
+
+
+def _tagged_pids(tag: str) -> List[int]:
+    pids = []
+    for entry in Path("/proc").iterdir():
+        if entry.name.isdigit():
+            try:
+                if tag.encode() in (entry / "cmdline").read_bytes():
+                    pids.append(int(entry.name))
+            except OSError:
+                continue
+    return pids
+
+
+def _run_service_kill(sc: ServiceCase, rng, wd: Path) -> ServiceOutcome:
+    """SIGKILL the whole service once a checkpoint exists; workers must
+    self-exit, and the restart must recover + resume to the golden
+    answer."""
+    spec = RunSpec(_KILL_SPEC.workload, _KILL_SPEC.technique,
+                   threads=_KILL_SPEC.threads, scale=_KILL_SPEC.scale,
+                   seed=rng.choice((0, 1)))
+    tag = f"servicefuzz-{os.getpid()}-{sc.case}"
+    proc, port = _boot_subprocess(wd, tag)
+    killed_mid_run = False
+    try:
+        _, body = _http(port, "POST", "/jobs",
+                        {"spec": _wire(spec), "deadline_s": 300})
+        job = body["job"]
+        checkpoint = wd / "checkpoints" / f"{job}.ckpt.json"
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            _, status_body = _http(port, "GET", f"/jobs/{job}")
+            if status_body.get("state") not in ("queued", "running"):
+                break
+            if checkpoint.exists() and checkpoint.stat().st_size > 0:
+                killed_mid_run = True
+                break
+            time.sleep(0.005)
+    finally:
+        proc.send_signal(signal.SIGKILL)
+        proc.wait()
+
+    # The supervised workers must notice the dead parent and self-exit.
+    survivors = []
+    deadline = time.monotonic() + 10
+    while time.monotonic() < deadline:
+        survivors = _tagged_pids(tag)
+        if not survivors:
+            break
+        time.sleep(0.1)
+    assert not survivors, f"workers outlived the SIGKILLed service: " \
+                          f"{survivors}"
+
+    proc2, port2 = _boot_subprocess(wd, tag + "-r")
+    try:
+        if killed_mid_run:
+            _, health = _http(port2, "GET", "/health")
+            assert health["counters"]["recovered"] >= 1, (
+                "journal recovery did not fire after the kill")
+        deadline = time.monotonic() + 60
+        final = {}
+        while time.monotonic() < deadline:
+            _, final = _http(port2, "GET", f"/jobs/{job}?wait=10")
+            if final.get("state") not in ("queued", "running"):
+                break
+        assert final.get("state") == "done", (
+            f"recovered job ended {final.get('state')}")
+        if killed_mid_run:
+            assert final.get("recovered"), "recovery flag missing"
+            assert final.get("resumed"), (
+                "recovered job restarted from cycle 0 instead of its "
+                "checkpoint")
+        _assert_golden(final, spec)
+    finally:
+        proc2.send_signal(signal.SIGTERM)
+        try:
+            proc2.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            proc2.kill()
+            proc2.wait()
+    return ServiceOutcome(sc.case, sc.family, spec.label(), ok=True,
+                          oracle="golden-identity",
+                          detail="killed mid-run, resumed" if killed_mid_run
+                          else "finished before the kill landed (benign)")
+
+
+_RUNNERS = {
+    "coalesce-burst": _run_coalesce_burst,
+    "admission-flood": _run_admission_flood,
+    "deadline-storm": _run_deadline_storm,
+    "journal-truncate": _run_journal_truncate,
+    "journal-garbage": _run_journal_garbage,
+    "breaker-crash": _run_breaker_crash,
+    "cache-enospc": _run_cache_enospc,
+    "service-kill-recover": _run_service_kill,
+}
+
+
+def run_service_case(case: int, workdir,
+                     master_seed: int = SERVICE_MASTER_SEED
+                     ) -> ServiceOutcome:
+    """Run one service-chaos case under ``workdir``; raises
+    ``AssertionError`` on any gate violation.  The hygiene postcondition
+    (no orphan processes, no stray tmp/lock files) is asserted for every
+    family."""
+    sc = service_case(case, master_seed)
+    rng = random.Random(master_seed ^ (case * 2654435761))
+    wd = Path(workdir)
+    wd.mkdir(parents=True, exist_ok=True)
+    outcome = _RUNNERS[sc.family](sc, rng, wd)
+    _assert_hygiene(wd)
+    return outcome
+
+
+def run_service_campaign(cases: Sequence[int], workdir,
+                         master_seed: int = SERVICE_MASTER_SEED
+                         ) -> List[ServiceOutcome]:
+    """Run a batch of cases, writing ``service_report.json`` under
+    ``workdir`` (per-family tallies + every outcome) for CI artifacts."""
+    workdir = Path(workdir)
+    outcomes = []
+    for case in cases:
+        outcomes.append(run_service_case(
+            case, workdir / f"case-{case:03d}", master_seed))
+    tally: Dict[str, int] = {}
+    for outcome in outcomes:
+        tally[outcome.family] = tally.get(outcome.family, 0) + 1
+    report = {
+        "master_seed": master_seed,
+        "cases": len(outcomes),
+        "families": tally,
+        "outcomes": [vars(outcome) for outcome in outcomes],
+    }
+    workdir.mkdir(parents=True, exist_ok=True)
+    (workdir / "service_report.json").write_text(
+        json.dumps(report, indent=2, sort_keys=True))
+    return outcomes

@@ -1,0 +1,392 @@
+"""Functional tests for the simulation service (repro.harness.service).
+
+The chaos gate (``test_service_chaos.py``) attacks the service; this
+file pins the contract piece by piece: the wire codec's strictness, the
+circuit breaker's state machine, the journal's damage tolerance and
+compaction, and the HTTP surface end to end over a real loopback socket
+(submit/coalesce/cancel/priority/deadline/health, cache fallback after
+in-memory eviction, graceful-restart recovery).
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.harness.orchestrator import RunSpec, spec_key
+from repro.harness.service import (
+    CircuitBreaker,
+    Journal,
+    ServiceConfig,
+    ServiceSpecError,
+    ServiceThread,
+    spec_from_wire,
+    spec_to_wire,
+)
+
+CHEAP = {"workload": "spmv", "technique": "lima", "threads": 1}
+
+
+def make_service(tmp_path, **overrides):
+    defaults = dict(workdir=tmp_path / "svc", workers=1, queue_depth=4,
+                    journal_fsync=False, default_checkpoint_every=None)
+    defaults.update(overrides)
+    svc = ServiceThread(ServiceConfig(**defaults))
+    svc.start()
+    return svc
+
+
+def finish(svc, job, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, _, body = svc.request("GET", f"/jobs/{job}?wait=10")
+        if body.get("state") not in ("queued", "running"):
+            return body
+    raise AssertionError("job never finished")
+
+
+# -- wire codec -------------------------------------------------------------------
+
+
+def test_wire_codec_round_trips():
+    spec = RunSpec("spmv", "desc", threads=4, scale=2, seed=7,
+                   prefetch_distance=8, dataset_kwargs=(("density", 0.3),),
+                   checkpoint_every=10_000)
+    assert spec_from_wire(spec_to_wire(spec)) == spec
+
+
+@pytest.mark.parametrize("payload, fragment", [
+    ("not-a-dict", "JSON object"),
+    ({"technique": "lima"}, "missing required"),
+    ({"workload": "spmv", "technique": "lima", "bogus": 1}, "unknown spec"),
+    ({"workload": "nope", "technique": "lima"}, "unknown workload"),
+    ({"workload": "spmv", "technique": "nope"}, "unknown technique"),
+    ({"workload": "spmv", "technique": "lima", "threads": "two"},
+     "wrong type"),
+    ({"workload": "spmv", "technique": "lima", "threads": True},
+     "must be an integer"),
+    ({"workload": "spmv", "technique": "lima", "threads": 0},
+     "out of range"),
+    ({"workload": "spmv", "technique": "lima", "seed": 2**33},
+     "out of range"),
+    ({"workload": "spmv", "technique": "lima",
+      "dataset_kwargs": {"x": [1]}}, "scalars"),
+])
+def test_wire_codec_rejects_bad_specs(payload, fragment):
+    with pytest.raises(ServiceSpecError, match=fragment):
+        spec_from_wire(payload)
+
+
+def test_wire_codec_ids_match_orchestrator_keys():
+    """The service's job ids are exactly the orchestrator's cache keys."""
+    spec = spec_from_wire(CHEAP)
+    assert spec_key(spec) == spec_key(RunSpec("spmv", "lima", threads=1))
+
+
+# -- circuit breaker --------------------------------------------------------------
+
+
+def test_breaker_opens_after_threshold_and_probes():
+    breaker = CircuitBreaker(threshold=2, cooldown=0.05)
+    assert breaker.admit()
+    breaker.record_failure("worker-crash")
+    assert breaker.state == "closed" and breaker.admit()
+    breaker.record_failure("worker-crash")
+    assert breaker.state == "open"
+    assert not breaker.admit()
+    time.sleep(0.06)
+    assert breaker.admit()           # the half-open probe slot
+    assert breaker.state == "half-open"
+    assert not breaker.admit()       # only one probe at a time
+    breaker.record_success()
+    assert breaker.state == "closed"
+
+
+def test_breaker_reopens_on_failed_probe_and_releases_neutral_probes():
+    breaker = CircuitBreaker(threshold=1, cooldown=0.05)
+    breaker.record_failure("enospc")
+    time.sleep(0.06)
+    assert breaker.admit()
+    breaker.record_failure("enospc")     # probe failed -> straight open
+    assert breaker.state == "open" and breaker.open_count == 2
+    time.sleep(0.06)
+    assert breaker.admit() and not breaker.admit()
+    breaker.release_probe()              # probe ended without a verdict
+    assert breaker.admit()               # slot is free again
+
+
+def test_breaker_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        CircuitBreaker(threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(cooldown=0)
+
+
+# -- journal ----------------------------------------------------------------------
+
+
+def test_journal_append_scan_round_trip(tmp_path):
+    journal = Journal(tmp_path / "j.jsonl", fsync=False)
+    journal.append("submit", job="a", priority=1)
+    journal.append("done", job="a")
+    journal.close()
+    entries, bad, torn = Journal.scan(tmp_path / "j.jsonl")
+    assert [e["e"] for e in entries] == ["submit", "done"]
+    assert bad == 0 and not torn
+
+
+def test_journal_tolerates_torn_tail_and_counts_garbage(tmp_path):
+    path = tmp_path / "j.jsonl"
+    journal = Journal(path, fsync=False)
+    for name in ("a", "b"):
+        journal.append("submit", job=name)
+    journal.close()
+    lines = path.read_text().splitlines()
+    lines.insert(1, "{definitely not json")
+    lines.append('{"e": "done", "job":')      # torn mid-append
+    path.write_text("\n".join(lines))
+    entries, bad, torn = Journal.scan(path)
+    assert [e["job"] for e in entries] == ["a", "b"]
+    assert bad == 1 and torn
+
+
+def test_journal_scan_of_missing_file_is_empty(tmp_path):
+    assert Journal.scan(tmp_path / "absent.jsonl") == ([], 0, False)
+
+
+def test_journal_compaction_keeps_only_live_submits(tmp_path):
+    path = tmp_path / "j.jsonl"
+    journal = Journal(path, fsync=False)
+    journal.append("submit", job="dead")
+    journal.append("done", job="dead")
+    live = {"v": 1, "e": "submit", "t": 0.0, "job": "alive"}
+    journal.compact([live])
+    journal.append("start", job="alive")
+    journal.close()
+    entries, bad, torn = Journal.scan(path)
+    assert [(e["e"], e["job"]) for e in entries] == [
+        ("submit", "alive"), ("start", "alive")]
+    assert journal.compactions == 1
+
+
+# -- HTTP surface -----------------------------------------------------------------
+
+
+def test_submit_runs_to_done_and_serves_cache_on_resubmit(tmp_path):
+    svc = make_service(tmp_path)
+    try:
+        status, _, body = svc.request("POST", "/jobs", {"spec": CHEAP})
+        assert status == 202 and body["state"] == "queued"
+        final = finish(svc, body["job"])
+        assert final["state"] == "done"
+        assert final["result"]["cycles"] > 0
+        status, _, again = svc.request("POST", "/jobs", {"spec": CHEAP})
+        assert status == 200 and again["cached"] and not again["stale"]
+        assert again["result"]["cycles"] == final["result"]["cycles"]
+    finally:
+        svc.stop()
+
+
+def test_identical_submissions_coalesce_onto_one_job(tmp_path):
+    svc = make_service(tmp_path)
+    try:
+        _, _, first = svc.request("POST", "/jobs", {"spec": CHEAP})
+        status, _, second = svc.request("POST", "/jobs", {"spec": CHEAP})
+        assert second["job"] == first["job"]
+        if second.get("coalesced"):
+            assert second["waiters"] == 2
+        finish(svc, first["job"])
+        _, _, health = svc.request("GET", "/health")
+        assert health["counters"]["admitted"] == 1
+    finally:
+        svc.stop()
+
+
+def test_bad_spec_and_unknown_job_and_bad_route(tmp_path):
+    svc = make_service(tmp_path)
+    try:
+        status, _, body = svc.request(
+            "POST", "/jobs", {"spec": {"workload": "spmv"}})
+        assert status == 400 and body["error"] == "invalid-spec"
+        status, _, _ = svc.request("GET", "/jobs/" + "0" * 64)
+        assert status == 404
+        status, _, _ = svc.request("GET", "/nope")
+        assert status == 404
+        status, _, _ = svc.request("DELETE", "/jobs")
+        assert status == 405
+        status, _, body = svc.request(
+            "POST", "/jobs", {"spec": CHEAP, "priority": 9999})
+        assert status == 400
+        status, _, body = svc.request(
+            "POST", "/jobs", {"spec": CHEAP, "deadline_s": -1})
+        assert status == 400
+    finally:
+        svc.stop()
+
+
+def test_cancel_queued_job_is_immediate_and_typed(tmp_path):
+    svc = make_service(tmp_path)
+    try:
+        # Occupy the single worker so the victim stays queued.
+        svc.request("POST", "/jobs",
+                    {"spec": {"workload": "sdhp", "technique": "doall",
+                              "threads": 2}})
+        _, _, victim = svc.request(
+            "POST", "/jobs",
+            {"spec": {"workload": "spmv", "technique": "doall",
+                      "threads": 2, "seed": 42}})
+        status, _, body = svc.request(
+            "POST", f"/jobs/{victim['job']}/cancel")
+        assert status == 200
+        final = finish(svc, victim["job"])
+        assert final["state"] == "cancelled"
+        _, _, health = svc.request("GET", "/health")
+        assert health["credits"]["in_use"] <= 1   # victim's credit is back
+    finally:
+        svc.stop()
+
+
+def test_cancel_running_job_kills_it_with_typed_error(tmp_path):
+    svc = make_service(tmp_path, default_checkpoint_every=40_000)
+    try:
+        _, _, body = svc.request(
+            "POST", "/jobs",
+            {"spec": {"workload": "spmv", "technique": "doall",
+                      "threads": 2, "scale": 4}})
+        job = body["job"]
+        deadline = time.monotonic() + 20
+        while time.monotonic() < deadline:
+            _, _, state = svc.request("GET", f"/jobs/{job}")
+            if state["state"] == "running":
+                break
+            time.sleep(0.005)
+        svc.request("POST", f"/jobs/{job}/cancel")
+        final = finish(svc, job)
+        assert final["state"] == "cancelled"
+        assert (final.get("error") or {}).get("exc_type") == "JobCancelled"
+    finally:
+        svc.stop()
+
+
+def test_priority_jumps_the_queue(tmp_path):
+    svc = make_service(tmp_path)
+    try:
+        # Occupier runs; low is queued first, high second but outranks it.
+        svc.request("POST", "/jobs", {"spec": CHEAP})
+        _, _, low = svc.request(
+            "POST", "/jobs",
+            {"spec": {"workload": "spmv", "technique": "doall",
+                      "threads": 2, "seed": 1}, "priority": -5})
+        _, _, high = svc.request(
+            "POST", "/jobs",
+            {"spec": {"workload": "spmv", "technique": "doall",
+                      "threads": 2, "seed": 2}, "priority": 5})
+        final_high = finish(svc, high["job"])
+        assert final_high["state"] == "done"
+        _, _, low_now = svc.request("GET", f"/jobs/{low['job']}")
+        assert low_now["state"] != "done", \
+            "low-priority job finished before the high-priority one"
+        finish(svc, low["job"])
+    finally:
+        svc.stop()
+
+
+def test_deadline_budget_is_clamped_to_the_service_maximum(tmp_path):
+    svc = make_service(tmp_path, max_deadline_s=5.0)
+    try:
+        _, _, body = svc.request(
+            "POST", "/jobs", {"spec": CHEAP, "deadline_s": 9999})
+        assert body["deadline_s"] == 5.0
+        finish(svc, body["job"])
+    finally:
+        svc.stop()
+
+
+def test_done_jobs_evicted_from_memory_are_served_from_disk(tmp_path):
+    svc = make_service(tmp_path, max_done_jobs=1)
+    try:
+        _, _, first = svc.request("POST", "/jobs", {"spec": CHEAP})
+        finish(svc, first["job"])
+        _, _, second = svc.request(
+            "POST", "/jobs",
+            {"spec": {"workload": "sdhp", "technique": "doall",
+                      "threads": 2}})
+        finish(svc, second["job"])
+        # First job was trimmed from memory; the disk cache still has it.
+        status, _, body = svc.request("GET", f"/jobs/{first['job']}")
+        assert status == 200 and body["state"] == "done"
+        assert body["cached"] and body["result"]["cycles"] > 0
+    finally:
+        svc.stop()
+
+
+def test_health_reports_the_full_robustness_surface(tmp_path):
+    svc = make_service(tmp_path, cache_max_bytes=1_000_000)
+    try:
+        _, _, health = svc.request("GET", "/health")
+        assert health["status"] == "ok"
+        assert health["credits"] == {"total": 4, "in_use": 0, "free": 4}
+        assert health["breaker"]["state"] == "closed"
+        assert health["journal"]["bad_lines"] == 0
+        assert "evicted" in health["cache"]
+        for counter in ("submitted", "admitted", "coalesced",
+                        "rejected_busy", "rejected_open", "recovered"):
+            assert counter in health["counters"]
+    finally:
+        svc.stop()
+
+
+def test_graceful_restart_recovers_interrupted_jobs(tmp_path):
+    cfg = dict(workdir=tmp_path / "svc", workers=1, queue_depth=4,
+               journal_fsync=False, default_checkpoint_every=15_000)
+    svc = ServiceThread(ServiceConfig(**cfg))
+    svc.start()
+    _, _, body = svc.request(
+        "POST", "/jobs", {"spec": {"workload": "sdhp", "technique": "doall",
+                                   "threads": 2}})
+    job = body["job"]
+    svc.stop()      # graceful: the journal keeps the submit non-terminal
+
+    svc2 = ServiceThread(ServiceConfig(**cfg))
+    svc2.start()
+    try:
+        final = finish(svc2, job)
+        assert final["state"] == "done" and final["recovered"]
+        _, _, health = svc2.request("GET", "/health")
+        assert health["counters"]["recovered"] == 1
+    finally:
+        svc2.stop()
+
+
+def test_journal_is_compacted_at_boot(tmp_path):
+    cfg = dict(workdir=tmp_path / "svc", workers=1, queue_depth=4,
+               journal_fsync=False, default_checkpoint_every=None)
+    svc = ServiceThread(ServiceConfig(**cfg))
+    svc.start()
+    _, _, body = svc.request("POST", "/jobs", {"spec": CHEAP})
+    finish(svc, body["job"])
+    svc.stop()
+
+    svc2 = ServiceThread(ServiceConfig(**cfg))
+    svc2.start()
+    try:
+        # The completed job's submit/start/done events were compacted
+        # away: only the fresh boot event remains on disk.
+        entries, _, _ = Journal.scan(tmp_path / "svc" / "journal.jsonl")
+        assert [e["e"] for e in entries] == ["boot"]
+        assert svc2.service.journal.compactions == 1
+    finally:
+        svc2.stop()
+
+
+def test_long_poll_wait_returns_early_on_completion(tmp_path):
+    svc = make_service(tmp_path)
+    try:
+        _, _, body = svc.request("POST", "/jobs", {"spec": CHEAP})
+        started = time.monotonic()
+        final = finish(svc, body["job"])
+        assert final["state"] == "done"
+        # The long poll must not burn its full 10s window per request.
+        assert time.monotonic() - started < 30
+    finally:
+        svc.stop()

@@ -1,0 +1,56 @@
+"""The service chaos gate: >=100 seeded cases against the job service.
+
+Each case draws one adversity (identical-submission bursts, admission
+floods past the credit limit, deadline storms, journal truncation and
+garbage, worker-crash breaker trips, injected cache ENOSPC, SIGKILL of
+the whole service mid-job) from ``repro.harness.servicefuzz`` and
+asserts the serving contract: every completed job matches the golden
+serial baseline bit for bit, every failure is a typed state over the
+API, recovery resumes from checkpoints, and no orphan processes or
+stray tmp/lock files remain.
+
+Set ``REPRO_SERVICE_CHAOS_DIR`` to keep each case's working directory
+(journal, checkpoints, the campaign report) for CI artifact upload;
+without it everything lands in pytest's tmp_path.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.harness.servicefuzz import (
+    FAMILIES,
+    N_CASES,
+    SERVICE_MASTER_SEED,
+    run_service_case,
+    service_case,
+)
+
+
+def _workdir(tmp_path: Path, case: int) -> Path:
+    env = os.environ.get("REPRO_SERVICE_CHAOS_DIR")
+    root = Path(env) if env else tmp_path
+    return root / f"case-{case:03d}"
+
+
+def test_gate_is_at_least_100_cases():
+    assert N_CASES >= 100
+
+
+def test_cases_are_reproducible():
+    """A failing case number must mean the same adversity everywhere."""
+    assert service_case(11) == service_case(11)
+    assert service_case(12, SERVICE_MASTER_SEED) == service_case(12)
+
+
+def test_every_family_is_drawn():
+    drawn = {service_case(case).family for case in range(N_CASES)}
+    assert drawn == set(FAMILIES)
+
+
+@pytest.mark.parametrize("case", range(N_CASES))
+def test_service_chaos_case(case, tmp_path):
+    outcome = run_service_case(case, _workdir(tmp_path, case))
+    assert outcome.ok
+    assert outcome.family == service_case(case).family

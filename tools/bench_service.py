@@ -1,0 +1,487 @@
+#!/usr/bin/env python
+"""Load-generate against the simulation service; measure + verify.
+
+Boots a real ``python -m repro.harness.service`` subprocess, drives it
+with an asyncio keep-alive HTTP client fleet, and writes
+``BENCH_service.json`` with:
+
+- submit latency p50/p90/p99 (ms) and requests/sec under ``--connections``
+  concurrent clients issuing ``--requests`` total submissions spread
+  over ``--unique`` distinct specs (the duplicate-rich traffic shape the
+  service exists to absorb),
+- end-to-end job latency and jobs/sec (terminal jobs per second),
+- the coalescing hit rate actually achieved (from ``/health`` counters:
+  coalesced + cache-served over total submissions),
+- backpressure accounting (429s received and honored via Retry-After),
+- a kill/recover leg: submit a checkpointing job, SIGKILL the whole
+  service mid-run, verify no tagged worker processes survive, restart on
+  the same workdir, and require the journal-recovered job to finish
+  with the bit-identical golden identity of an uninterrupted run.
+
+``--smoke`` shrinks the load to CI size and keeps the kill/recover leg —
+that is the shape the ``service-smoke`` CI job drives.
+
+Usage (from the repo root):
+
+    PYTHONPATH=src python tools/bench_service.py --out BENCH_service.json
+    PYTHONPATH=src python tools/bench_service.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import json
+import os
+import platform
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SERVICE_TAG_PREFIX = "bench-service"
+
+#: Kill-target spec: big enough to checkpoint several times before it
+#: finishes (~400k cycles), so the SIGKILL lands mid-run.
+KILL_SPEC = {"workload": "spmv", "technique": "doall", "threads": 2,
+             "scale": 4, "checkpoint_every": 40_000}
+
+
+def percentile(samples, fraction):
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def latency_summary(samples):
+    return {"p50_ms": round(1e3 * percentile(samples, 0.50), 3),
+            "p90_ms": round(1e3 * percentile(samples, 0.90), 3),
+            "p99_ms": round(1e3 * percentile(samples, 0.99), 3),
+            "max_ms": round(1e3 * max(samples), 3),
+            "samples": len(samples)} if samples else {"samples": 0}
+
+
+# -- service subprocess management -------------------------------------------------
+
+
+def boot_service(workdir: Path, tag: str, workers: int = 4,
+                 queue_depth: int = 64, fsync: bool = True,
+                 timeout: float = 30.0) -> tuple:
+    """Start a service subprocess; returns (Popen, port)."""
+    port_file = workdir / "port"
+    port_file.unlink(missing_ok=True)
+    cmd = [sys.executable, "-m", "repro.harness.service",
+           "--workdir", str(workdir), "--port", "0",
+           "--port-file", str(port_file), "--workers", str(workers),
+           "--queue-depth", str(queue_depth), "--tag", tag]
+    if not fsync:
+        cmd.append("--no-fsync")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    proc = subprocess.Popen(cmd, env=env, cwd=str(REPO),
+                            stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if port_file.exists():
+            text = port_file.read_text().strip()
+            if text:
+                return proc, int(text)
+        if proc.poll() is not None:
+            raise RuntimeError(f"service exited early (rc={proc.returncode})")
+        time.sleep(0.02)
+    proc.kill()
+    raise RuntimeError("service did not write its port file in time")
+
+
+def tagged_pids(tag: str):
+    """PIDs whose command line carries the tag (service + its workers,
+    which inherit the command line via fork)."""
+    pids = []
+    for entry in Path("/proc").iterdir():
+        if not entry.name.isdigit():
+            continue
+        try:
+            cmdline = (entry / "cmdline").read_bytes()
+        except OSError:
+            continue
+        if tag.encode() in cmdline:
+            pids.append(int(entry.name))
+    return pids
+
+
+def wait_no_tagged(tag: str, timeout: float = 10.0) -> list:
+    """Wait for every tagged process to vanish (workers detect the dead
+    parent via their heartbeat ppid check); returns the survivors."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        alive = tagged_pids(tag)
+        if not alive:
+            return []
+        time.sleep(0.1)
+    return tagged_pids(tag)
+
+
+# -- asyncio HTTP client -----------------------------------------------------------
+
+
+class Client:
+    """One keep-alive connection speaking the service's HTTP dialect."""
+
+    def __init__(self, port: int):
+        self.port = port
+        self.reader = None
+        self.writer = None
+
+    async def connect(self):
+        self.reader, self.writer = await asyncio.open_connection(
+            "127.0.0.1", self.port)
+
+    async def close(self):
+        if self.writer is not None:
+            self.writer.close()
+            try:
+                await self.writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def request(self, method: str, path: str, body=None):
+        if self.writer is None:
+            await self.connect()
+        payload = json.dumps(body).encode() if body is not None else b""
+        head = (f"{method} {path} HTTP/1.1\r\nHost: bench\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n\r\n")
+        self.writer.write(head.encode() + payload)
+        await self.writer.drain()
+        status_line = await self.reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        status = int(status_line.split()[1])
+        headers = {}
+        while True:
+            line = await self.reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0))
+        data = await self.reader.readexactly(length) if length else b"{}"
+        return status, headers, json.loads(data)
+
+
+# -- load phase --------------------------------------------------------------------
+
+
+def load_specs(unique: int):
+    """The duplicate-rich spec pool: cheap cells, round-robined."""
+    pool = []
+    for index in range(unique):
+        pool.append({"workload": ("spmv", "sdhp")[index % 2],
+                     "technique": ("lima", "doall")[index % 2],
+                     "threads": 1 if index % 2 == 0 else 2,
+                     "seed": index // 2})
+    return pool
+
+
+async def drive_load(port: int, requests: int, connections: int,
+                     unique: int):
+    specs = load_specs(unique)
+    submit_latencies = []
+    counter = {"sent": 0, "rejected_429": 0, "retry_after_honored": 0,
+               "errors": 0}
+    job_ids = {}
+    lock = asyncio.Lock()
+
+    async def client_task(client_index: int):
+        client = Client(port)
+        try:
+            while True:
+                async with lock:
+                    if counter["sent"] >= requests:
+                        return
+                    sequence = counter["sent"]
+                    counter["sent"] += 1
+                spec = specs[sequence % unique]
+                started = time.perf_counter()
+                try:
+                    status, headers, body = await client.request(
+                        "POST", "/jobs", {"spec": spec, "deadline_s": 120})
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    counter["errors"] += 1
+                    client = Client(port)
+                    continue
+                submit_latencies.append(time.perf_counter() - started)
+                if status == 429:
+                    counter["rejected_429"] += 1
+                    retry = float(headers.get("retry-after", 1))
+                    counter["retry_after_honored"] += 1
+                    await asyncio.sleep(min(retry, 5.0))
+                elif status in (200, 202):
+                    job_ids.setdefault(body["job"],
+                                       time.perf_counter())
+                else:
+                    counter["errors"] += 1
+        finally:
+            await client.close()
+
+    started = time.perf_counter()
+    await asyncio.gather(*(client_task(i) for i in range(connections)))
+    submit_wall = time.perf_counter() - started
+
+    # Completion phase: one long-poll per unique job.
+    e2e_latencies = []
+    terminal_states = {}
+
+    async def wait_task(job_id: str, submitted_at: float):
+        client = Client(port)
+        try:
+            while True:
+                _, _, body = await client.request(
+                    "GET", f"/jobs/{job_id}?wait=20")
+                if body.get("state") not in ("queued", "running"):
+                    terminal_states[job_id] = body.get("state")
+                    e2e_latencies.append(time.perf_counter() - submitted_at)
+                    return
+        finally:
+            await client.close()
+
+    await asyncio.gather(*(wait_task(job, t0)
+                           for job, t0 in job_ids.items()))
+    total_wall = time.perf_counter() - started
+
+    health_client = Client(port)
+    _, _, health = await health_client.request("GET", "/health")
+    await health_client.close()
+    return {"submit_wall_s": round(submit_wall, 3),
+            "total_wall_s": round(total_wall, 3),
+            "submit_latency": latency_summary(submit_latencies),
+            "e2e_job_latency": latency_summary(e2e_latencies),
+            "requests_per_sec": round(counter["sent"] / submit_wall, 1),
+            "jobs_per_sec": round(len(job_ids) / total_wall, 2),
+            "unique_jobs": len(job_ids),
+            "terminal_states": sorted(set(terminal_states.values())),
+            **counter}, health
+
+
+# -- kill/recover leg --------------------------------------------------------------
+
+
+def golden_identity(spec_wire):
+    """The uninterrupted in-process result the recovered job must match."""
+    from repro.harness.orchestrator import RunSpec, execute_spec
+    spec = RunSpec(workload=spec_wire["workload"],
+                   technique=spec_wire["technique"],
+                   threads=spec_wire["threads"],
+                   scale=spec_wire.get("scale", 1),
+                   seed=spec_wire.get("seed", 0))
+    return execute_spec(spec).identity()
+
+
+async def kill_recover_leg(workdir: Path, tag: str):
+    """SIGKILL the whole service mid-job; restart; demand a journal
+    recovery that resumes from a checkpoint to the golden answer."""
+    outcome = {"ran": True, "kill_attempts": 0, "killed_mid_run": False,
+               "orphans_after_kill": None, "recovered": False,
+               "resumed": False, "identity_match": False, "state": None}
+    for attempt in range(5):
+        outcome["kill_attempts"] = attempt + 1
+        seed = 1000 + attempt           # fresh key per attempt (no cache)
+        spec = dict(KILL_SPEC, seed=seed)
+        round_tag = f"{tag}-k{attempt}"
+        proc, port = boot_service(workdir, round_tag, workers=1,
+                                  queue_depth=4)
+        client = Client(port)
+        try:
+            _, _, body = await client.request(
+                "POST", "/jobs", {"spec": spec, "deadline_s": 300})
+            job_id = body["job"]
+            checkpoint = workdir / "checkpoints" / f"{job_id}.ckpt.json"
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                _, _, status_body = await client.request(
+                    "GET", f"/jobs/{job_id}")
+                if status_body.get("state") not in ("queued", "running"):
+                    break               # finished before we could kill
+                if checkpoint.exists() and checkpoint.stat().st_size > 0:
+                    outcome["killed_mid_run"] = True
+                    break
+                await asyncio.sleep(0.005)
+        finally:
+            await client.close()
+        proc.send_signal(signal.SIGKILL)
+        proc.wait()
+        if not outcome["killed_mid_run"]:
+            continue                    # job won the race; retry
+
+        # Workers must notice the dead supervisor and exit themselves.
+        outcome["orphans_after_kill"] = wait_no_tagged(round_tag)
+
+        proc2, port2 = boot_service(workdir, f"{tag}-r{attempt}",
+                                    workers=1, queue_depth=4)
+        client = Client(port2)
+        try:
+            _, _, health = await client.request("GET", "/health")
+            outcome["recovered"] = (
+                health["counters"]["recovered"] >= 1)
+            _, _, final = await client.request(
+                "GET", f"/jobs/{job_id}?wait=30")
+            while final.get("state") in ("queued", "running"):
+                _, _, final = await client.request(
+                    "GET", f"/jobs/{job_id}?wait=30")
+            outcome["state"] = final.get("state")
+            outcome["resumed"] = bool(final.get("resumed"))
+            if final.get("state") == "done":
+                golden = golden_identity(spec)
+                got = {name: final["result"].get(name) for name in golden}
+                outcome["identity_match"] = got == golden
+        finally:
+            await client.close()
+            proc2.send_signal(signal.SIGTERM)
+            try:
+                proc2.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                proc2.kill()
+                proc2.wait()
+        return outcome
+    return outcome
+
+
+# -- entry point -------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--requests", type=int, default=3000)
+    parser.add_argument("--connections", type=int, default=200)
+    parser.add_argument("--unique", type=int, default=8,
+                        help="distinct specs in the traffic mix")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--queue-depth", type=int, default=64)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized load + the kill/recover leg")
+    parser.add_argument("--skip-kill", action="store_true",
+                        help="measure load only")
+    parser.add_argument("--out", default=None,
+                        help="write the JSON report here")
+    parser.add_argument("--workdir", default=None,
+                        help="persistent working directory (journals, "
+                             "checkpoints survive for artifact upload); "
+                             "default is a temp dir removed on exit")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.requests = min(args.requests, 200)
+        args.connections = min(args.connections, 32)
+        args.unique = min(args.unique, 4)
+        args.workers = min(args.workers, 2)
+
+    sys.path.insert(0, str(REPO / "src"))
+    tag = f"{SERVICE_TAG_PREFIX}-{os.getpid()}"
+    report = {
+        "benchmark": "service_load",
+        "smoke": args.smoke,
+        "host": {"cpus": os.cpu_count(), "platform": platform.platform(),
+                 "python": platform.python_version()},
+        "config": {"requests": args.requests,
+                   "connections": args.connections,
+                   "unique_specs": args.unique,
+                   "service_workers": args.workers,
+                   "queue_depth": args.queue_depth},
+        "methodology": (
+            "A real `python -m repro.harness.service` subprocess "
+            "(fsync'd journal) is driven over loopback HTTP/1.1 "
+            "keep-alive by an asyncio client fleet: `connections` "
+            "concurrent clients issue `requests` POST /jobs total, "
+            "round-robined over `unique_specs` distinct specs, so the "
+            "traffic is duplicate-rich by construction. Submit latency "
+            "is per-request wall time of the POST round trip "
+            "(p50/p90/p99 over all requests, including 429 responses); "
+            "requests/sec is total submissions over the submission "
+            "phase; e2e job latency and jobs/sec count unique jobs from "
+            "first submission to terminal state; the coalescing hit "
+            "rate is (coalesced + cache-served) / submitted from the "
+            "service's own /health counters. 429s are honored by "
+            "sleeping the Retry-After hint. The kill/recover leg "
+            "SIGKILLs the whole service once a checkpoint exists "
+            "mid-job, asserts every tagged worker process exits on its "
+            "own, restarts on the same workdir, and requires the "
+            "journal-recovered job to resume and match the golden "
+            "identity of an uninterrupted in-process run."),
+    }
+
+    failures = []
+    if args.workdir:
+        Path(args.workdir).mkdir(parents=True, exist_ok=True)
+        tmp_ctx = contextlib.nullcontext(args.workdir)
+    else:
+        tmp_ctx = tempfile.TemporaryDirectory(prefix="bench-service-")
+    with tmp_ctx as tmp:
+        workdir = Path(tmp) / "load"
+        workdir.mkdir(exist_ok=True)
+        proc, port = boot_service(workdir, tag, workers=args.workers,
+                                  queue_depth=args.queue_depth)
+        try:
+            load, health = asyncio.run(drive_load(
+                port, args.requests, args.connections, args.unique))
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            try:
+                proc.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+        counters = health["counters"]
+        absorbed = counters["coalesced"] + counters["served_cached"] \
+            + counters["served_stale"]
+        load["coalescing"] = {
+            "submitted": counters["submitted"],
+            "coalesced": counters["coalesced"],
+            "served_cached": counters["served_cached"],
+            "hit_rate": round(absorbed / max(1, counters["submitted"]), 4),
+            "sims_admitted": counters["admitted"]}
+        report["load"] = load
+        report["health_at_end"] = {
+            "status": health["status"], "breaker": health["breaker"],
+            "counters": counters, "journal": health["journal"]}
+        if load["errors"]:
+            failures.append(f"{load['errors']} transport errors under load")
+        if set(load["terminal_states"]) - {"done"}:
+            failures.append(
+                f"non-done terminal states: {load['terminal_states']}")
+
+        if not args.skip_kill:
+            kill_dir = Path(tmp) / "kill"
+            kill_dir.mkdir(exist_ok=True)
+            report["kill_recover"] = asyncio.run(
+                kill_recover_leg(kill_dir, tag))
+            kr = report["kill_recover"]
+            if not kr["killed_mid_run"]:
+                failures.append("kill/recover: never caught the job "
+                                "mid-run (host too fast/slow?)")
+            else:
+                if kr["orphans_after_kill"]:
+                    failures.append(f"orphan workers survived the kill: "
+                                    f"{kr['orphans_after_kill']}")
+                if not (kr["recovered"] and kr["state"] == "done"
+                        and kr["identity_match"]):
+                    failures.append(f"recovery failed: {kr}")
+
+    report["ok"] = not failures
+    report["failures"] = failures
+    print(json.dumps(report, indent=2))
+    if args.out:
+        Path(args.out).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nwrote {args.out}", file=sys.stderr)
+    return 0 if not failures else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

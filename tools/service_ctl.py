@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""Submit/status/health CLI for the simulation service.
+
+Talks plain HTTP to a running ``python -m repro.harness.service``
+instance, prints the JSON the service returns, and maps outcomes onto
+exit codes so shell scripts can branch on them:
+
+    0  success (job done / status fetched / health ok)
+    1  the job reached a terminal failure state (failed/timeout/cancelled)
+    2  usage error (bad arguments, invalid spec -> HTTP 400)
+    3  cannot reach the service
+    4  admission rejected (HTTP 429 queue full / 503 circuit open)
+
+Usage (from the repo root):
+
+    PYTHONPATH=src python tools/service_ctl.py --url http://127.0.0.1:8642 \\
+        submit --workload spmv --technique lima --threads 1 --wait
+    PYTHONPATH=src python tools/service_ctl.py status <job-id> --wait 30
+    PYTHONPATH=src python tools/service_ctl.py health
+    PYTHONPATH=src python tools/service_ctl.py cancel <job-id>
+
+``--url`` defaults to ``$REPRO_SERVICE_URL``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import urllib.error
+import urllib.request
+
+EXIT_OK = 0
+EXIT_JOB_FAILED = 1
+EXIT_USAGE = 2
+EXIT_UNREACHABLE = 3
+EXIT_REJECTED = 4
+
+
+def http(url: str, method: str, path: str, body=None, timeout: float = 60.0):
+    """One request; returns (status, parsed-JSON body)."""
+    request = urllib.request.Request(
+        url.rstrip("/") + path, method=method,
+        data=json.dumps(body).encode() if body is not None else None,
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read() or b"{}")
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read() or b"{}")
+    except (urllib.error.URLError, ConnectionError, TimeoutError) as err:
+        print(f"service unreachable at {url}: {err}", file=sys.stderr)
+        raise SystemExit(EXIT_UNREACHABLE) from err
+
+
+def emit(payload) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def exit_for(status: int, payload) -> int:
+    if status in (429, 503):
+        return EXIT_REJECTED
+    if status == 400:
+        return EXIT_USAGE
+    if status >= 400:
+        return EXIT_JOB_FAILED
+    state = payload.get("state")
+    if state in ("failed", "timeout", "cancelled", "interrupted"):
+        return EXIT_JOB_FAILED
+    return EXIT_OK
+
+
+def cmd_submit(url: str, args) -> int:
+    spec = {"workload": args.workload, "technique": args.technique,
+            "threads": args.threads, "scale": args.scale, "seed": args.seed}
+    if args.checkpoint_every:
+        spec["checkpoint_every"] = args.checkpoint_every
+    body = {"spec": spec, "priority": args.priority}
+    if args.deadline is not None:
+        body["deadline_s"] = args.deadline
+    status, payload = http(url, "POST", "/jobs", body)
+    if status in (400, 429, 503) or not args.wait:
+        emit(payload)
+        return exit_for(status, payload)
+    job = payload["job"]
+    while payload.get("state") in ("queued", "running"):
+        status, payload = http(url, "GET", f"/jobs/{job}?wait=30")
+    emit(payload)
+    return exit_for(status, payload)
+
+
+def cmd_status(url: str, args) -> int:
+    path = f"/jobs/{args.job}"
+    if args.wait:
+        path += f"?wait={args.wait}"
+    status, payload = http(url, "GET", path)
+    emit(payload)
+    return exit_for(status, payload)
+
+
+def cmd_cancel(url: str, args) -> int:
+    status, payload = http(url, "POST", f"/jobs/{args.job}/cancel")
+    emit(payload)
+    return EXIT_OK if status == 200 else exit_for(status, payload)
+
+
+def cmd_health(url: str, args) -> int:
+    status, payload = http(url, "GET", "/health")
+    emit(payload)
+    if status != 200:
+        return EXIT_JOB_FAILED
+    return EXIT_OK if payload.get("status") == "ok" else EXIT_JOB_FAILED
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--url", default=os.environ.get("REPRO_SERVICE_URL"),
+                        help="service base URL (default $REPRO_SERVICE_URL)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_submit = sub.add_parser("submit", help="submit one job")
+    p_submit.add_argument("--workload", required=True)
+    p_submit.add_argument("--technique", required=True)
+    p_submit.add_argument("--threads", type=int, default=2)
+    p_submit.add_argument("--scale", type=int, default=1)
+    p_submit.add_argument("--seed", type=int, default=0)
+    p_submit.add_argument("--checkpoint-every", type=int, default=0)
+    p_submit.add_argument("--priority", type=int, default=0)
+    p_submit.add_argument("--deadline", type=float, default=None,
+                          help="deadline budget in seconds")
+    p_submit.add_argument("--wait", action="store_true",
+                          help="block until the job reaches a terminal state")
+    p_submit.set_defaults(func=cmd_submit)
+
+    p_status = sub.add_parser("status", help="fetch one job's state")
+    p_status.add_argument("job")
+    p_status.add_argument("--wait", type=float, default=0,
+                          help="long-poll up to this many seconds")
+    p_status.set_defaults(func=cmd_status)
+
+    p_cancel = sub.add_parser("cancel", help="request job cancellation")
+    p_cancel.add_argument("job")
+    p_cancel.set_defaults(func=cmd_cancel)
+
+    p_health = sub.add_parser("health", help="service health + counters")
+    p_health.set_defaults(func=cmd_health)
+
+    args = parser.parse_args(argv)
+    if not args.url:
+        parser.error("--url (or $REPRO_SERVICE_URL) is required")
+    return args.func(args.url, args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
